@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: Flip-N-Write region granularity. The paper fixes FNW at
+ * two-byte regions (32 flip bits per line); this sweep shows the
+ * storage/effectiveness trade-off for 8/16/32/64-bit regions, both
+ * on encrypted traffic (where FNW's bound matters most) and on
+ * unencrypted traffic.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/rng.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/counter_mode.hh"
+#include "pcm/fnw.hh"
+#include "enc/no_encryption.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+void
+regenerate()
+{
+    printBanner(std::cout, "Ablation",
+                "FNW granularity: average flips (%) and overhead");
+    ExperimentOptions opt = benchutil::standardOptions();
+    opt.fastOtp = true;
+
+    Table t({"region", "flip bits/line", "Encr+FNW %", "NoEncr+FNW %"});
+    for (unsigned bits : {8u, 16u, 32u, 64u}) {
+        auto otp = std::make_unique<FastOtpEngine>(opt.otpSeed);
+        CounterModeEncryption encr(*otp, true, bits);
+        NoEncryption plain(true, bits);
+
+        std::vector<ExperimentRow> encr_rows, plain_rows;
+        for (const BenchmarkProfile &p : spec2006Profiles()) {
+            encr_rows.push_back(runExperiment(p, encr, opt));
+            plain_rows.push_back(runExperiment(p, plain, opt));
+        }
+        t.addRow({std::to_string(bits) + "-bit",
+                  std::to_string(512 / bits),
+                  fmt(averageOf(encr_rows, &ExperimentRow::flipPct), 1),
+                  fmt(averageOf(plain_rows, &ExperimentRow::flipPct),
+                      1)});
+    }
+    t.print(std::cout);
+    std::cout << "  paper operating point: 16-bit regions, "
+                 "Encr+FNW = 43%\n";
+}
+
+void
+BM_FnwGranularitySweep(benchmark::State &state)
+{
+    Rng rng(1);
+    CacheLine stored, logical;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        stored.limb(i) = rng.next();
+        logical.limb(i) = rng.next();
+    }
+    uint64_t flip_bits = 0;
+    for (auto _ : state) {
+        FnwResult r = applyFnw(stored, flip_bits, logical,
+                               static_cast<unsigned>(state.range(0)));
+        flip_bits = r.flipBits;
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_FnwGranularitySweep)->Arg(8)->Arg(16)->Arg(64);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    regenerate();
+    std::cout << "\n--- micro benchmarks ---\n";
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation: the full DEUCE (word size x epoch) grid, extending the
+ * paper's one-dimensional sweeps of Figures 8 and 9. Uses the fast
+ * pad engine (statistically identical flips) so the 16-cell grid
+ * stays cheap.
+ *
+ * Micro section: pad-generation cost, AES vs fast engine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/deuce.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+void
+regenerate()
+{
+    printBanner(std::cout, "Ablation",
+                "DEUCE average flips (%) over word-size x epoch grid");
+    ExperimentOptions opt = benchutil::standardOptions();
+    opt.fastOtp = true; // statistical grid; see file header
+
+    const unsigned word_sizes[4] = {1, 2, 4, 8};
+    const unsigned epochs[4] = {8, 16, 32, 64};
+
+    Table t({"word \\ epoch", "e8", "e16", "e32", "e64"});
+    for (unsigned w : word_sizes) {
+        std::vector<std::string> row;
+        {
+            std::ostringstream os;
+            os << w << "B (" << (512 / (w * 8)) << " bits/line)";
+            row.push_back(os.str());
+        }
+        for (unsigned e : epochs) {
+            std::ostringstream id;
+            // Build via explicit config (factory ids cover only the
+            // paper's axes).
+            auto otp = std::make_unique<FastOtpEngine>(opt.otpSeed);
+            Deuce scheme(*otp, DeuceConfig{w, e, false, 16});
+            std::vector<ExperimentRow> rows;
+            for (const BenchmarkProfile &p : spec2006Profiles()) {
+                rows.push_back(runExperiment(p, scheme, opt));
+            }
+            row.push_back(
+                fmt(averageOf(rows, &ExperimentRow::flipPct), 1));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "  paper diagonal anchors: 2B/e32 = 23.7, "
+                 "1B/e32 = 21.4, 8B/e32 = 32.2, 2B/e8 = 24.8\n";
+}
+
+void
+BM_PadGeneration(benchmark::State &state, bool fast)
+{
+    std::unique_ptr<OtpEngine> otp;
+    if (fast) {
+        otp = std::make_unique<FastOtpEngine>(1);
+    } else {
+        otp = makeAesOtpEngine(1);
+    }
+    uint64_t ctr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(otp->padForLine(42, ++ctr));
+    }
+}
+BENCHMARK_CAPTURE(BM_PadGeneration, aes, false);
+BENCHMARK_CAPTURE(BM_PadGeneration, fast, true);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    regenerate();
+    std::cout << "\n--- micro benchmarks ---\n";
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

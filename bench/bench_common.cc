@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared bench harness implementation.
+ */
+
+#include "bench_common.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace deuce
+{
+namespace benchutil
+{
+
+ExperimentOptions
+standardOptions()
+{
+    ExperimentOptions opt;
+    opt.writebacks = 60000;
+    opt.fastOtp = false; // figures use the real AES engine
+    opt.wl.verticalEnabled = false;
+    if (const char *env = std::getenv("DEUCE_BENCH_WB")) {
+        opt.writebacks = std::strtoull(env, nullptr, 10);
+    }
+    return opt;
+}
+
+std::vector<ExperimentRow>
+runAllBenchmarks(const std::string &scheme_id,
+                 const ExperimentOptions &options)
+{
+    std::vector<ExperimentRow> rows;
+    for (const BenchmarkProfile &p : spec2006Profiles()) {
+        rows.push_back(runExperiment(p, scheme_id, options));
+    }
+    return rows;
+}
+
+std::map<std::string, std::vector<ExperimentRow>>
+runAndPrintFlipTable(
+    const std::vector<std::pair<std::string, std::string>> &schemes,
+    const ExperimentOptions &options)
+{
+    std::map<std::string, std::vector<ExperimentRow>> all;
+    std::vector<std::string> headers = {"bench"};
+    for (const auto &[id, label] : schemes) {
+        headers.push_back(label);
+        all[id] = runAllBenchmarks(id, options);
+    }
+
+    Table table(headers);
+    auto profiles = spec2006Profiles();
+    for (size_t b = 0; b < profiles.size(); ++b) {
+        std::vector<std::string> row = {profiles[b].name};
+        for (const auto &[id, label] : schemes) {
+            row.push_back(fmt(all[id][b].flipPct, 1));
+        }
+        table.addRow(row);
+    }
+    table.addRule();
+    std::vector<std::string> avg = {"Avg"};
+    for (const auto &[id, label] : schemes) {
+        avg.push_back(
+            fmt(averageOf(all[id], &ExperimentRow::flipPct), 1));
+    }
+    table.addRow(avg);
+    table.print(std::cout);
+    return all;
+}
+
+} // namespace benchutil
+} // namespace deuce

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared harness for the figure/table regeneration benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper
+ * (printed before the google-benchmark micro section runs). The
+ * figure runs use the real AES engine; set DEUCE_BENCH_WB to change
+ * the per-cell writeback budget (default 60000).
+ */
+
+#ifndef DEUCE_BENCH_BENCH_COMMON_HH
+#define DEUCE_BENCH_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "trace/profile.hh"
+
+namespace deuce
+{
+namespace benchutil
+{
+
+/** Standard options for figure regeneration (real AES). */
+ExperimentOptions standardOptions();
+
+/** One row per benchmark for a given scheme id. */
+std::vector<ExperimentRow> runAllBenchmarks(
+    const std::string &scheme_id, const ExperimentOptions &options);
+
+/**
+ * Run several schemes over all benchmarks and print the per-benchmark
+ * flip table with an Avg row. Returns rows keyed by scheme id.
+ */
+std::map<std::string, std::vector<ExperimentRow>> runAndPrintFlipTable(
+    const std::vector<std::pair<std::string, std::string>>
+        &schemes, // (id, column label)
+    const ExperimentOptions &options);
+
+} // namespace benchutil
+} // namespace deuce
+
+#endif // DEUCE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Figure 10 + Table 3: bit flips per write across the bit-flip
+ * reduction schemes, plus the storage-overhead table.
+ *
+ * Paper anchors (averages): Encr+FNW 42.7%, DEUCE 23.7%, DynDEUCE
+ * 22.0%, DEUCE+FNW 20.3%, NoEncr+FNW 10.5%. Gems and soplex are the
+ * two workloads where FNW beats DEUCE; DEUCE and DynDEUCE bridge
+ * two-thirds of the encryption gap.
+ *
+ * Micro section: per-scheme write throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/rng.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/scheme_factory.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+void
+regenerate()
+{
+    printBanner(std::cout, "Figure 10",
+                "bit flips per write (%) across schemes");
+    ExperimentOptions opt = benchutil::standardOptions();
+    auto rows = benchutil::runAndPrintFlipTable(
+        {{"encr-fnw", "FNW"},
+         {"deuce", "DEUCE"},
+         {"dyndeuce", "DynDEUCE"},
+         {"deuce-fnw", "DEUCE+FNW"},
+         {"nofnw", "FNW-NoEncr"}},
+        opt);
+
+    std::cout << '\n';
+    printPaperVsMeasured(
+        std::cout, "FNW (encr) avg %", 42.7,
+        averageOf(rows["encr-fnw"], &ExperimentRow::flipPct));
+    printPaperVsMeasured(
+        std::cout, "DEUCE      avg %", 23.7,
+        averageOf(rows["deuce"], &ExperimentRow::flipPct));
+    printPaperVsMeasured(
+        std::cout, "DynDEUCE   avg %", 22.0,
+        averageOf(rows["dyndeuce"], &ExperimentRow::flipPct));
+    printPaperVsMeasured(
+        std::cout, "DEUCE+FNW  avg %", 20.3,
+        averageOf(rows["deuce-fnw"], &ExperimentRow::flipPct));
+    printPaperVsMeasured(
+        std::cout, "FNW-NoEncr avg %", 10.5,
+        averageOf(rows["nofnw"], &ExperimentRow::flipPct));
+
+    printBanner(std::cout, "Table 3",
+                "storage overhead and effectiveness");
+    Table t({"Scheme", "Overhead (bits/line)", "Avg flips %"});
+    auto overhead_row = [&](const char *id, const char *label) {
+        auto otp = makeAesOtpEngine(1);
+        auto scheme = makeScheme(id, *otp);
+        t.addRow({label,
+                  std::to_string(scheme->trackingBitsPerLine()),
+                  fmt(averageOf(rows[id], &ExperimentRow::flipPct), 1)});
+    };
+    overhead_row("encr-fnw", "FNW");
+    overhead_row("deuce", "DEUCE");
+    overhead_row("dyndeuce", "DynDEUCE");
+    overhead_row("deuce-fnw", "DEUCE+FNW");
+    t.print(std::cout);
+    std::cout << "  paper: FNW 32b/42.7%  DEUCE 32b/23.7%  "
+                 "DynDEUCE 33b/22.0%  DEUCE+FNW 64b/20.3%\n";
+}
+
+void
+BM_SchemeWrite(benchmark::State &state,
+               const std::string &scheme_id)
+{
+    auto otp = makeAesOtpEngine(1);
+    auto scheme = makeScheme(scheme_id, *otp);
+    Rng rng(1);
+    CacheLine plain;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        plain.limb(i) = rng.next();
+    }
+    StoredLineState st;
+    scheme->install(1, plain, st);
+    for (auto _ : state) {
+        plain.setField(32, 16, rng.next() | 1);
+        benchmark::DoNotOptimize(scheme->write(1, plain, st));
+    }
+}
+BENCHMARK_CAPTURE(BM_SchemeWrite, encr, std::string("encr"));
+BENCHMARK_CAPTURE(BM_SchemeWrite, encr_fnw, std::string("encr-fnw"));
+BENCHMARK_CAPTURE(BM_SchemeWrite, deuce, std::string("deuce"));
+BENCHMARK_CAPTURE(BM_SchemeWrite, dyndeuce, std::string("dyndeuce"));
+BENCHMARK_CAPTURE(BM_SchemeWrite, deuce_fnw, std::string("deuce-fnw"));
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    regenerate();
+    std::cout << "\n--- micro benchmarks ---\n";
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 12: variation in writes per bit position of a line, for mcf
+ * and libquantum, normalised to the average.
+ *
+ * Paper anchors: the hottest bit receives ~6x the average writes for
+ * mcf and ~27x for libquantum.
+ *
+ * Micro section: wear-tracker recording cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/rng.hh"
+#include "pcm/wear_tracker.hh"
+#include "sim/memory_system.hh"
+#include "trace/synthetic.hh"
+#include "enc/scheme_factory.hh"
+#include "crypto/otp_engine.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+/** Unencrypted per-position write profile for one benchmark. */
+std::vector<double>
+positionProfile(const std::string &bench, uint64_t writebacks,
+                double *max_out)
+{
+    BenchmarkProfile p = profileByName(bench);
+    SyntheticWorkload workload(
+        p, static_cast<uint64_t>(
+               writebacks * (p.mpki + p.wbpki) / p.wbpki) + 1);
+    auto otp = makeAesOtpEngine(1);
+    auto scheme = makeScheme("nodcw", *otp);
+    WearLevelingConfig wl;
+    wl.verticalEnabled = false;
+    MemorySystem memory(*scheme, wl, PcmConfig{},
+                        [&](uint64_t addr) {
+                            return workload.initialContents(addr);
+                        });
+    TraceEvent ev;
+    while (workload.next(ev)) {
+        if (ev.kind == EventKind::Writeback) {
+            memory.write(ev.lineAddr, ev.data);
+        }
+    }
+    *max_out = memory.wearTracker().nonUniformity();
+    return memory.wearTracker().normalizedProfile();
+}
+
+void
+regenerate()
+{
+    printBanner(std::cout, "Figure 12",
+                "writes per bit position, normalised to average");
+    ExperimentOptions opt = benchutil::standardOptions();
+
+    for (const char *bench : {"mcf", "libq"}) {
+        double max_ratio = 0.0;
+        std::vector<double> profile =
+            positionProfile(bench, opt.writebacks, &max_ratio);
+
+        // Summarise the 512-point curve as 32 word-sized buckets.
+        std::cout << "\n" << bench
+                  << " (per 16-bit word, normalised writes):\n  ";
+        for (unsigned w = 0; w < 32; ++w) {
+            double peak = 0.0;
+            for (unsigned b = 0; b < 16; ++b) {
+                peak = std::max(peak, profile[w * 16 + b]);
+            }
+            std::cout << fmt(peak, 1) << (w % 8 == 7 ? "\n  " : " ");
+        }
+        std::cout << "max/avg = " << fmt(max_ratio, 1) << "x\n";
+        printPaperVsMeasured(std::cout,
+                             std::string(bench) + " hottest bit (x avg)",
+                             bench == std::string("mcf") ? 6.0 : 27.0,
+                             max_ratio);
+    }
+}
+
+void
+BM_WearRecord(benchmark::State &state)
+{
+    WearTracker tracker;
+    Rng rng(1);
+    CacheLine diff;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        diff.limb(i) = rng.next();
+    }
+    unsigned rotation = 0;
+    for (auto _ : state) {
+        tracker.recordWrite(diff, 0x3, rotation);
+        rotation = (rotation + 37) % CacheLine::kBits;
+    }
+    benchmark::DoNotOptimize(tracker.maxPositionFlips());
+}
+BENCHMARK(BM_WearRecord);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    regenerate();
+    std::cout << "\n--- micro benchmarks ---\n";
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 15: average write slots consumed per write request.
+ *
+ * Paper anchors: Encr 4.0, Encr+FNW just under 4, DEUCE 2.64,
+ * unencrypted 1.92 out of the 4 slots of a 64-byte line — DEUCE
+ * bridges two-thirds of the slot gap between encrypted and
+ * unencrypted memory.
+ *
+ * Micro section: slot-count computation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/rng.hh"
+#include "pcm/write_slots.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+void
+regenerate()
+{
+    printBanner(std::cout, "Figure 15",
+                "average write slots per write request");
+    ExperimentOptions opt = benchutil::standardOptions();
+
+    std::vector<std::pair<std::string, std::string>> schemes = {
+        {"encr", "Encr"},
+        {"encr-fnw", "Encr+FNW"},
+        {"deuce", "DEUCE"},
+        {"nodcw", "NoEncr"},
+    };
+
+    std::map<std::string, std::vector<ExperimentRow>> all;
+    std::vector<std::string> headers = {"bench"};
+    for (const auto &[id, label] : schemes) {
+        headers.push_back(label);
+        all[id] = benchutil::runAllBenchmarks(id, opt);
+    }
+    Table t(headers);
+    auto profiles = spec2006Profiles();
+    for (size_t b = 0; b < profiles.size(); ++b) {
+        std::vector<std::string> row = {profiles[b].name};
+        for (const auto &[id, label] : schemes) {
+            row.push_back(fmt(all[id][b].avgSlots, 2));
+        }
+        t.addRow(row);
+    }
+    t.addRule();
+    std::vector<std::string> avg = {"Avg"};
+    for (const auto &[id, label] : schemes) {
+        avg.push_back(
+            fmt(averageOf(all[id], &ExperimentRow::avgSlots), 2));
+    }
+    t.addRow(avg);
+    t.print(std::cout);
+
+    std::cout << '\n';
+    printPaperVsMeasured(
+        std::cout, "Encr slots", 4.0,
+        averageOf(all["encr"], &ExperimentRow::avgSlots), 2);
+    printPaperVsMeasured(
+        std::cout, "DEUCE slots", 2.64,
+        averageOf(all["deuce"], &ExperimentRow::avgSlots), 2);
+    printPaperVsMeasured(
+        std::cout, "NoEncr slots", 1.92,
+        averageOf(all["nodcw"], &ExperimentRow::avgSlots), 2);
+}
+
+void
+BM_SlotCount(benchmark::State &state)
+{
+    Rng rng(1);
+    CacheLine diff;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        diff.limb(i) = rng.next() & rng.next(); // sparse-ish
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(slotsForWrite(diff, 3));
+    }
+}
+BENCHMARK(BM_SlotCount);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    regenerate();
+    std::cout << "\n--- micro benchmarks ---\n";
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 17: speedup, memory energy, memory power, and energy-delay
+ * product, normalised to the encrypted-memory baseline.
+ *
+ * Paper anchors vs Encr: FNW energy 0.89, EDP 0.96; DEUCE energy
+ * 0.57, power 0.72, EDP 0.57; disabling encryption (NoEncr+FNW) gives
+ * EDP 0.44. The power reduction is smaller than the energy reduction
+ * because execution also gets shorter.
+ *
+ * Micro section: energy accumulator overhead.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "pcm/energy.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+void
+regenerate()
+{
+    printBanner(std::cout, "Figure 17",
+                "speedup / energy / power / EDP vs encrypted memory");
+    ExperimentOptions opt = benchutil::standardOptions();
+    opt.timing = true;
+
+    std::vector<std::pair<std::string, std::string>> schemes = {
+        {"encr", "Encr"},
+        {"encr-fnw", "FNW"},
+        {"deuce", "DEUCE"},
+        {"nofnw", "NoEncr+FNW"},
+    };
+    std::map<std::string, std::vector<ExperimentRow>> all;
+    for (const auto &[id, label] : schemes) {
+        all[id] = benchutil::runAllBenchmarks(id, opt);
+    }
+
+    Table t({"scheme", "speedup", "energy", "power", "EDP"});
+    for (const auto &[id, label] : schemes) {
+        double speedup = geomeanSpeedup(all["encr"], all[id],
+                                        &ExperimentRow::executionNs);
+        double energy = 1.0 / geomeanSpeedup(all["encr"], all[id],
+                                             &ExperimentRow::energyPj);
+        double power = 1.0 / geomeanSpeedup(all["encr"], all[id],
+                                            &ExperimentRow::powerMw);
+        double edp = 1.0 / geomeanSpeedup(all["encr"], all[id],
+                                          &ExperimentRow::edp);
+        t.addRow({label, fmt(speedup, 2), fmt(energy, 2),
+                  fmt(power, 2), fmt(edp, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << '\n';
+    double fnw_energy = 1.0 / geomeanSpeedup(all["encr"],
+                                             all["encr-fnw"],
+                                             &ExperimentRow::energyPj);
+    double deuce_energy = 1.0 / geomeanSpeedup(
+                                    all["encr"], all["deuce"],
+                                    &ExperimentRow::energyPj);
+    double deuce_power = 1.0 / geomeanSpeedup(
+                                   all["encr"], all["deuce"],
+                                   &ExperimentRow::powerMw);
+    double deuce_edp = 1.0 / geomeanSpeedup(all["encr"], all["deuce"],
+                                            &ExperimentRow::edp);
+    double noencr_edp = 1.0 / geomeanSpeedup(all["encr"], all["nofnw"],
+                                             &ExperimentRow::edp);
+    printPaperVsMeasured(std::cout, "FNW energy", 0.89, fnw_energy, 2);
+    printPaperVsMeasured(std::cout, "DEUCE energy", 0.57, deuce_energy,
+                         2);
+    printPaperVsMeasured(std::cout, "DEUCE power", 0.72, deuce_power,
+                         2);
+    printPaperVsMeasured(std::cout, "DEUCE EDP", 0.57, deuce_edp, 2);
+    printPaperVsMeasured(std::cout, "NoEncr+FNW EDP", 0.44, noencr_edp,
+                         2);
+}
+
+void
+BM_EnergyAccounting(benchmark::State &state)
+{
+    EnergyAccumulator acc;
+    unsigned flips = 1;
+    for (auto _ : state) {
+        acc.addWrite(flips);
+        acc.addRead();
+        flips = (flips + 7) % 512;
+    }
+    benchmark::DoNotOptimize(acc.dynamicEnergyPj());
+}
+BENCHMARK(BM_EnergyAccounting);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    regenerate();
+    std::cout << "\n--- micro benchmarks ---\n";
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 1(b) / Figure 5: average modified bits per write for
+ * unencrypted and encrypted memory under DCW and FNW.
+ *
+ * Paper anchors: NoEncr+DCW 12.4%, NoEncr+FNW 10.5%, Encr+DCW 50%,
+ * Encr+FNW 43% — encryption increases bit writes by almost 4x.
+ *
+ * Micro section: DCW diff and FNW encode throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/rng.hh"
+#include "pcm/fnw.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+void
+regenerate()
+{
+    printBanner(std::cout, "Figure 1b / Figure 5",
+                "modified bits per write (%), DCW/FNW x NoEncr/Encr");
+    ExperimentOptions opt = benchutil::standardOptions();
+    auto rows = benchutil::runAndPrintFlipTable(
+        {{"nodcw", "NoEncr+DCW"},
+         {"nofnw", "NoEncr+FNW"},
+         {"encr", "Encr+DCW"},
+         {"encr-fnw", "Encr+FNW"}},
+        opt);
+
+    std::cout << '\n';
+    printPaperVsMeasured(
+        std::cout, "NoEncr+DCW avg %", 12.4,
+        averageOf(rows["nodcw"], &ExperimentRow::flipPct));
+    printPaperVsMeasured(
+        std::cout, "NoEncr+FNW avg %", 10.5,
+        averageOf(rows["nofnw"], &ExperimentRow::flipPct));
+    printPaperVsMeasured(
+        std::cout, "Encr+DCW   avg %", 50.0,
+        averageOf(rows["encr"], &ExperimentRow::flipPct));
+    printPaperVsMeasured(
+        std::cout, "Encr+FNW   avg %", 43.0,
+        averageOf(rows["encr-fnw"], &ExperimentRow::flipPct));
+    printPaperVsMeasured(
+        std::cout, "encryption bit-write factor", 4.0,
+        averageOf(rows["encr"], &ExperimentRow::flipPct) /
+            averageOf(rows["nodcw"], &ExperimentRow::flipPct));
+}
+
+void
+BM_DcwDiff(benchmark::State &state)
+{
+    Rng rng(1);
+    CacheLine a, b;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        a.limb(i) = rng.next();
+        b.limb(i) = rng.next();
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dcwFlips(a, b));
+    }
+}
+BENCHMARK(BM_DcwDiff);
+
+void
+BM_FnwEncode(benchmark::State &state)
+{
+    Rng rng(2);
+    CacheLine stored, logical;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        stored.limb(i) = rng.next();
+        logical.limb(i) = rng.next();
+    }
+    uint64_t flip_bits = 0;
+    for (auto _ : state) {
+        FnwResult r = applyFnw(stored, flip_bits, logical,
+                               static_cast<unsigned>(state.range(0)));
+        flip_bits = r.flipBits;
+        benchmark::DoNotOptimize(r.dataFlips);
+    }
+}
+BENCHMARK(BM_FnwEncode)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    regenerate();
+    std::cout << "\n--- micro benchmarks ---\n";
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

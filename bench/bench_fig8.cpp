@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 8: DEUCE sensitivity to tracking word size (epoch 32).
+ *
+ * Paper anchors: 1B 21.4%, 2B 23.7%, 4B 26.8%, 8B 32.2% — finer
+ * tracking reduces flips at the cost of more tracking bits.
+ *
+ * Micro section: DEUCE write cost vs word size.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/rng.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/deuce.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+void
+regenerate()
+{
+    printBanner(std::cout, "Figure 8",
+                "DEUCE modified bits per write (%) vs word size, "
+                "epoch 32");
+    ExperimentOptions opt = benchutil::standardOptions();
+    auto rows = benchutil::runAndPrintFlipTable(
+        {{"deuce-1b", "1B (64 bits)"},
+         {"deuce-2b", "2B (32 bits)"},
+         {"deuce-4b", "4B (16 bits)"},
+         {"deuce-8b", "8B (8 bits)"}},
+        opt);
+
+    std::cout << '\n';
+    const double paper[4] = {21.4, 23.7, 26.8, 32.2};
+    const char *ids[4] = {"deuce-1b", "deuce-2b", "deuce-4b",
+                          "deuce-8b"};
+    const char *labels[4] = {"1-byte avg %", "2-byte avg %",
+                             "4-byte avg %", "8-byte avg %"};
+    for (int i = 0; i < 4; ++i) {
+        printPaperVsMeasured(
+            std::cout, labels[i], paper[i],
+            averageOf(rows[ids[i]], &ExperimentRow::flipPct));
+    }
+}
+
+void
+BM_DeuceWrite(benchmark::State &state)
+{
+    auto otp = makeAesOtpEngine(1);
+    DeuceConfig cfg;
+    cfg.wordBytes = static_cast<unsigned>(state.range(0));
+    Deuce deuce(*otp, cfg);
+    Rng rng(1);
+    CacheLine plain;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        plain.limb(i) = rng.next();
+    }
+    StoredLineState st;
+    deuce.install(1, plain, st);
+    for (auto _ : state) {
+        plain.setField(0, 16, rng.next() | 1);
+        benchmark::DoNotOptimize(deuce.write(1, plain, st));
+    }
+}
+BENCHMARK(BM_DeuceWrite)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    regenerate();
+    std::cout << "\n--- micro benchmarks ---\n";
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

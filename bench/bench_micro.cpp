@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Cross-cutting micro benchmarks for the library's hot paths: AES,
+ * pad generation, line primitives, cache accesses, Start-Gap remap,
+ * and end-to-end scheme write/read costs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/cache_line.hh"
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/scheme_factory.hh"
+#include "wear/start_gap.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    AesKey key{};
+    Aes128 aes(key);
+    AesBlock block{};
+    for (auto _ : state) {
+        block = aes.encrypt(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void
+BM_AesDecryptBlock(benchmark::State &state)
+{
+    AesKey key{};
+    Aes128 aes(key);
+    AesBlock block{};
+    for (auto _ : state) {
+        block = aes.decrypt(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesDecryptBlock);
+
+void
+BM_LineXor(benchmark::State &state)
+{
+    Rng rng(1);
+    CacheLine a, b;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        a.limb(i) = rng.next();
+        b.limb(i) = rng.next();
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a ^ b);
+    }
+}
+BENCHMARK(BM_LineXor);
+
+void
+BM_LinePopcount(benchmark::State &state)
+{
+    Rng rng(2);
+    CacheLine a;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        a.limb(i) = rng.next();
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.popcount());
+    }
+}
+BENCHMARK(BM_LinePopcount);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.capacityBytes = 1 << 20;
+    cfg.ways = 16;
+    SetAssocCache cache(cfg);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextBounded(1 << 16), rng.nextBool(0.3)));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_StartGapRemap(benchmark::State &state)
+{
+    StartGap sg(1 << 20, 100);
+    for (int i = 0; i < 12345; ++i) {
+        sg.onWrite();
+    }
+    uint64_t la = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sg.remap(la));
+        la = (la + 997) % (1 << 20);
+    }
+}
+BENCHMARK(BM_StartGapRemap);
+
+void
+BM_SchemeRead(benchmark::State &state, const std::string &id)
+{
+    auto otp = makeAesOtpEngine(1);
+    auto scheme = makeScheme(id, *otp);
+    Rng rng(4);
+    CacheLine plain;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        plain.limb(i) = rng.next();
+    }
+    StoredLineState st;
+    scheme->install(1, plain, st);
+    for (int i = 0; i < 3; ++i) {
+        plain.setField(0, 16, rng.next() | 1);
+        scheme->write(1, plain, st);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheme->read(1, st));
+    }
+}
+BENCHMARK_CAPTURE(BM_SchemeRead, encr, std::string("encr"));
+BENCHMARK_CAPTURE(BM_SchemeRead, deuce, std::string("deuce"));
+BENCHMARK_CAPTURE(BM_SchemeRead, ble, std::string("ble"));
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Related-work comparison (Sections 4, 7.1, 7.2): DEUCE vs the
+ * per-word-counter strawman it replaces, BLE, and i-NVMM — flips,
+ * metadata storage, and (for i-NVMM) the plaintext-exposure cost that
+ * makes it vulnerable to bus snooping.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/invmm.hh"
+#include "enc/per_word_counters.hh"
+#include "enc/scheme_factory.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+void
+regenerate()
+{
+    printBanner(std::cout, "Related work",
+                "flips, storage and exposure across designs");
+    ExperimentOptions opt = benchutil::standardOptions();
+    opt.fastOtp = true;
+
+    struct Entry
+    {
+        const char *id;
+        const char *label;
+        const char *security;
+    };
+    Table t({"design", "flips %", "metadata bits/line",
+             "bus-snooping safe?"});
+    for (const Entry &e :
+         {Entry{"encr", "counter mode (line)", "yes"},
+          Entry{"ble", "BLE (16B blocks)", "yes"},
+          Entry{"perword", "per-word counters", "yes"},
+          Entry{"addrpad", "address pad (no ctr)", "NO (pad reuse)"},
+          Entry{"deuce", "DEUCE", "yes"},
+          Entry{"dyndeuce", "DynDEUCE", "yes"},
+          Entry{"invmm", "i-NVMM (hot plaintext)", "NO"}}) {
+        auto rows = benchutil::runAllBenchmarks(e.id, opt);
+        auto otp = std::make_unique<FastOtpEngine>(1);
+        auto scheme = makeScheme(e.id, *otp);
+        unsigned bits = scheme->trackingBitsPerLine();
+        t.addRow({e.label,
+                  fmt(averageOf(rows, &ExperimentRow::flipPct), 1),
+                  std::to_string(bits), e.security});
+    }
+    t.print(std::cout);
+    std::cout
+        << "  DEUCE matches the idealised per-word design's flips at "
+           "1/8th the metadata,\n  and beats i-NVMM's security: "
+           "i-NVMM writes hot data to the bus in plaintext\n  "
+           "(Section 7.2), which is why its flips look unencrypted."
+        << '\n';
+}
+
+void
+BM_PerWordWrite(benchmark::State &state)
+{
+    auto otp = std::make_unique<FastOtpEngine>(1);
+    PerWordCounters scheme(*otp);
+    Rng rng(1);
+    CacheLine plain;
+    StoredLineState st;
+    scheme.install(1, plain, st);
+    for (auto _ : state) {
+        plain.setField(0, 16, rng.next() | 1);
+        benchmark::DoNotOptimize(scheme.write(1, plain, st));
+    }
+}
+BENCHMARK(BM_PerWordWrite);
+
+void
+BM_INvmmHotWrite(benchmark::State &state)
+{
+    auto otp = std::make_unique<FastOtpEngine>(1);
+    INvmm scheme(*otp);
+    Rng rng(1);
+    CacheLine plain;
+    StoredLineState st;
+    scheme.install(1, plain, st);
+    for (auto _ : state) {
+        plain.setField(0, 16, rng.next() | 1);
+        benchmark::DoNotOptimize(scheme.write(1, plain, st));
+    }
+}
+BENCHMARK(BM_INvmmHotWrite);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    regenerate();
+    std::cout << "\n--- micro benchmarks ---\n";
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 2: benchmark characteristics (L4 MPKI and WBPKI).
+ *
+ * The synthetic generators are parameterised directly by the paper's
+ * rates; this bench verifies the produced streams actually exhibit
+ * them, closing the loop on the substitution argument in DESIGN.md.
+ *
+ * Micro section: trace generation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "trace/synthetic.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+void
+regenerate()
+{
+    printBanner(std::cout, "Table 2",
+                "benchmark characteristics (8-copy rate mode)");
+    Table t({"Workload", "MPKI paper", "MPKI meas", "WBPKI paper",
+             "WBPKI meas"});
+    for (const BenchmarkProfile &p : spec2006Profiles()) {
+        SyntheticWorkload w(p, 200000);
+        TraceEvent ev;
+        uint64_t last_icount = 0;
+        while (w.next(ev)) {
+            last_icount = ev.icount;
+        }
+        double ki = static_cast<double>(last_icount) / 1000.0;
+        t.addRow({p.name, fmt(p.mpki, 2),
+                  fmt(static_cast<double>(w.readsProduced()) / ki, 2),
+                  fmt(p.wbpki, 2),
+                  fmt(static_cast<double>(w.writebacksProduced()) / ki,
+                      2)});
+    }
+    t.print(std::cout);
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    BenchmarkProfile p = profileByName("mcf");
+    for (auto _ : state) {
+        SyntheticWorkload w(p, static_cast<uint64_t>(state.range(0)));
+        TraceEvent ev;
+        uint64_t count = 0;
+        while (w.next(ev)) {
+            ++count;
+        }
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    regenerate();
+    std::cout << "\n--- micro benchmarks ---\n";
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: create a DEUCE-encrypted PCM, write and read data
+ * through the public API, and inspect the write-cost statistics.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/secure_memory.hh"
+
+int
+main()
+{
+    using namespace deuce;
+
+    // 1. Configure: DEUCE scheme (2-byte words, epoch 32), Start-Gap
+    //    vertical wear leveling + the paper's horizontal wear
+    //    leveling on top.
+    SecureMemoryConfig cfg;
+    cfg.scheme = "deuce";
+    cfg.keySeed = 0x5ec2e7;
+    cfg.wearLeveling.verticalEnabled = true;
+    cfg.wearLeveling.numLines = 1 << 16;
+    cfg.wearLeveling.rotation = WearLevelingConfig::Rotation::Hwl;
+
+    SecureMemory memory(cfg);
+
+    // 2. Write a message through the byte interface (the controller
+    //    performs read-modify-write of the affected 64-byte lines).
+    const char *message = "DEUCE: write-efficient encryption for NVM";
+    memory.writeBytes(1000, reinterpret_cast<const uint8_t *>(message),
+                      std::strlen(message) + 1);
+
+    char readback[64] = {};
+    memory.readBytes(1000, reinterpret_cast<uint8_t *>(readback),
+                     std::strlen(message) + 1);
+    std::cout << "readback: " << readback << '\n';
+
+    // 3. Update a single counter field many times -- the classic NVM
+    //    write pattern where naive encryption wastes 50% bit flips.
+    uint64_t counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+        ++counter;
+        memory.writeBytes(2048, reinterpret_cast<uint8_t *>(&counter),
+                          sizeof(counter));
+    }
+
+    // 4. Inspect the accounting.
+    SecureMemoryStats stats = memory.stats();
+    std::cout << "line writes:        " << stats.lineWrites << '\n'
+              << "avg bits flipped:   " << stats.avgFlipPct << "%\n"
+              << "avg write slots:    " << stats.avgWriteSlots
+              << " of 4\n"
+              << "dynamic energy:     " << stats.dynamicEnergyPj / 1e6
+              << " uJ\n"
+              << "tracking overhead:  " << stats.trackingBitsPerLine
+              << " bits/line\n"
+              << "wear non-uniformity:" << stats.wearNonUniformity
+              << "x\n";
+
+    // A naive counter-mode memory would sit at ~50% flips; DEUCE's
+    // selective re-encryption keeps the counter workload far below.
+    return stats.avgFlipPct < 25.0 ? 0 : 1;
+}

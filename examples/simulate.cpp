@@ -1,0 +1,214 @@
+/**
+ * @file
+ * deuce-sim: a command-line front-end for running any single
+ * experiment cell — the entry point a downstream user scripts against.
+ *
+ *   $ ./simulate --bench mcf --scheme deuce --writebacks 100000
+ *   $ ./simulate --bench all --scheme dyndeuce --csv
+ *   $ ./simulate --bench libq --scheme deuce --timing --mlp 8
+ *
+ * Options:
+ *   --bench <name|all>      benchmark profile (Table 2 names)
+ *   --scheme <id>           scheme id (see enc/scheme_factory.hh)
+ *   --writebacks <n>        writebacks to simulate (default 60000)
+ *   --timing                run the bank-contention timing model
+ *   --hwl                   enable horizontal wear leveling
+ *   --vwl <startgap|sr>     vertical wear-leveling engine
+ *   --fast-otp              hash-based pads instead of AES
+ *   --seed <n>              pad key seed
+ *   --csv                   machine-readable one-line-per-cell output
+ *   --stats                 append a gem5-style stats dump per cell
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "enc/scheme_factory.hh"
+#include "sim/stats_dump.hh"
+#include "trace/synthetic.hh"
+#include "sim/report.hh"
+#include "trace/profile.hh"
+
+namespace
+{
+
+using namespace deuce;
+
+struct CliOptions
+{
+    std::string bench = "all";
+    std::string scheme = "deuce";
+    ExperimentOptions experiment;
+    bool csv = false;
+    bool stats = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--bench <name|all>] [--scheme <id>]"
+                 " [--writebacks <n>] [--timing] [--hwl] [--vwl startgap|sr]"
+                 " [--fast-otp] [--seed <n>] [--mlp <x>] [--csv]\n";
+    std::exit(2);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions cli;
+    cli.experiment.writebacks = 60000;
+    cli.experiment.wl.verticalEnabled = true;
+    cli.experiment.wl.numLines = 1 << 16;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            cli.bench = value();
+        } else if (arg == "--scheme") {
+            cli.scheme = value();
+        } else if (arg == "--writebacks") {
+            cli.experiment.writebacks =
+                std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--timing") {
+            cli.experiment.timing = true;
+        } else if (arg == "--hwl") {
+            cli.experiment.wl.rotation =
+                WearLevelingConfig::Rotation::Hwl;
+        } else if (arg == "--vwl") {
+            std::string engine = value();
+            if (engine == "startgap") {
+                cli.experiment.wl.engine =
+                    WearLevelingConfig::Engine::StartGap;
+            } else if (engine == "sr") {
+                cli.experiment.wl.engine =
+                    WearLevelingConfig::Engine::SecurityRefresh;
+            } else {
+                usage(argv[0]);
+            }
+        } else if (arg == "--fast-otp") {
+            cli.experiment.fastOtp = true;
+        } else if (arg == "--seed") {
+            cli.experiment.otpSeed =
+                std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--mlp") {
+            cli.experiment.timingCfg.mlp =
+                std::strtod(value(), nullptr);
+        } else if (arg == "--csv") {
+            cli.csv = true;
+        } else if (arg == "--stats") {
+            cli.stats = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return cli;
+}
+
+void
+printCsvHeader()
+{
+    std::cout << "bench,scheme,flip_pct,avg_slots,tracking_bits,"
+                 "writebacks,reads,execution_ns,energy_pj,power_mw,"
+                 "edp,wear_nonuniformity\n";
+}
+
+void
+printCsvRow(const ExperimentRow &r)
+{
+    std::cout << r.bench << ',' << r.scheme << ',' << r.flipPct << ','
+              << r.avgSlots << ',' << r.trackingBits << ','
+              << r.writebacks << ',' << r.reads << ','
+              << r.executionNs << ',' << r.energyPj << ','
+              << r.powerMw << ',' << r.edp << ','
+              << r.wearNonUniformity << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli = parseArgs(argc, argv);
+
+    std::vector<BenchmarkProfile> profiles;
+    if (cli.bench == "all") {
+        profiles = spec2006Profiles();
+    } else {
+        profiles.push_back(profileByName(cli.bench));
+    }
+
+    std::vector<ExperimentRow> rows;
+    for (const BenchmarkProfile &p : profiles) {
+        rows.push_back(runExperiment(p, cli.scheme, cli.experiment));
+        if (cli.stats) {
+            // Re-run the cell with a visible MemorySystem to dump its
+            // counters (the experiment runner owns its own instance).
+            std::unique_ptr<OtpEngine> otp;
+            if (cli.experiment.fastOtp) {
+                otp = std::make_unique<FastOtpEngine>(
+                    cli.experiment.otpSeed);
+            } else {
+                otp = makeAesOtpEngine(cli.experiment.otpSeed);
+            }
+            auto scheme = makeScheme(cli.scheme, *otp);
+            SyntheticWorkload workload(
+                p, static_cast<uint64_t>(
+                       cli.experiment.writebacks *
+                       (p.mpki + p.wbpki) / p.wbpki) + 1);
+            MemorySystem memory(*scheme, cli.experiment.wl,
+                                cli.experiment.pcm,
+                                [&](uint64_t addr) {
+                                    return workload.initialContents(
+                                        addr);
+                                });
+            TraceEvent ev;
+            while (workload.next(ev)) {
+                if (ev.kind == EventKind::Writeback) {
+                    memory.write(ev.lineAddr, ev.data);
+                }
+            }
+            dumpStats(std::cout, memory, "deuce." + p.name);
+        }
+    }
+
+    if (cli.csv) {
+        printCsvHeader();
+        for (const ExperimentRow &r : rows) {
+            printCsvRow(r);
+        }
+        return 0;
+    }
+
+    Table t({"bench", "flips %", "slots", "exec (us)", "energy (uJ)",
+             "wear max/avg"});
+    for (const ExperimentRow &r : rows) {
+        t.addRow({r.bench, fmt(r.flipPct, 1), fmt(r.avgSlots, 2),
+                  cli.experiment.timing ? fmt(r.executionNs / 1e3, 1)
+                                        : std::string("-"),
+                  cli.experiment.timing ? fmt(r.energyPj / 1e6, 1)
+                                        : std::string("-"),
+                  fmt(r.wearNonUniformity, 1)});
+    }
+    if (rows.size() > 1) {
+        t.addRule();
+        t.addRow({"Avg", fmt(averageOf(rows, &ExperimentRow::flipPct), 1),
+                  fmt(averageOf(rows, &ExperimentRow::avgSlots), 2),
+                  "-", "-", "-"});
+    }
+    std::cout << "scheme: " << rows.front().scheme << "  ("
+              << rows.front().trackingBits
+              << " tracking bits/line)\n\n";
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Build, test and regenerate every figure/table of the paper.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do "$b"; done

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Cache model implementation.
+ */
+
+#include "cache/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    deuce_assert(cfg.lineBytes > 0 && cfg.ways > 0);
+    deuce_assert(cfg.capacityBytes % (cfg.lineBytes * cfg.ways) == 0);
+    sets_ = cfg.capacityBytes / (cfg.lineBytes * cfg.ways);
+    deuce_assert(sets_ >= 1);
+    ways_.resize(sets_ * cfg.ways);
+}
+
+SetAssocCache::Way *
+SetAssocCache::findWay(uint64_t set, uint64_t tag)
+{
+    Way *base = &ways_[set * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Way *
+SetAssocCache::findWay(uint64_t set, uint64_t tag) const
+{
+    return const_cast<SetAssocCache *>(this)->findWay(set, tag);
+}
+
+CacheAccessResult
+SetAssocCache::access(uint64_t line_addr, bool is_write)
+{
+    ++accesses_;
+    uint64_t set = line_addr % sets_;
+    uint64_t tag = line_addr / sets_;
+
+    CacheAccessResult result;
+    if (Way *way = findWay(set, tag)) {
+        result.hit = true;
+        way->lruStamp = ++stamp_;
+        way->dirty |= is_write;
+        return result;
+    }
+
+    ++misses_;
+    // Choose a victim: first invalid way, else LRU.
+    Way *base = &ways_[set * cfg_.ways];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruStamp < victim->lruStamp) {
+            victim = &base[w];
+        }
+    }
+    if (victim->valid && victim->dirty) {
+        ++writebacks_;
+        result.writeback = victim->tag * sets_ + set;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lruStamp = ++stamp_;
+    return result;
+}
+
+bool
+SetAssocCache::contains(uint64_t line_addr) const
+{
+    return findWay(line_addr % sets_, line_addr / sets_) != nullptr;
+}
+
+bool
+SetAssocCache::isDirty(uint64_t line_addr) const
+{
+    const Way *way = findWay(line_addr % sets_, line_addr / sets_);
+    return way != nullptr && way->dirty;
+}
+
+std::vector<uint64_t>
+SetAssocCache::flushDirty()
+{
+    std::vector<uint64_t> flushed;
+    for (uint64_t set = 0; set < sets_; ++set) {
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            Way &way = ways_[set * cfg_.ways + w];
+            if (way.valid && way.dirty) {
+                flushed.push_back(way.tag * sets_ + set);
+                way.dirty = false;
+                ++writebacks_;
+            }
+        }
+    }
+    return flushed;
+}
+
+double
+SetAssocCache::missRatio() const
+{
+    if (accesses_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(misses_) /
+           static_cast<double>(accesses_);
+}
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig> &levels)
+{
+    deuce_assert(!levels.empty());
+    levels_.reserve(levels.size());
+    for (const CacheConfig &cfg : levels) {
+        levels_.emplace_back(cfg);
+    }
+}
+
+std::vector<uint64_t>
+CacheHierarchy::access(uint64_t line_addr, bool is_write)
+{
+    std::vector<uint64_t> to_memory;
+
+    // Probe downward until a hit; fill and propagate evictions. A
+    // dirty eviction from level i becomes a write into level i+1 --
+    // which can itself evict, and so on.
+    for (unsigned i = 0; i < levels_.size(); ++i) {
+        CacheAccessResult r = levels_[i].access(line_addr, is_write);
+        if (r.writeback) {
+            // Push the dirty victim down the remaining levels.
+            uint64_t victim = *r.writeback;
+            bool absorbed = false;
+            for (unsigned j = i + 1; j < levels_.size(); ++j) {
+                CacheAccessResult w = levels_[j].access(victim, true);
+                if (w.writeback) {
+                    victim = *w.writeback;
+                    continue; // victim of the victim keeps moving down
+                }
+                absorbed = true;
+                break;
+            }
+            if (!absorbed) {
+                to_memory.push_back(victim);
+            }
+        }
+        if (r.hit) {
+            return to_memory;
+        }
+    }
+    return to_memory;
+}
+
+std::vector<uint64_t>
+CacheHierarchy::flush()
+{
+    std::vector<uint64_t> to_memory;
+    // Flush top-down so upper-level dirty lines merge into lower
+    // levels before those are drained.
+    for (unsigned i = 0; i + 1 < levels_.size(); ++i) {
+        for (uint64_t victim : levels_[i].flushDirty()) {
+            uint64_t moving = victim;
+            bool absorbed = false;
+            for (unsigned j = i + 1; j < levels_.size(); ++j) {
+                CacheAccessResult w = levels_[j].access(moving, true);
+                if (w.writeback) {
+                    moving = *w.writeback;
+                    continue;
+                }
+                absorbed = true;
+                break;
+            }
+            if (!absorbed) {
+                to_memory.push_back(moving);
+            }
+        }
+    }
+    for (uint64_t victim : levels_.back().flushDirty()) {
+        to_memory.push_back(victim);
+    }
+    return to_memory;
+}
+
+} // namespace deuce

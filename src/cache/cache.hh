@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Set-associative writeback cache model.
+ *
+ * The paper's write stream reaches PCM only through dirty evictions
+ * from a 64MB shared L4 (Table 1). This module provides the cache
+ * substrate: a single set-associative LRU writeback cache and a
+ * stackable hierarchy, used by the cache-filtered examples and to
+ * validate the synthetic generators' writeback rates.
+ *
+ * The model is functional (hit/miss/eviction and dirty state), not
+ * cycle-accurate; timing is the sim module's job.
+ */
+
+#ifndef DEUCE_CACHE_CACHE_HH
+#define DEUCE_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace deuce
+{
+
+/** Geometry and identity of one cache level. */
+struct CacheConfig
+{
+    std::string name = "L4";
+
+    /** Total capacity in bytes. */
+    uint64_t capacityBytes = 64ull << 20;
+
+    /** Associativity (ways per set). */
+    unsigned ways = 16;
+
+    /** Line size in bytes (fixed at 64 across the system). */
+    unsigned lineBytes = 64;
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    /** Did the access hit? */
+    bool hit = false;
+
+    /** Line address evicted dirty by this access (if any). */
+    std::optional<uint64_t> writeback;
+};
+
+/** One set-associative LRU writeback cache level. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &cfg);
+
+    /**
+     * Access a line.
+     * @param line_addr line address (byte address / lineBytes)
+     * @param is_write  true marks the line dirty
+     * @return hit flag plus any dirty line evicted to make room
+     */
+    CacheAccessResult access(uint64_t line_addr, bool is_write);
+
+    /** True iff the line is currently present. */
+    bool contains(uint64_t line_addr) const;
+
+    /** True iff the line is present and dirty. */
+    bool isDirty(uint64_t line_addr) const;
+
+    /**
+     * Evict every dirty line (e.g. simulation drain).
+     * @return the dirty line addresses, in set order
+     */
+    std::vector<uint64_t> flushDirty();
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+    uint64_t numSets() const { return sets_; }
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Miss ratio over all accesses so far. */
+    double missRatio() const;
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lruStamp = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Way *findWay(uint64_t set, uint64_t tag);
+    const Way *findWay(uint64_t set, uint64_t tag) const;
+
+    CacheConfig cfg_;
+    uint64_t sets_;
+    std::vector<Way> ways_; ///< sets_ x cfg_.ways, row-major
+    uint64_t stamp_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+};
+
+/**
+ * A stack of cache levels (L1 closest to the core). An access probes
+ * downward; on a miss the line is filled into every level it missed
+ * in. Dirty evictions from level i are written into level i+1; dirty
+ * evictions from the last level are returned to the caller as the
+ * memory writeback stream.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const std::vector<CacheConfig> &levels);
+
+    /**
+     * Access a line through the hierarchy.
+     * @return dirty line addresses evicted from the last level to
+     *         memory by this access (usually 0 or 1)
+     */
+    std::vector<uint64_t> access(uint64_t line_addr, bool is_write);
+
+    /** Drain all dirty lines from every level out to memory. */
+    std::vector<uint64_t> flush();
+
+    unsigned numLevels() const
+    {
+        return static_cast<unsigned>(levels_.size());
+    }
+
+    SetAssocCache &level(unsigned i) { return levels_[i]; }
+    const SetAssocCache &level(unsigned i) const { return levels_[i]; }
+
+  private:
+    std::vector<SetAssocCache> levels_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_CACHE_CACHE_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * CacheLine: a 64-byte (512-bit) memory line, the unit of all reads and
+ * writes between the last-level cache and PCM in this library.
+ *
+ * The line is stored as eight 64-bit little-endian limbs. Bit index 0 is
+ * the least-significant bit of limb 0; bit index 511 is the MSB of limb
+ * 7. All bit-flip accounting, Flip-N-Write regions, DEUCE words, and
+ * horizontal-wear-leveling rotations are defined over this index space.
+ */
+
+#ifndef DEUCE_COMMON_CACHE_LINE_HH
+#define DEUCE_COMMON_CACHE_LINE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace deuce
+{
+
+/** A 64-byte cache line represented as eight 64-bit limbs. */
+class CacheLine
+{
+  public:
+    /** Number of bytes in a line. */
+    static constexpr unsigned kBytes = 64;
+    /** Number of bits in a line. */
+    static constexpr unsigned kBits = kBytes * 8;
+    /** Number of 64-bit limbs backing the line. */
+    static constexpr unsigned kLimbs = kBytes / 8;
+
+    /** Construct an all-zero line. */
+    constexpr CacheLine() : limbs_{} {}
+
+    /** Construct from eight limbs (limb 0 holds bits 0..63). */
+    explicit constexpr CacheLine(const std::array<uint64_t, kLimbs> &limbs)
+        : limbs_(limbs)
+    {}
+
+    /** Read a single bit. @param bit index in [0, 512). */
+    bool
+    bit(unsigned bit_index) const
+    {
+        return (limbs_[bit_index >> 6] >> (bit_index & 63)) & 1u;
+    }
+
+    /** Set a single bit to the given value. */
+    void
+    setBit(unsigned bit_index, bool value)
+    {
+        uint64_t mask = uint64_t{1} << (bit_index & 63);
+        if (value) {
+            limbs_[bit_index >> 6] |= mask;
+        } else {
+            limbs_[bit_index >> 6] &= ~mask;
+        }
+    }
+
+    /** Access one of the eight backing limbs. */
+    uint64_t limb(unsigned i) const { return limbs_[i]; }
+
+    /** Mutable access to one of the eight backing limbs. */
+    uint64_t &limb(unsigned i) { return limbs_[i]; }
+
+    /**
+     * Read a byte of the line.
+     * @param i byte index in [0, 64); byte 0 holds bits 0..7.
+     */
+    uint8_t
+    byte(unsigned i) const
+    {
+        return static_cast<uint8_t>(limbs_[i >> 3] >> ((i & 7) * 8));
+    }
+
+    /** Write a byte of the line. */
+    void
+    setByte(unsigned i, uint8_t value)
+    {
+        unsigned shift = (i & 7) * 8;
+        uint64_t &l = limbs_[i >> 3];
+        l = (l & ~(uint64_t{0xff} << shift)) |
+            (static_cast<uint64_t>(value) << shift);
+    }
+
+    /**
+     * Extract a bit field of up to 64 bits.
+     * @param lsb  first bit of the field
+     * @param width field width in bits, 1..64; must not cross bit 512
+     */
+    uint64_t field(unsigned lsb, unsigned width) const;
+
+    /** Write a bit field of up to 64 bits (see field()). */
+    void setField(unsigned lsb, unsigned width, uint64_t value);
+
+    /** Number of set bits in the whole line. */
+    unsigned popcount() const;
+
+    /** XOR two lines (the counter-mode encrypt/decrypt primitive). */
+    CacheLine operator^(const CacheLine &other) const;
+
+    /** In-place XOR. */
+    CacheLine &operator^=(const CacheLine &other);
+
+    /** Bitwise complement of the line. */
+    CacheLine operator~() const;
+
+    bool operator==(const CacheLine &other) const = default;
+
+    /**
+     * Rotate the whole 512-bit line left by @p amount bit positions
+     * (bit i moves to bit (i + amount) % 512). Used by horizontal wear
+     * leveling.
+     */
+    CacheLine rotl(unsigned amount) const;
+
+    /** Inverse of rotl(). */
+    CacheLine rotr(unsigned amount) const;
+
+    /** Copy raw bytes in (little-endian byte order, 64 bytes). */
+    static CacheLine fromBytes(const uint8_t *src);
+
+    /** Copy raw bytes out (little-endian byte order, 64 bytes). */
+    void toBytes(uint8_t *dst) const;
+
+    /** Hex dump (128 hex digits, limb 7 first) for diagnostics. */
+    std::string toHex() const;
+
+  private:
+    std::array<uint64_t, kLimbs> limbs_;
+};
+
+/** Number of bit positions at which two lines differ. */
+unsigned hammingDistance(const CacheLine &a, const CacheLine &b);
+
+/**
+ * Number of differing bits within one aligned region of a line.
+ * @param lsb   first bit of the region
+ * @param width region width in bits (must not cross bit 512)
+ */
+unsigned hammingDistance(const CacheLine &a, const CacheLine &b,
+                         unsigned lsb, unsigned width);
+
+} // namespace deuce
+
+#endif // DEUCE_COMMON_CACHE_LINE_HH

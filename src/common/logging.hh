@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() signals an internal invariant violation (a bug in this
+ * library); fatal() signals a user error (bad configuration or
+ * arguments) on which the program cannot continue.
+ */
+
+#ifndef DEUCE_COMMON_LOGGING_HH
+#define DEUCE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace deuce
+{
+
+/** Exception thrown by fatal(): a user-correctable configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+[[noreturn]] inline void
+throwFatal(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg << " (" << file << ":" << line << ")";
+    throw FatalError(os.str());
+}
+
+[[noreturn]] inline void
+throwPanic(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "panic: " << msg << " (" << file << ":" << line << ")";
+    throw PanicError(os.str());
+}
+
+} // namespace detail
+
+} // namespace deuce
+
+/** Abort with a user-facing configuration error. */
+#define deuce_fatal(msg) \
+    ::deuce::detail::throwFatal(__FILE__, __LINE__, (msg))
+
+/** Abort on an internal invariant violation (library bug). */
+#define deuce_panic(msg) \
+    ::deuce::detail::throwPanic(__FILE__, __LINE__, (msg))
+
+/** Check an internal invariant; panics with the condition text on failure. */
+#define deuce_assert(cond)                                                  \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::deuce::detail::throwPanic(__FILE__, __LINE__,                 \
+                                        "assertion failed: " #cond);       \
+        }                                                                   \
+    } while (0)
+
+#endif // DEUCE_COMMON_LOGGING_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used throughout the simulator.
+ */
+
+#ifndef DEUCE_COMMON_STATS_HH
+#define DEUCE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace deuce
+{
+
+/** Streaming mean / variance / min / max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    RunningStat() = default;
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    uint64_t count() const { return count_; }
+
+    /** Arithmetic mean of the samples (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Unbiased sample variance (0 for fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Reset to the empty state. */
+    void clear() { *this = RunningStat(); }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width histogram over [lo, hi) with overflow/underflow bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo       lower edge of the first bin
+     * @param hi       upper edge of the last bin
+     * @param num_bins number of interior bins (>= 1)
+     */
+    Histogram(double lo, double hi, unsigned num_bins);
+
+    /** Add a sample (out-of-range samples land in edge bins). */
+    void add(double x);
+
+    /** Count in interior bin @p i. */
+    uint64_t binCount(unsigned i) const { return bins_[i]; }
+
+    /** Samples below lo. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Samples at or above hi. */
+    uint64_t overflow() const { return overflow_; }
+
+    uint64_t totalCount() const { return total_; }
+    unsigned numBins() const { return static_cast<unsigned>(bins_.size()); }
+
+    /** Lower edge of bin @p i. */
+    double binLo(unsigned i) const;
+
+    /** Value below which fraction @p q of samples fall (approximate). */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> bins_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_COMMON_STATS_HH

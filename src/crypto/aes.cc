@@ -1,0 +1,246 @@
+/**
+ * @file
+ * AES-128 implementation (FIPS-197).
+ */
+
+#include "crypto/aes.hh"
+
+namespace deuce
+{
+
+namespace
+{
+
+/** FIPS-197 S-box. */
+constexpr uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+    0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+    0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+    0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+    0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17,
+    0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88,
+    0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9,
+    0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6,
+    0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94,
+    0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68,
+    0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+};
+
+/** Inverse S-box, computed once from kSbox. */
+struct InvSbox
+{
+    uint8_t table[256];
+
+    InvSbox()
+    {
+        for (unsigned i = 0; i < 256; ++i) {
+            table[kSbox[i]] = static_cast<uint8_t>(i);
+        }
+    }
+};
+
+const InvSbox kInvSbox;
+
+/** Multiply by x in GF(2^8) with the AES reduction polynomial. */
+uint8_t
+xtime(uint8_t a)
+{
+    return static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+/** General GF(2^8) multiply (Russian-peasant). */
+uint8_t
+gmul(uint8_t a, uint8_t b)
+{
+    uint8_t result = 0;
+    while (b) {
+        if (b & 1) {
+            result ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    return result;
+}
+
+void
+subBytes(AesBlock &state)
+{
+    for (auto &b : state) {
+        b = kSbox[b];
+    }
+}
+
+void
+invSubBytes(AesBlock &state)
+{
+    for (auto &b : state) {
+        b = kInvSbox.table[b];
+    }
+}
+
+// State layout follows FIPS-197: byte index = row + 4 * column, i.e.
+// the block bytes fill the 4x4 state column by column.
+
+void
+shiftRows(AesBlock &s)
+{
+    uint8_t t;
+    // Row 1: rotate left by 1.
+    t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+    // Row 2: rotate left by 2.
+    t = s[2]; s[2] = s[10]; s[10] = t;
+    t = s[6]; s[6] = s[14]; s[14] = t;
+    // Row 3: rotate left by 3 (== right by 1).
+    t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+}
+
+void
+invShiftRows(AesBlock &s)
+{
+    uint8_t t;
+    // Row 1: rotate right by 1.
+    t = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = t;
+    // Row 2: rotate right by 2.
+    t = s[2]; s[2] = s[10]; s[10] = t;
+    t = s[6]; s[6] = s[14]; s[14] = t;
+    // Row 3: rotate right by 3 (== left by 1).
+    t = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = t;
+}
+
+void
+mixColumns(AesBlock &s)
+{
+    // {02}*a = xtime(a), {03}*a = xtime(a) ^ a; avoids the generic
+    // GF multiply on the hot encryption path.
+    for (unsigned c = 0; c < 4; ++c) {
+        uint8_t a0 = s[4 * c], a1 = s[4 * c + 1];
+        uint8_t a2 = s[4 * c + 2], a3 = s[4 * c + 3];
+        uint8_t x0 = xtime(a0), x1 = xtime(a1);
+        uint8_t x2 = xtime(a2), x3 = xtime(a3);
+        s[4 * c]     = static_cast<uint8_t>(x0 ^ (x1 ^ a1) ^ a2 ^ a3);
+        s[4 * c + 1] = static_cast<uint8_t>(a0 ^ x1 ^ (x2 ^ a2) ^ a3);
+        s[4 * c + 2] = static_cast<uint8_t>(a0 ^ a1 ^ x2 ^ (x3 ^ a3));
+        s[4 * c + 3] = static_cast<uint8_t>((x0 ^ a0) ^ a1 ^ a2 ^ x3);
+    }
+}
+
+void
+invMixColumns(AesBlock &s)
+{
+    for (unsigned c = 0; c < 4; ++c) {
+        uint8_t a0 = s[4 * c], a1 = s[4 * c + 1];
+        uint8_t a2 = s[4 * c + 2], a3 = s[4 * c + 3];
+        s[4 * c]     = static_cast<uint8_t>(
+            gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9));
+        s[4 * c + 1] = static_cast<uint8_t>(
+            gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13));
+        s[4 * c + 2] = static_cast<uint8_t>(
+            gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11));
+        s[4 * c + 3] = static_cast<uint8_t>(
+            gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14));
+    }
+}
+
+void
+addRoundKey(AesBlock &s, const std::array<uint8_t, 16> &rk)
+{
+    for (unsigned i = 0; i < 16; ++i) {
+        s[i] ^= rk[i];
+    }
+}
+
+} // namespace
+
+Aes128::Aes128(const AesKey &key)
+{
+    // Key expansion (FIPS-197 section 5.2) for Nk = 4, Nr = 10.
+    uint8_t w[4 * (kRounds + 1)][4];
+    for (unsigned i = 0; i < 4; ++i) {
+        for (unsigned j = 0; j < 4; ++j) {
+            w[i][j] = key[4 * i + j];
+        }
+    }
+    uint8_t rcon = 0x01;
+    for (unsigned i = 4; i < 4 * (kRounds + 1); ++i) {
+        uint8_t temp[4] = {
+            w[i - 1][0], w[i - 1][1], w[i - 1][2], w[i - 1][3]
+        };
+        if (i % 4 == 0) {
+            // RotWord then SubWord then Rcon.
+            uint8_t first = temp[0];
+            temp[0] = static_cast<uint8_t>(kSbox[temp[1]] ^ rcon);
+            temp[1] = kSbox[temp[2]];
+            temp[2] = kSbox[temp[3]];
+            temp[3] = kSbox[first];
+            rcon = xtime(rcon);
+        }
+        for (unsigned j = 0; j < 4; ++j) {
+            w[i][j] = static_cast<uint8_t>(w[i - 4][j] ^ temp[j]);
+        }
+    }
+    for (unsigned r = 0; r <= kRounds; ++r) {
+        for (unsigned i = 0; i < 4; ++i) {
+            for (unsigned j = 0; j < 4; ++j) {
+                roundKeys_[r][4 * i + j] = w[4 * r + i][j];
+            }
+        }
+    }
+}
+
+AesBlock
+Aes128::encrypt(const AesBlock &plaintext) const
+{
+    AesBlock state = plaintext;
+    addRoundKey(state, roundKeys_[0]);
+    for (unsigned round = 1; round < kRounds; ++round) {
+        subBytes(state);
+        shiftRows(state);
+        mixColumns(state);
+        addRoundKey(state, roundKeys_[round]);
+    }
+    subBytes(state);
+    shiftRows(state);
+    addRoundKey(state, roundKeys_[kRounds]);
+    return state;
+}
+
+AesBlock
+Aes128::decrypt(const AesBlock &ciphertext) const
+{
+    AesBlock state = ciphertext;
+    addRoundKey(state, roundKeys_[kRounds]);
+    invShiftRows(state);
+    invSubBytes(state);
+    for (unsigned round = kRounds - 1; round >= 1; --round) {
+        addRoundKey(state, roundKeys_[round]);
+        invMixColumns(state);
+        invShiftRows(state);
+        invSubBytes(state);
+    }
+    addRoundKey(state, roundKeys_[0]);
+    return state;
+}
+
+} // namespace deuce

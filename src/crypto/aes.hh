@@ -1,0 +1,54 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), implemented from scratch.
+ *
+ * The cipher is used exclusively as the pad generator for counter-mode
+ * memory encryption (see OtpEngine). Only encryption of 16-byte blocks
+ * is needed for counter mode, but decryption is provided as well so the
+ * implementation can be validated against the full FIPS-197 vectors.
+ *
+ * This is a straightforward byte-oriented implementation (S-box table,
+ * explicit ShiftRows/MixColumns). It is not hardened against timing
+ * side channels; the library models an on-chip AES engine, it does not
+ * aim to be a production crypto library.
+ */
+
+#ifndef DEUCE_CRYPTO_AES_HH
+#define DEUCE_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+
+namespace deuce
+{
+
+/** A 16-byte AES block. */
+using AesBlock = std::array<uint8_t, 16>;
+
+/** A 16-byte AES-128 key. */
+using AesKey = std::array<uint8_t, 16>;
+
+/** AES-128 with a fixed key (key schedule precomputed at construction). */
+class Aes128
+{
+  public:
+    /** Number of rounds for AES-128. */
+    static constexpr unsigned kRounds = 10;
+
+    /** Expand the key schedule for @p key. */
+    explicit Aes128(const AesKey &key);
+
+    /** Encrypt one 16-byte block. */
+    AesBlock encrypt(const AesBlock &plaintext) const;
+
+    /** Decrypt one 16-byte block (inverse cipher). */
+    AesBlock decrypt(const AesBlock &ciphertext) const;
+
+  private:
+    /** Round keys: (kRounds + 1) x 16 bytes. */
+    std::array<std::array<uint8_t, 16>, kRounds + 1> roundKeys_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_CRYPTO_AES_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * OtpEngine implementations.
+ */
+
+#include "crypto/otp_engine.hh"
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+namespace
+{
+
+/** Pack (line address, counter, block index) into a 16-byte nonce. */
+AesBlock
+makeNonce(uint64_t line_addr, uint64_t counter, unsigned block)
+{
+    AesBlock nonce;
+    // Bytes 0..7: line address; bytes 8..13: counter (48 bits is far
+    // beyond the 28-bit architectural counter); bytes 14..15: block.
+    for (unsigned i = 0; i < 8; ++i) {
+        nonce[i] = static_cast<uint8_t>(line_addr >> (8 * i));
+    }
+    for (unsigned i = 0; i < 6; ++i) {
+        nonce[8 + i] = static_cast<uint8_t>(counter >> (8 * i));
+    }
+    nonce[14] = static_cast<uint8_t>(block);
+    nonce[15] = static_cast<uint8_t>(block >> 8);
+    return nonce;
+}
+
+uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+CacheLine
+OtpEngine::padForLine(uint64_t line_addr, uint64_t counter) const
+{
+    CacheLine pad;
+    for (unsigned block = 0; block < 4; ++block) {
+        AesBlock b = padForBlock(line_addr, counter, block);
+        for (unsigned i = 0; i < 16; ++i) {
+            pad.setByte(block * 16 + i, b[i]);
+        }
+    }
+    return pad;
+}
+
+AesOtpEngine::AesOtpEngine(const AesKey &key) : cipher_(key) {}
+
+AesBlock
+AesOtpEngine::padForBlock(uint64_t line_addr, uint64_t counter,
+                          unsigned block) const
+{
+    deuce_assert(block < 4);
+    return cipher_.encrypt(makeNonce(line_addr, counter, block));
+}
+
+FastOtpEngine::FastOtpEngine(uint64_t seed) : seed_(seed) {}
+
+AesBlock
+FastOtpEngine::padForBlock(uint64_t line_addr, uint64_t counter,
+                           unsigned block) const
+{
+    deuce_assert(block < 4);
+    // Two independent 64-bit lanes per block, each a strong mix of the
+    // full (key, address, counter, block) tuple.
+    uint64_t base = mix64(seed_ ^ mix64(line_addr) ^
+                          mix64(counter * 0x9e3779b97f4a7c15ull) ^
+                          (static_cast<uint64_t>(block) << 56));
+    uint64_t lo = mix64(base ^ 0xa5a5a5a5a5a5a5a5ull);
+    uint64_t hi = mix64(base + 0x165667b19e3779f9ull);
+
+    AesBlock out;
+    for (unsigned i = 0; i < 8; ++i) {
+        out[i] = static_cast<uint8_t>(lo >> (8 * i));
+        out[8 + i] = static_cast<uint8_t>(hi >> (8 * i));
+    }
+    return out;
+}
+
+std::unique_ptr<OtpEngine>
+makeAesOtpEngine(uint64_t key_seed)
+{
+    AesKey key;
+    uint64_t a = mix64(key_seed);
+    uint64_t b = mix64(key_seed + 0x9e3779b97f4a7c15ull);
+    for (unsigned i = 0; i < 8; ++i) {
+        key[i] = static_cast<uint8_t>(a >> (8 * i));
+        key[8 + i] = static_cast<uint8_t>(b >> (8 * i));
+    }
+    return std::make_unique<AesOtpEngine>(key);
+}
+
+} // namespace deuce

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * BlockLevelEncryption implementation.
+ */
+
+#include "enc/ble.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+BlockLevelEncryption::BlockLevelEncryption(const OtpEngine &otp,
+                                           bool with_deuce,
+                                           unsigned word_bytes,
+                                           unsigned epoch)
+    : otp_(otp), withDeuce_(with_deuce), wordBytes_(word_bytes),
+      epoch_(epoch)
+{
+    if (wordBytes_ != 1 && wordBytes_ != 2 && wordBytes_ != 4 &&
+        wordBytes_ != 8) {
+        deuce_fatal("BLE+DEUCE word size must be 1, 2, 4 or 8 bytes");
+    }
+    if (epoch_ < 2 || !std::has_single_bit(epoch_)) {
+        deuce_fatal("BLE+DEUCE epoch must be a power of two >= 2");
+    }
+    wordBits_ = wordBytes_ * 8;
+    wordsPerBlock_ = kBlockBits / wordBits_;
+}
+
+std::string
+BlockLevelEncryption::name() const
+{
+    if (!withDeuce_) {
+        return "BLE";
+    }
+    std::ostringstream os;
+    os << "BLE+DEUCE-" << wordBytes_ << "B-e" << epoch_;
+    return os.str();
+}
+
+unsigned
+BlockLevelEncryption::trackingBitsPerLine() const
+{
+    return withDeuce_ ? kBlocks * wordsPerBlock_ : 0;
+}
+
+AesBlock
+BlockLevelEncryption::pad(uint64_t line_addr, unsigned block,
+                          uint64_t counter) const
+{
+    return otp_.padForBlock(line_addr, counter, block);
+}
+
+void
+BlockLevelEncryption::xorBlock(CacheLine &line, unsigned block,
+                               const AesBlock &pad)
+{
+    for (unsigned i = 0; i < 16; ++i) {
+        unsigned byte = block * 16 + i;
+        line.setByte(byte, line.byte(byte) ^ pad[i]);
+    }
+}
+
+void
+BlockLevelEncryption::install(uint64_t line_addr,
+                              const CacheLine &plaintext,
+                              StoredLineState &state) const
+{
+    state = StoredLineState{};
+    state.data = plaintext;
+    for (unsigned b = 0; b < kBlocks; ++b) {
+        xorBlock(state.data, b, pad(line_addr, b, 0));
+    }
+}
+
+WriteResult
+BlockLevelEncryption::write(uint64_t line_addr, const CacheLine &plaintext,
+                            StoredLineState &state) const
+{
+    StoredLineState before = state;
+    CacheLine cur_plain = read(line_addr, state);
+
+    for (unsigned b = 0; b < kBlocks; ++b) {
+        unsigned block_lsb = b * kBlockBits;
+        bool block_dirty =
+            hammingDistance(plaintext, cur_plain, block_lsb,
+                            kBlockBits) != 0;
+        if (!block_dirty) {
+            continue; // counter and ciphertext untouched
+        }
+
+        uint64_t new_ctr = before.blockCounters[b] + 1;
+        state.blockCounters[b] = new_ctr;
+
+        AesBlock pad_lctr = pad(line_addr, b, new_ctr);
+
+        if (!withDeuce_ || isEpochStart(new_ctr)) {
+            // Re-encrypt the whole block with the fresh counter; in
+            // DEUCE composition this is the per-block epoch start.
+            for (unsigned i = 0; i < 16; ++i) {
+                unsigned byte = b * 16 + i;
+                state.data.setByte(byte,
+                                   plaintext.byte(byte) ^ pad_lctr[i]);
+            }
+            if (withDeuce_) {
+                uint64_t block_mask =
+                    ((wordsPerBlock_ == 64)
+                         ? ~uint64_t{0}
+                         : ((uint64_t{1} << wordsPerBlock_) - 1))
+                    << (b * wordsPerBlock_);
+                state.modifiedBits &= ~block_mask;
+            }
+            continue;
+        }
+
+        // DEUCE inside the block: accumulate modified words, encrypt
+        // them with the block LCTR, keep the rest at the block TCTR.
+        AesBlock pad_tctr = pad(line_addr, b, trailing(new_ctr));
+        for (unsigned w = 0; w < wordsPerBlock_; ++w) {
+            unsigned word_lsb = block_lsb + w * wordBits_;
+            unsigned tracking_bit = b * wordsPerBlock_ + w;
+            uint64_t mask = uint64_t{1} << tracking_bit;
+
+            if (!(state.modifiedBits & mask) &&
+                plaintext.field(word_lsb, wordBits_) !=
+                    cur_plain.field(word_lsb, wordBits_)) {
+                state.modifiedBits |= mask;
+            }
+
+            const AesBlock &p =
+                (state.modifiedBits & mask) ? pad_lctr : pad_tctr;
+            // Extract the matching pad bits: word w covers bytes
+            // [w * wordBytes_, (w + 1) * wordBytes_) of the block.
+            uint64_t pad_bits = 0;
+            for (unsigned byte = 0; byte < wordBytes_; ++byte) {
+                pad_bits |= static_cast<uint64_t>(
+                                p[w * wordBytes_ + byte])
+                            << (8 * byte);
+            }
+            state.data.setField(word_lsb, wordBits_,
+                                plaintext.field(word_lsb, wordBits_) ^
+                                pad_bits);
+        }
+    }
+    return makeWriteResult(before, state);
+}
+
+CacheLine
+BlockLevelEncryption::read(uint64_t line_addr,
+                           const StoredLineState &state) const
+{
+    CacheLine plain = state.data;
+    for (unsigned b = 0; b < kBlocks; ++b) {
+        uint64_t ctr = state.blockCounters[b];
+        if (!withDeuce_) {
+            xorBlock(plain, b, pad(line_addr, b, ctr));
+            continue;
+        }
+        AesBlock pad_lctr = pad(line_addr, b, ctr);
+        AesBlock pad_tctr = pad(line_addr, b, trailing(ctr));
+        for (unsigned w = 0; w < wordsPerBlock_; ++w) {
+            unsigned word_lsb = b * kBlockBits + w * wordBits_;
+            unsigned tracking_bit = b * wordsPerBlock_ + w;
+            const AesBlock &p =
+                (state.modifiedBits & (uint64_t{1} << tracking_bit))
+                    ? pad_lctr : pad_tctr;
+            uint64_t pad_bits = 0;
+            for (unsigned byte = 0; byte < wordBytes_; ++byte) {
+                pad_bits |= static_cast<uint64_t>(
+                                p[w * wordBytes_ + byte])
+                            << (8 * byte);
+            }
+            plain.setField(word_lsb, wordBits_,
+                           plain.field(word_lsb, wordBits_) ^ pad_bits);
+        }
+    }
+    return plain;
+}
+
+} // namespace deuce

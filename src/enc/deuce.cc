@@ -1,0 +1,180 @@
+/**
+ * @file
+ * DEUCE implementation.
+ */
+
+#include "enc/deuce.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "pcm/fnw.hh"
+
+namespace deuce
+{
+
+Deuce::Deuce(const OtpEngine &otp, const DeuceConfig &cfg)
+    : otp_(otp), cfg_(cfg)
+{
+    if (cfg_.wordBytes != 1 && cfg_.wordBytes != 2 &&
+        cfg_.wordBytes != 4 && cfg_.wordBytes != 8) {
+        deuce_fatal("DEUCE word size must be 1, 2, 4 or 8 bytes");
+    }
+    if (cfg_.epochInterval < 2 ||
+        !std::has_single_bit(cfg_.epochInterval)) {
+        deuce_fatal("DEUCE epoch interval must be a power of two >= 2");
+    }
+    wordBits_ = cfg_.wordBytes * 8;
+    numWords_ = CacheLine::kBits / wordBits_;
+    deuce_assert(numWords_ <= 64);
+}
+
+std::string
+Deuce::name() const
+{
+    std::ostringstream os;
+    os << "DEUCE-" << cfg_.wordBytes << "B-e" << cfg_.epochInterval;
+    if (cfg_.withFnw) {
+        os << "+FNW";
+    }
+    return os.str();
+}
+
+unsigned
+Deuce::trackingBitsPerLine() const
+{
+    unsigned bits = numWords_;
+    if (cfg_.withFnw) {
+        bits += fnwRegions(cfg_.fnwRegionBits);
+    }
+    return bits;
+}
+
+void
+Deuce::install(uint64_t line_addr, const CacheLine &plaintext,
+               StoredLineState &state) const
+{
+    state = StoredLineState{};
+    // Counter 0 is an epoch boundary: the whole line carries the pad
+    // of LCTR = TCTR = 0 and all modified bits are clear.
+    CacheLine cipher = plaintext ^ otp_.padForLine(line_addr, 0);
+    if (cfg_.withFnw) {
+        FnwResult fnw = applyFnw(CacheLine{}, 0, cipher,
+                                 cfg_.fnwRegionBits);
+        state.data = fnw.stored;
+        state.flipBits = fnw.flipBits;
+    } else {
+        state.data = cipher;
+    }
+}
+
+void
+Deuce::encryptStep(uint64_t line_addr, const CacheLine &plaintext,
+                   const CacheLine &cur_plain, uint64_t new_counter,
+                   uint64_t old_modified, CacheLine &cipher_out,
+                   uint64_t &modified_out) const
+{
+    CacheLine pad_lctr = otp_.padForLine(line_addr, new_counter);
+
+    if (isEpochStart(new_counter)) {
+        // Epoch start: full re-encryption, tracking bits reset.
+        cipher_out = plaintext ^ pad_lctr;
+        modified_out = 0;
+        return;
+    }
+
+    // Mark words that this write changes relative to current contents.
+    uint64_t modified = old_modified;
+    for (unsigned w = 0; w < numWords_; ++w) {
+        if (modified & (uint64_t{1} << w)) {
+            continue; // already tracked since the epoch start
+        }
+        unsigned lsb = w * wordBits_;
+        if (plaintext.field(lsb, wordBits_) !=
+            cur_plain.field(lsb, wordBits_)) {
+            modified |= uint64_t{1} << w;
+        }
+    }
+
+    // Modified words take the fresh LCTR pad; unmodified words keep
+    // their epoch-start (TCTR) ciphertext. Since an unmodified word's
+    // plaintext equals the current plaintext, XORing it with the TCTR
+    // pad reproduces the stored ciphertext bit-for-bit.
+    CacheLine pad_tctr =
+        otp_.padForLine(line_addr, trailingCounter(new_counter));
+    CacheLine cipher;
+    for (unsigned w = 0; w < numWords_; ++w) {
+        unsigned lsb = w * wordBits_;
+        const CacheLine &pad =
+            (modified & (uint64_t{1} << w)) ? pad_lctr : pad_tctr;
+        cipher.setField(lsb, wordBits_,
+                        plaintext.field(lsb, wordBits_) ^
+                        pad.field(lsb, wordBits_));
+    }
+    cipher_out = cipher;
+    modified_out = modified;
+}
+
+WriteResult
+Deuce::write(uint64_t line_addr, const CacheLine &plaintext,
+             StoredLineState &state) const
+{
+    StoredLineState before = state;
+
+    // "On subsequent writes, a read is performed to identify the words
+    // that are modified by the given write" (Section 4.3.2).
+    CacheLine cur_plain = read(line_addr, state);
+
+    uint64_t new_counter = state.counter + 1;
+    CacheLine cipher;
+    uint64_t modified = 0;
+    encryptStep(line_addr, plaintext, cur_plain, new_counter,
+                state.modifiedBits, cipher, modified);
+
+    state.counter = new_counter;
+    state.modifiedBits = modified;
+    if (cfg_.withFnw) {
+        FnwResult fnw = applyFnw(before.data, before.flipBits, cipher,
+                                 cfg_.fnwRegionBits);
+        state.data = fnw.stored;
+        state.flipBits = fnw.flipBits;
+    } else {
+        state.data = cipher;
+    }
+    return makeWriteResult(before, state);
+}
+
+CacheLine
+Deuce::decryptWith(uint64_t line_addr, const CacheLine &cipher,
+                   uint64_t counter, uint64_t modified) const
+{
+    // Both pads are generated (in hardware: in parallel); the modified
+    // bit selects per word which decryption to keep (Figure 7).
+    CacheLine pad_lctr = otp_.padForLine(line_addr, counter);
+    CacheLine pad_tctr =
+        otp_.padForLine(line_addr, trailingCounter(counter));
+
+    CacheLine plain;
+    for (unsigned w = 0; w < numWords_; ++w) {
+        unsigned lsb = w * wordBits_;
+        const CacheLine &pad =
+            (modified & (uint64_t{1} << w)) ? pad_lctr : pad_tctr;
+        plain.setField(lsb, wordBits_,
+                       cipher.field(lsb, wordBits_) ^
+                       pad.field(lsb, wordBits_));
+    }
+    return plain;
+}
+
+CacheLine
+Deuce::read(uint64_t line_addr, const StoredLineState &state) const
+{
+    CacheLine cipher = cfg_.withFnw
+        ? fnwDecode(state.data, state.flipBits, cfg_.fnwRegionBits)
+        : state.data;
+    return decryptWith(line_addr, cipher, state.counter,
+                       state.modifiedBits);
+}
+
+} // namespace deuce

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * DEUCE: Dual Counter Encryption (Section 4 of the paper).
+ *
+ * DEUCE keeps the single per-line write counter of counter-mode
+ * encryption but derives two *virtual* counters from it:
+ *
+ *  - LCTR (leading counter)  = the line counter itself
+ *  - TCTR (trailing counter) = LCTR with log2(epoch) LSBs masked off
+ *
+ * One tracking bit per word records whether the word has been modified
+ * since the start of the current epoch. Modified words are encrypted
+ * with the pad of LCTR (which is fresh on every write); unmodified
+ * words keep the ciphertext they were given at the epoch start (pad of
+ * TCTR) and therefore cost zero cell flips. Whenever the counter
+ * reaches a multiple of the epoch interval, the full line is
+ * re-encrypted and the tracking bits reset.
+ *
+ * Pad uniqueness (and hence OTP security) is preserved: a word's
+ * ciphertext under a given (address, counter) pad is written at most
+ * once, because LCTR is fresh per write and a TCTR-encrypted word is
+ * never re-written while it stays unmodified.
+ *
+ * The optional FNW composition ("DEUCE+FNW", Figure 10) passes the
+ * DEUCE ciphertext image through Flip-N-Write with its own dedicated
+ * flip bits, doubling the tracking storage to 64 bits per line.
+ */
+
+#ifndef DEUCE_ENC_DEUCE_HH
+#define DEUCE_ENC_DEUCE_HH
+
+#include "crypto/otp_engine.hh"
+#include "enc/scheme.hh"
+
+namespace deuce
+{
+
+/** Configuration parameters of a DEUCE instance. */
+struct DeuceConfig
+{
+    /** Tracking granularity in bytes (1, 2, 4 or 8). Paper default 2. */
+    unsigned wordBytes = 2;
+
+    /**
+     * Epoch interval in writes; must be a power of two (the TCTR is
+     * formed by masking LSBs). Paper default 32.
+     */
+    unsigned epochInterval = 32;
+
+    /** Compose with Flip-N-Write on the ciphertext (DEUCE+FNW). */
+    bool withFnw = false;
+
+    /** FNW granularity in bits, when withFnw is set. */
+    unsigned fnwRegionBits = 16;
+};
+
+/** Dual Counter Encryption. */
+class Deuce : public EncryptionScheme
+{
+  public:
+    /**
+     * @param otp pad generator (not owned; must outlive this object)
+     * @param cfg DEUCE parameters; validated here (fatal on bad config)
+     */
+    Deuce(const OtpEngine &otp, const DeuceConfig &cfg = DeuceConfig{});
+
+    std::string name() const override;
+    unsigned trackingBitsPerLine() const override;
+
+    void install(uint64_t line_addr, const CacheLine &plaintext,
+                 StoredLineState &state) const override;
+    WriteResult write(uint64_t line_addr, const CacheLine &plaintext,
+                      StoredLineState &state) const override;
+    CacheLine read(uint64_t line_addr,
+                   const StoredLineState &state) const override;
+
+    /** Number of tracked words per line. */
+    unsigned numWords() const { return numWords_; }
+
+    /** Width of one tracked word in bits. */
+    unsigned wordBits() const { return wordBits_; }
+
+    /** The trailing counter for a given leading counter value. */
+    uint64_t
+    trailingCounter(uint64_t leading) const
+    {
+        return leading & ~static_cast<uint64_t>(cfg_.epochInterval - 1);
+    }
+
+    /** True iff a write advancing the counter to @p c starts an epoch. */
+    bool
+    isEpochStart(uint64_t counter) const
+    {
+        return (counter & (cfg_.epochInterval - 1)) == 0;
+    }
+
+    const DeuceConfig &config() const { return cfg_; }
+
+  private:
+    /**
+     * Build the new logical ciphertext image and updated modified bits
+     * for one write; shared by Deuce and DynDeuce.
+     */
+    friend class DynDeuce;
+    void encryptStep(uint64_t line_addr, const CacheLine &plaintext,
+                     const CacheLine &cur_plain, uint64_t new_counter,
+                     uint64_t old_modified, CacheLine &cipher_out,
+                     uint64_t &modified_out) const;
+
+    /** Decrypt given explicit counter/modified-bit values. */
+    CacheLine decryptWith(uint64_t line_addr, const CacheLine &cipher,
+                          uint64_t counter, uint64_t modified) const;
+
+    const OtpEngine &otp_;
+    DeuceConfig cfg_;
+    unsigned wordBits_;
+    unsigned numWords_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_ENC_DEUCE_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * DynDEUCE implementation.
+ */
+
+#include "enc/dyn_deuce.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "pcm/fnw.hh"
+
+namespace deuce
+{
+
+DynDeuce::DynDeuce(const OtpEngine &otp, unsigned word_bytes,
+                   unsigned epoch)
+    : otp_(otp),
+      deuce_(otp, DeuceConfig{word_bytes, epoch, false, word_bytes * 8})
+{}
+
+std::string
+DynDeuce::name() const
+{
+    std::ostringstream os;
+    os << "DynDEUCE-" << deuce_.config().wordBytes << "B-e"
+       << deuce_.config().epochInterval;
+    return os.str();
+}
+
+unsigned
+DynDeuce::trackingBitsPerLine() const
+{
+    // The shared modified/flip column plus the mode bit (Table 3:
+    // 33 bits per line for the default configuration).
+    return deuce_.numWords() + 1;
+}
+
+void
+DynDeuce::install(uint64_t line_addr, const CacheLine &plaintext,
+                  StoredLineState &state) const
+{
+    deuce_.install(line_addr, plaintext, state);
+    state.modeBit = false;
+}
+
+StoredLineState
+DynDeuce::fnwCandidate(uint64_t line_addr, const CacheLine &plaintext,
+                       const StoredLineState &before,
+                       uint64_t new_counter) const
+{
+    // FNW mode: the whole line is re-encrypted with the fresh counter
+    // and stored through FNW, with the tracking column as flip bits.
+    // The previous column value is passed as the "old flip bits" so
+    // the cost of rewriting the column is charged exactly; the stored
+    // cell image it compares against is `before.data` as-is (in DEUCE
+    // mode nothing was inverted, in FNW mode the comparison against
+    // the inverted image is precisely FNW's behaviour).
+    CacheLine cipher =
+        plaintext ^ otp_.padForLine(line_addr, new_counter);
+    FnwResult fnw = applyFnw(before.data, before.modifiedBits, cipher,
+                             deuce_.wordBits());
+
+    StoredLineState after = before;
+    after.data = fnw.stored;
+    after.modifiedBits = fnw.flipBits;
+    after.counter = new_counter;
+    after.modeBit = true;
+    return after;
+}
+
+WriteResult
+DynDeuce::write(uint64_t line_addr, const CacheLine &plaintext,
+                StoredLineState &state) const
+{
+    StoredLineState before = state;
+    uint64_t new_counter = state.counter + 1;
+
+    if (deuce_.isEpochStart(new_counter)) {
+        // Epoch boundary: return to DEUCE mode with a full
+        // re-encryption regardless of the previous mode.
+        state.data = plaintext ^ otp_.padForLine(line_addr, new_counter);
+        state.counter = new_counter;
+        state.modifiedBits = 0;
+        state.modeBit = false;
+        return makeWriteResult(before, state);
+    }
+
+    if (state.modeBit) {
+        // Already morphed: stay in FNW mode until the next epoch.
+        state = fnwCandidate(line_addr, plaintext, before, new_counter);
+        return makeWriteResult(before, state);
+    }
+
+    // DEUCE mode: evaluate both encodings and pick the cheaper one
+    // (Figure 11). The comparison uses the exact flip counts the
+    // write-circuitry would observe, including tracking-bit and mode-
+    // bit changes.
+    CacheLine cur_plain = read(line_addr, state);
+    StoredLineState deuce_after = before;
+    {
+        CacheLine cipher;
+        uint64_t modified = 0;
+        deuce_.encryptStep(line_addr, plaintext, cur_plain, new_counter,
+                           before.modifiedBits, cipher, modified);
+        deuce_after.data = cipher;
+        deuce_after.modifiedBits = modified;
+        deuce_after.counter = new_counter;
+        deuce_after.modeBit = false;
+    }
+    StoredLineState fnw_after =
+        fnwCandidate(line_addr, plaintext, before, new_counter);
+
+    unsigned deuce_cost =
+        makeWriteResult(before, deuce_after).totalFlips();
+    unsigned fnw_cost = makeWriteResult(before, fnw_after).totalFlips();
+
+    state = (fnw_cost < deuce_cost) ? fnw_after : deuce_after;
+    return makeWriteResult(before, state);
+}
+
+CacheLine
+DynDeuce::read(uint64_t line_addr, const StoredLineState &state) const
+{
+    if (state.modeBit) {
+        CacheLine cipher = fnwDecode(state.data, state.modifiedBits,
+                                     deuce_.wordBits());
+        return cipher ^ otp_.padForLine(line_addr, state.counter);
+    }
+    return deuce_.decryptWith(line_addr, state.data, state.counter,
+                              state.modifiedBits);
+}
+
+} // namespace deuce

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * i-NVMM implementation.
+ */
+
+#include "enc/invmm.hh"
+
+namespace deuce
+{
+
+INvmm::INvmm(const OtpEngine &otp, uint64_t cold_threshold)
+    : otp_(otp), coldThreshold_(cold_threshold)
+{}
+
+void
+INvmm::install(uint64_t line_addr, const CacheLine &plaintext,
+               StoredLineState &state) const
+{
+    // Pages arrive encrypted (cold) like every other scheme here.
+    state = StoredLineState{};
+    state.data = plaintext ^ otp_.padForLine(line_addr, 0);
+    state.modeBit = false; // encrypted
+}
+
+WriteResult
+INvmm::write(uint64_t line_addr, const CacheLine &plaintext,
+             StoredLineState &state) const
+{
+    StoredLineState before = state;
+
+    // A demand write makes (or keeps) the line hot: stored plaintext,
+    // written to the bus unencrypted -- the vulnerability the DEUCE
+    // paper calls out.
+    state.data = plaintext;
+    state.modeBit = true;
+    ++clock_;
+    lastWrite_[line_addr] = clock_;
+    ++plainWrites_;
+
+    return makeWriteResult(before, state);
+}
+
+CacheLine
+INvmm::read(uint64_t line_addr, const StoredLineState &state) const
+{
+    if (state.modeBit) {
+        return state.data;
+    }
+    return state.data ^ otp_.padForLine(line_addr, state.counter);
+}
+
+unsigned
+INvmm::encryptColdLines(
+    std::map<uint64_t, StoredLineState *> &lines) const
+{
+    unsigned flips = 0;
+    for (auto &[addr, state] : lines) {
+        if (!state->modeBit) {
+            continue; // already encrypted
+        }
+        auto it = lastWrite_.find(addr);
+        uint64_t last = (it != lastWrite_.end()) ? it->second : 0;
+        if (clock_ - last < coldThreshold_) {
+            continue; // still hot
+        }
+        // Background encryption: bump the counter so the pad is
+        // fresh, store ciphertext.
+        StoredLineState before = *state;
+        state->counter += 1;
+        state->data =
+            before.data ^ otp_.padForLine(addr, state->counter);
+        state->modeBit = false;
+        ++cipherWrites_;
+        flips += makeWriteResult(before, *state).totalFlips();
+    }
+    return flips;
+}
+
+} // namespace deuce

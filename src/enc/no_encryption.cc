@@ -1,0 +1,63 @@
+/**
+ * @file
+ * NoEncryption implementation.
+ */
+
+#include "enc/no_encryption.hh"
+
+#include "pcm/fnw.hh"
+
+namespace deuce
+{
+
+NoEncryption::NoEncryption(bool use_fnw, unsigned fnw_region_bits)
+    : useFnw_(use_fnw), fnwRegionBits_(fnw_region_bits)
+{}
+
+std::string
+NoEncryption::name() const
+{
+    return useFnw_ ? "NoEncr+FNW" : "NoEncr+DCW";
+}
+
+unsigned
+NoEncryption::trackingBitsPerLine() const
+{
+    return useFnw_ ? fnwRegions(fnwRegionBits_) : 0;
+}
+
+void
+NoEncryption::install(uint64_t /* line_addr */, const CacheLine &plaintext,
+                      StoredLineState &state) const
+{
+    state = StoredLineState{};
+    state.data = plaintext;
+}
+
+WriteResult
+NoEncryption::write(uint64_t /* line_addr */, const CacheLine &plaintext,
+                    StoredLineState &state) const
+{
+    StoredLineState before = state;
+    if (useFnw_) {
+        FnwResult fnw = applyFnw(state.data, state.flipBits, plaintext,
+                                 fnwRegionBits_);
+        state.data = fnw.stored;
+        state.flipBits = fnw.flipBits;
+    } else {
+        state.data = plaintext;
+    }
+    return makeWriteResult(before, state);
+}
+
+CacheLine
+NoEncryption::read(uint64_t /* line_addr */,
+                   const StoredLineState &state) const
+{
+    if (useFnw_) {
+        return fnwDecode(state.data, state.flipBits, fnwRegionBits_);
+    }
+    return state.data;
+}
+
+} // namespace deuce

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Central write accounting shared by all schemes.
+ */
+
+#include "enc/scheme.hh"
+
+#include <bit>
+
+namespace deuce
+{
+
+WriteResult
+makeWriteResult(const StoredLineState &before,
+                const StoredLineState &after)
+{
+    WriteResult r;
+    r.dataDiff = before.data ^ after.data;
+    r.dataFlips = r.dataDiff.popcount();
+
+    constexpr uint64_t ctr_mask = (uint64_t{1} << kLineCounterBits) - 1;
+
+    unsigned meta = 0;
+    meta += static_cast<unsigned>(
+        std::popcount((before.counter ^ after.counter) & ctr_mask));
+    for (unsigned b = 0; b < 4; ++b) {
+        meta += static_cast<unsigned>(std::popcount(
+            (before.blockCounters[b] ^ after.blockCounters[b]) &
+            ctr_mask));
+    }
+
+    r.modifiedDiff = before.modifiedBits ^ after.modifiedBits;
+    r.flipDiff = before.flipBits ^ after.flipBits;
+    meta += static_cast<unsigned>(std::popcount(r.modifiedDiff));
+    meta += static_cast<unsigned>(std::popcount(r.flipDiff));
+    if (before.modeBit != after.modeBit) {
+        // The mode bit's wear (<= 2 flips per epoch) is charged to the
+        // flip count only; it has no dedicated wear-tracker position.
+        ++meta;
+    }
+    r.metaFlips = meta;
+    return r;
+}
+
+} // namespace deuce

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * EncryptionScheme: the interface every memory-encryption design in
+ * this library implements, plus the per-line persistent state and the
+ * per-write accounting record.
+ *
+ * A scheme is a pure state transformer: given the line's current
+ * stored state (cell image + counters + tracking bits) and a new
+ * plaintext, write() produces the new stored state. All bit-flip
+ * accounting is derived centrally by diffing old and new state
+ * (makeWriteResult), so a scheme cannot misreport its own cost.
+ */
+
+#ifndef DEUCE_ENC_SCHEME_HH
+#define DEUCE_ENC_SCHEME_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/cache_line.hh"
+
+namespace deuce
+{
+
+/** Architectural width of the per-line write counter (Table 1). */
+constexpr unsigned kLineCounterBits = 28;
+
+/**
+ * Persistent per-line state as stored in the PCM array.
+ *
+ * Every scheme uses a subset of the fields: counter-mode uses
+ * counter; BLE uses blockCounters; DEUCE adds modifiedBits; FNW
+ * variants add flipBits; DynDEUCE adds modeBit. Unused fields stay at
+ * their defaults and never flip, so the central accounting charges
+ * each scheme exactly its own metadata.
+ */
+struct StoredLineState
+{
+    /** Stored cell image (ciphertext; FNW may store regions inverted). */
+    CacheLine data;
+
+    /** Per-line write counter (line-granularity schemes). */
+    uint64_t counter = 0;
+
+    /** Per-16-byte-block write counters (BLE). */
+    std::array<uint64_t, 4> blockCounters{};
+
+    /** DEUCE modified-word tracking bits (word w -> bit w). */
+    uint64_t modifiedBits = 0;
+
+    /** Flip-N-Write flip bits (region r -> bit r). */
+    uint64_t flipBits = 0;
+
+    /** DynDEUCE mode bit (false = DEUCE mode, true = FNW mode). */
+    bool modeBit = false;
+
+    bool operator==(const StoredLineState &other) const = default;
+};
+
+/** Accounting record for one line write. */
+struct WriteResult
+{
+    /** XOR of old and new stored data images (cell flip mask). */
+    CacheLine dataDiff;
+
+    /** Number of data cells flipped. */
+    unsigned dataFlips = 0;
+
+    /**
+     * Number of metadata cells flipped: write-counter bits plus
+     * tracking bits (modified / flip / mode bits).
+     */
+    unsigned metaFlips = 0;
+
+    /** Diff of the modified-bit tracking column (DEUCE). */
+    uint64_t modifiedDiff = 0;
+
+    /** Diff of the flip-bit tracking column (FNW). */
+    uint64_t flipDiff = 0;
+
+    /** dataFlips + metaFlips. */
+    unsigned totalFlips() const { return dataFlips + metaFlips; }
+};
+
+/**
+ * Derive the accounting record from the state transition. Used by all
+ * schemes; counters are charged at the architectural counter width.
+ */
+WriteResult makeWriteResult(const StoredLineState &before,
+                            const StoredLineState &after);
+
+/** Interface implemented by every memory-encryption design. */
+class EncryptionScheme
+{
+  public:
+    virtual ~EncryptionScheme() = default;
+
+    /** Human-readable scheme name ("DEUCE-2B-e32", "FNW+Encr", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Tracking-bit storage overhead per line (Table 3), excluding the
+     * write counter(s) that any encrypted design already carries.
+     */
+    virtual unsigned trackingBitsPerLine() const = 0;
+
+    /**
+     * First-time installation of a line (page-in through the memory
+     * controller). Sets up counters and the initial cell image; no
+     * flips are charged, matching the paper's assumption that pages
+     * are encrypted as they are placed into memory.
+     */
+    virtual void install(uint64_t line_addr, const CacheLine &plaintext,
+                         StoredLineState &state) const = 0;
+
+    /**
+     * Apply one writeback of @p plaintext to the line, updating
+     * @p state in place.
+     * @return the flip accounting for this write.
+     */
+    virtual WriteResult write(uint64_t line_addr,
+                              const CacheLine &plaintext,
+                              StoredLineState &state) const = 0;
+
+    /** Decrypt the line's current contents. */
+    virtual CacheLine read(uint64_t line_addr,
+                           const StoredLineState &state) const = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_ENC_SCHEME_HH

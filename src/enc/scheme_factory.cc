@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Scheme factory implementation.
+ */
+
+#include "enc/scheme_factory.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "enc/address_pad.hh"
+#include "enc/ble.hh"
+#include "enc/counter_mode.hh"
+#include "enc/deuce.hh"
+#include "enc/dyn_deuce.hh"
+#include "enc/invmm.hh"
+#include "enc/no_encryption.hh"
+#include "enc/per_word_counters.hh"
+
+namespace deuce
+{
+
+std::unique_ptr<EncryptionScheme>
+makeScheme(const std::string &id, const OtpEngine &otp)
+{
+    if (id == "nodcw") {
+        return std::make_unique<NoEncryption>(false);
+    }
+    if (id == "nofnw") {
+        return std::make_unique<NoEncryption>(true);
+    }
+    if (id == "encr") {
+        return std::make_unique<CounterModeEncryption>(otp, false);
+    }
+    if (id == "encr-fnw") {
+        return std::make_unique<CounterModeEncryption>(otp, true);
+    }
+    if (id == "ble") {
+        return std::make_unique<BlockLevelEncryption>(otp, false);
+    }
+    if (id == "ble-deuce") {
+        return std::make_unique<BlockLevelEncryption>(otp, true, 2, 32);
+    }
+    if (id == "deuce") {
+        return std::make_unique<Deuce>(otp);
+    }
+    if (id == "deuce-fnw") {
+        DeuceConfig cfg;
+        cfg.withFnw = true;
+        return std::make_unique<Deuce>(otp, cfg);
+    }
+    if (id == "dyndeuce") {
+        return std::make_unique<DynDeuce>(otp);
+    }
+    if (id == "addrpad") {
+        return std::make_unique<AddressPadEncryption>(otp);
+    }
+    if (id == "invmm") {
+        return std::make_unique<INvmm>(otp);
+    }
+    if (id == "perword") {
+        return std::make_unique<PerWordCounters>(otp);
+    }
+    if (id.rfind("deuce-", 0) == 0) {
+        std::string suffix = id.substr(6);
+        DeuceConfig cfg;
+        if (!suffix.empty() && suffix.back() == 'b') {
+            cfg.wordBytes = static_cast<unsigned>(
+                std::strtoul(suffix.c_str(), nullptr, 10));
+            return std::make_unique<Deuce>(otp, cfg);
+        }
+        if (!suffix.empty() && suffix.front() == 'e') {
+            cfg.epochInterval = static_cast<unsigned>(
+                std::strtoul(suffix.c_str() + 1, nullptr, 10));
+            return std::make_unique<Deuce>(otp, cfg);
+        }
+    }
+    deuce_fatal("unknown scheme id: " + id);
+}
+
+std::vector<std::string>
+allSchemeIds()
+{
+    return {"nodcw", "nofnw", "encr", "encr-fnw", "ble",
+            "deuce", "dyndeuce", "deuce-fnw", "ble-deuce"};
+}
+
+} // namespace deuce

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Construction of schemes by symbolic name, for benches, examples and
+ * the experiment runner.
+ */
+
+#ifndef DEUCE_ENC_SCHEME_FACTORY_HH
+#define DEUCE_ENC_SCHEME_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/otp_engine.hh"
+#include "enc/scheme.hh"
+
+namespace deuce
+{
+
+/**
+ * Symbolic scheme identifiers understood by makeScheme():
+ *
+ *  - "nodcw"        unencrypted, DCW only
+ *  - "nofnw"        unencrypted + FNW
+ *  - "encr"         counter-mode encryption, DCW
+ *  - "encr-fnw"     counter-mode encryption + FNW
+ *  - "ble"          block-level encryption
+ *  - "ble-deuce"    BLE fused with DEUCE (2B words, epoch 32)
+ *  - "deuce"        DEUCE, 2B words, epoch 32 (paper default)
+ *  - "deuce-<N>b"   DEUCE with N-byte words (N = 1,2,4,8), epoch 32
+ *  - "deuce-e<E>"   DEUCE 2B words, epoch E (power of two)
+ *  - "deuce-fnw"    DEUCE+FNW (dedicated flip bits)
+ *  - "dyndeuce"     DynDEUCE, 2B words, epoch 32
+ *  - "invmm"        i-NVMM-style incremental (hot-plaintext) encryption
+ *  - "addrpad"      counterless address-keyed pad (Section 7.2's
+ *                   stolen-DIMM-only design; zero write overhead)
+ *  - "perword"      per-word-counter strawman (Section 4's rejected
+ *                   design; 8-bit counter per 2-byte word)
+ */
+std::unique_ptr<EncryptionScheme> makeScheme(const std::string &id,
+                                             const OtpEngine &otp);
+
+/** All scheme identifiers, in the order Figure 10 presents them. */
+std::vector<std::string> allSchemeIds();
+
+} // namespace deuce
+
+#endif // DEUCE_ENC_SCHEME_FACTORY_HH

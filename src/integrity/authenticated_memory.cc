@@ -1,0 +1,112 @@
+/**
+ * @file
+ * AuthenticatedMemory implementation.
+ */
+
+#include "integrity/authenticated_memory.hh"
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+namespace
+{
+
+AesKey
+keyFromSeed(uint64_t seed)
+{
+    AesKey key{};
+    for (unsigned i = 0; i < 8; ++i) {
+        key[i] = static_cast<uint8_t>(seed >> (8 * i));
+        key[8 + i] = static_cast<uint8_t>((seed * 0x9e3779b97f4a7c15ull)
+                                          >> (8 * i));
+    }
+    return key;
+}
+
+} // namespace
+
+AuthenticatedMemory::AuthenticatedMemory(const EncryptionScheme &scheme,
+                                         uint64_t num_lines,
+                                         uint64_t key_seed)
+    : scheme_(scheme), macCipher_(keyFromSeed(key_seed)),
+      tree_(num_lines, keyFromSeed(key_seed ^ 0x7ee7))
+{}
+
+AuthenticatedMemory::Entry &
+AuthenticatedMemory::entry(uint64_t line_addr)
+{
+    Entry &e = lines_[line_addr];
+    if (!e.installed) {
+        scheme_.install(line_addr, CacheLine{}, e.state);
+        e.mac = macLine(macCipher_, line_addr, e.state.counter,
+                        e.state.data);
+        tree_.update(line_addr, e.state.counter);
+        e.installed = true;
+    }
+    return e;
+}
+
+WriteResult
+AuthenticatedMemory::write(uint64_t line_addr,
+                           const CacheLine &plaintext)
+{
+    Entry &e = entry(line_addr);
+    WriteResult r = scheme_.write(line_addr, plaintext, e.state);
+    e.mac = macLine(macCipher_, line_addr, e.state.counter,
+                    e.state.data);
+    tree_.update(line_addr, e.state.counter);
+    return r;
+}
+
+ReadStatus
+AuthenticatedMemory::read(uint64_t line_addr, CacheLine &out) const
+{
+    auto &self = const_cast<AuthenticatedMemory &>(*this);
+    Entry &e = self.entry(line_addr);
+
+    // 1. The stored counter must be authentic against the on-chip
+    //    root (defeats rollback/replay).
+    if (tree_.counter(line_addr) != e.state.counter ||
+        !tree_.verify(line_addr)) {
+        return ReadStatus::CounterTampered;
+    }
+    // 2. The ciphertext must match its MAC (defeats direct data
+    //    tampering).
+    if (macLine(macCipher_, line_addr, e.state.counter,
+                e.state.data) != e.mac) {
+        return ReadStatus::DataTampered;
+    }
+    out = scheme_.read(line_addr, e.state);
+    return ReadStatus::Ok;
+}
+
+void
+AuthenticatedMemory::tamperDataBit(uint64_t line_addr, unsigned bit)
+{
+    Entry &e = entry(line_addr);
+    e.state.data.setBit(bit, !e.state.data.bit(bit));
+}
+
+LineSnapshot
+AuthenticatedMemory::snapshot(uint64_t line_addr) const
+{
+    auto &self = const_cast<AuthenticatedMemory &>(*this);
+    Entry &e = self.entry(line_addr);
+    return {e.state, e.mac};
+}
+
+void
+AuthenticatedMemory::replaySnapshot(uint64_t line_addr,
+                                    const LineSnapshot &snap)
+{
+    Entry &e = entry(line_addr);
+    e.state = snap.state;
+    e.mac = snap.mac;
+    // The attacker can also rewrite the in-memory counter copy, but
+    // never the on-chip root.
+    tree_.tamperCounter(line_addr, snap.state.counter);
+}
+
+} // namespace deuce

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * AuthenticatedMemory: an encrypted memory with tamper detection
+ * (extension; see merkle.hh for the threat model).
+ *
+ * Layers a per-line MAC and the Merkle counter tree over any
+ * EncryptionScheme. Reads report whether the line is authentic:
+ *
+ *  - flipping stored ciphertext bits  -> DataTampered (MAC mismatch)
+ *  - rolling a line back to an older (ciphertext, counter, MAC)
+ *    snapshot -- internally consistent, so the MAC passes -- is
+ *    caught by the counter tree, whose root the attacker cannot
+ *    reach -> CounterTampered
+ */
+
+#ifndef DEUCE_INTEGRITY_AUTHENTICATED_MEMORY_HH
+#define DEUCE_INTEGRITY_AUTHENTICATED_MEMORY_HH
+
+#include <unordered_map>
+
+#include "enc/scheme.hh"
+#include "integrity/merkle.hh"
+
+namespace deuce
+{
+
+/** Verification outcome of an authenticated read. */
+enum class ReadStatus
+{
+    Ok,              ///< line authentic, plaintext returned
+    CounterTampered, ///< stored counter fails Merkle verification
+    DataTampered,    ///< ciphertext/MAC mismatch
+};
+
+/** A complete attackable snapshot of one line (for replay demos). */
+struct LineSnapshot
+{
+    StoredLineState state;
+    uint64_t mac = 0;
+};
+
+/** Encrypted + authenticated line memory. */
+class AuthenticatedMemory
+{
+  public:
+    /**
+     * @param scheme    encryption scheme (not owned)
+     * @param num_lines address space covered by the counter tree
+     * @param key_seed  seed for the MAC/tree hash key
+     */
+    AuthenticatedMemory(const EncryptionScheme &scheme,
+                        uint64_t num_lines, uint64_t key_seed = 0xac);
+
+    /** Encrypt + store + authenticate one line write. */
+    WriteResult write(uint64_t line_addr, const CacheLine &plaintext);
+
+    /**
+     * Verify and decrypt.
+     * @param out receives the plaintext when the status is Ok
+     */
+    ReadStatus read(uint64_t line_addr, CacheLine &out) const;
+
+    /** The counter tree (root inspection, tamper hooks). */
+    MerkleCounterTree &counterTree() { return tree_; }
+
+    // -- attack surface (what a bus/memory tamperer can reach) ------
+
+    /** Flip one stored ciphertext bit. */
+    void tamperDataBit(uint64_t line_addr, unsigned bit);
+
+    /** Capture the line's current attackable state. */
+    LineSnapshot snapshot(uint64_t line_addr) const;
+
+    /**
+     * Replay an old snapshot: restores stored state, MAC, and the
+     * stored counter (but cannot touch the on-chip root).
+     */
+    void replaySnapshot(uint64_t line_addr, const LineSnapshot &snap);
+
+  private:
+    struct Entry
+    {
+        StoredLineState state;
+        uint64_t mac = 0;
+        bool installed = false;
+    };
+
+    Entry &entry(uint64_t line_addr);
+
+    const EncryptionScheme &scheme_;
+    Aes128 macCipher_;
+    MerkleCounterTree tree_;
+    mutable std::unordered_map<uint64_t, Entry> lines_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_INTEGRITY_AUTHENTICATED_MEMORY_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * AddressMap implementation.
+ */
+
+#include "pcm/address_map.hh"
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+AddressMap::AddressMap(const PcmConfig &cfg)
+    : ranks_(cfg.ranks), banksPerRank_(cfg.banksPerRank)
+{
+    deuce_assert(ranks_ >= 1);
+    deuce_assert(banksPerRank_ >= 1);
+}
+
+PcmLocation
+AddressMap::decode(uint64_t line_addr) const
+{
+    PcmLocation loc;
+    loc.bank = static_cast<unsigned>(line_addr % banksPerRank_);
+    line_addr /= banksPerRank_;
+    loc.rank = static_cast<unsigned>(line_addr % ranks_);
+    loc.row = line_addr / ranks_;
+    return loc;
+}
+
+uint64_t
+AddressMap::encode(const PcmLocation &loc) const
+{
+    deuce_assert(loc.bank < banksPerRank_);
+    deuce_assert(loc.rank < ranks_);
+    return (loc.row * ranks_ + loc.rank) * banksPerRank_ + loc.bank;
+}
+
+} // namespace deuce

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Physical address decomposition for the PCM channel.
+ *
+ * The paper's system (Table 1) exposes 32GB over 4 ranks of 8 banks.
+ * Requests are at 64-byte line granularity; consecutive lines
+ * interleave across banks first (maximising bank-level parallelism
+ * for streaming), then ranks, with the remaining bits selecting the
+ * row inside a bank. The decode is pure bit slicing, so it is exactly
+ * invertible — the remap tests rely on that.
+ */
+
+#ifndef DEUCE_PCM_ADDRESS_MAP_HH
+#define DEUCE_PCM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "pcm/config.hh"
+
+namespace deuce
+{
+
+/** Decoded location of one line on the PCM channel. */
+struct PcmLocation
+{
+    unsigned rank = 0;
+    unsigned bank = 0;
+    uint64_t row = 0;
+
+    bool operator==(const PcmLocation &other) const = default;
+};
+
+/** Line-address to (rank, bank, row) decode and encode. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const PcmConfig &cfg = PcmConfig{});
+
+    /** Decompose a line address. */
+    PcmLocation decode(uint64_t line_addr) const;
+
+    /** Recompose the line address from a location (inverse of decode). */
+    uint64_t encode(const PcmLocation &loc) const;
+
+    /** Flat bank index in [0, totalBanks), as the timing model uses. */
+    unsigned
+    flatBank(uint64_t line_addr) const
+    {
+        PcmLocation loc = decode(line_addr);
+        return loc.rank * banksPerRank_ + loc.bank;
+    }
+
+    unsigned ranks() const { return ranks_; }
+    unsigned banksPerRank() const { return banksPerRank_; }
+
+  private:
+    unsigned ranks_;
+    unsigned banksPerRank_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_PCM_ADDRESS_MAP_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * PCM device parameters (Table 1 of the paper + energy constants).
+ */
+
+#ifndef DEUCE_PCM_CONFIG_HH
+#define DEUCE_PCM_CONFIG_HH
+
+#include <cstdint>
+
+namespace deuce
+{
+
+/**
+ * Device-level PCM parameters.
+ *
+ * Timing and organisation follow the paper's baseline (Table 1 and
+ * Section 6.1, which models the 8Gb prototype of Choi et al.
+ * ISSCC-2012): 75ns array reads, and writes performed through 128-bit
+ * write slots of 150ns each, where the charge-pump current budget of a
+ * slot covers at most 64 bit flips (guaranteed by the device-internal
+ * Flip-N-Write of Hay et al. MICRO-2011).
+ */
+struct PcmConfig
+{
+    /** Array read latency in nanoseconds. */
+    double readLatencyNs = 75.0;
+
+    /** Latency of one write slot in nanoseconds. */
+    double writeSlotNs = 150.0;
+
+    /** Width of a write slot in bits. */
+    unsigned slotBits = 128;
+
+    /** Maximum bit flips one slot's current budget can drive. */
+    unsigned slotFlipBudget = 64;
+
+    /** Number of ranks on the channel. */
+    unsigned ranks = 4;
+
+    /** Banks per rank. */
+    unsigned banksPerRank = 8;
+
+    /** Per-cell write endurance (flips before wear-out). */
+    double cellEndurance = 1e8;
+
+    /**
+     * Energy to flip one PCM cell, in picojoules. SET/RESET average;
+     * the exact constant scales all schemes identically, so only
+     * ratios matter for the paper's normalised results.
+     */
+    double writeEnergyPerBitPj = 16.8;
+
+    /** Energy of an array read of a full line, in picojoules. */
+    double readEnergyPerLinePj = 140.0;
+
+    /** Static/background power of the PCM subsystem, in milliwatts. */
+    double backgroundPowerMw = 80.0;
+
+    /** Total banks across the channel. */
+    unsigned totalBanks() const { return ranks * banksPerRank; }
+};
+
+} // namespace deuce
+
+#endif // DEUCE_PCM_CONFIG_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * PCM energy accounting.
+ *
+ * Write energy in PCM is dominated by the programming current, which
+ * scales with the number of cells actually flipped (data comparison
+ * suppresses silent writes). Read energy is charged per line access.
+ * The accumulator turns flip counts and elapsed time into the energy /
+ * power / EDP numbers of Figure 17.
+ */
+
+#ifndef DEUCE_PCM_ENERGY_HH
+#define DEUCE_PCM_ENERGY_HH
+
+#include <cstdint>
+
+#include "pcm/config.hh"
+
+namespace deuce
+{
+
+/** Accumulates PCM memory energy over a simulation. */
+class EnergyAccumulator
+{
+  public:
+    explicit EnergyAccumulator(const PcmConfig &cfg = PcmConfig{})
+        : cfg_(cfg)
+    {}
+
+    /** Charge one line write that flipped @p bit_flips cells. */
+    void
+    addWrite(unsigned bit_flips)
+    {
+        ++writes_;
+        flips_ += bit_flips;
+    }
+
+    /** Charge one line read. */
+    void addRead() { ++reads_; }
+
+    uint64_t writes() const { return writes_; }
+    uint64_t reads() const { return reads_; }
+    uint64_t flips() const { return flips_; }
+
+    /** Dynamic energy in picojoules. */
+    double
+    dynamicEnergyPj() const
+    {
+        return static_cast<double>(flips_) * cfg_.writeEnergyPerBitPj +
+               static_cast<double>(reads_) * cfg_.readEnergyPerLinePj;
+    }
+
+    /** Total energy in picojoules over an execution of @p ns. */
+    double
+    totalEnergyPj(double execution_ns) const
+    {
+        // mW * ns = pJ.
+        return dynamicEnergyPj() + cfg_.backgroundPowerMw * execution_ns;
+    }
+
+    /** Average power in milliwatts over an execution of @p ns. */
+    double
+    averagePowerMw(double execution_ns) const
+    {
+        if (execution_ns <= 0.0) {
+            return 0.0;
+        }
+        return totalEnergyPj(execution_ns) / execution_ns;
+    }
+
+    /** Energy-delay product (pJ * ns) over an execution of @p ns. */
+    double
+    edp(double execution_ns) const
+    {
+        return totalEnergyPj(execution_ns) * execution_ns;
+    }
+
+  private:
+    PcmConfig cfg_;
+    uint64_t writes_ = 0;
+    uint64_t reads_ = 0;
+    uint64_t flips_ = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_PCM_ENERGY_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Flip-N-Write implementation.
+ */
+
+#include "pcm/fnw.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+FnwResult
+applyFnw(const CacheLine &old_stored, uint64_t old_flip_bits,
+         const CacheLine &logical, unsigned region_bits)
+{
+    deuce_assert(region_bits >= 2 && region_bits <= 64);
+    deuce_assert(CacheLine::kBits % region_bits == 0);
+    unsigned regions = fnwRegions(region_bits);
+    deuce_assert(regions <= 64);
+
+    FnwResult result;
+    result.stored = logical;
+
+    for (unsigned r = 0; r < regions; ++r) {
+        unsigned lsb = r * region_bits;
+        uint64_t old_bits = old_stored.field(lsb, region_bits);
+        uint64_t new_bits = logical.field(lsb, region_bits);
+        uint64_t mask = (region_bits == 64)
+            ? ~uint64_t{0} : ((uint64_t{1} << region_bits) - 1);
+
+        bool old_flip = (old_flip_bits >> r) & 1;
+
+        // Candidate 0: store as-is; candidate 1: store inverted.
+        auto plain_flips = static_cast<unsigned>(
+            std::popcount(old_bits ^ new_bits));
+        auto inverted_flips = static_cast<unsigned>(
+            std::popcount(old_bits ^ (new_bits ^ mask)));
+        unsigned cost0 = plain_flips + (old_flip ? 1u : 0u);
+        unsigned cost1 = inverted_flips + (old_flip ? 0u : 1u);
+
+        bool invert = cost1 < cost0;
+        if (invert) {
+            result.stored.setField(lsb, region_bits, new_bits ^ mask);
+            result.flipBits |= uint64_t{1} << r;
+            result.dataFlips += inverted_flips;
+        } else {
+            result.dataFlips += plain_flips;
+        }
+        if (invert != old_flip) {
+            ++result.flipBitFlips;
+        }
+    }
+    return result;
+}
+
+CacheLine
+fnwDecode(const CacheLine &stored, uint64_t flip_bits,
+          unsigned region_bits)
+{
+    deuce_assert(region_bits >= 2 && region_bits <= 64);
+    deuce_assert(CacheLine::kBits % region_bits == 0);
+    unsigned regions = fnwRegions(region_bits);
+
+    CacheLine logical = stored;
+    uint64_t mask = (region_bits == 64)
+        ? ~uint64_t{0} : ((uint64_t{1} << region_bits) - 1);
+    for (unsigned r = 0; r < regions; ++r) {
+        if ((flip_bits >> r) & 1) {
+            unsigned lsb = r * region_bits;
+            logical.setField(lsb, region_bits,
+                             stored.field(lsb, region_bits) ^ mask);
+        }
+    }
+    return logical;
+}
+
+unsigned
+dcwFlips(const CacheLine &old_stored, const CacheLine &logical)
+{
+    return hammingDistance(old_stored, logical);
+}
+
+} // namespace deuce

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * WearTracker implementation.
+ */
+
+#include "pcm/wear_tracker.hh"
+
+#include <algorithm>
+
+namespace deuce
+{
+
+WearTracker::WearTracker()
+{
+    clear();
+}
+
+void
+WearTracker::recordWrite(const CacheLine &diff, uint64_t meta_diff,
+                         unsigned rotation)
+{
+    ++writes_;
+
+    // Rotating the diff mask by the line's current rotation converts
+    // logical flip positions to physical cell positions.
+    const CacheLine physical =
+        rotation ? diff.rotl(rotation % CacheLine::kBits) : diff;
+
+    for (unsigned limb = 0; limb < CacheLine::kLimbs; ++limb) {
+        uint64_t bits = physical.limb(limb);
+        while (bits) {
+            unsigned bit = static_cast<unsigned>(__builtin_ctzll(bits));
+            ++dataFlips_[limb * 64 + bit];
+            ++totalDataFlips_;
+            bits &= bits - 1;
+        }
+    }
+
+    while (meta_diff) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(meta_diff));
+        ++metaFlips_[bit];
+        ++totalMetaFlips_;
+        meta_diff &= meta_diff - 1;
+    }
+}
+
+double
+WearTracker::meanPositionFlips() const
+{
+    return static_cast<double>(totalDataFlips_) / CacheLine::kBits;
+}
+
+uint64_t
+WearTracker::maxPositionFlips() const
+{
+    return *std::max_element(dataFlips_.begin(), dataFlips_.end());
+}
+
+double
+WearTracker::nonUniformity() const
+{
+    double mean = meanPositionFlips();
+    if (mean <= 0.0) {
+        return 1.0;
+    }
+    return static_cast<double>(maxPositionFlips()) / mean;
+}
+
+std::vector<double>
+WearTracker::normalizedProfile() const
+{
+    std::vector<double> profile(CacheLine::kBits, 0.0);
+    double mean = meanPositionFlips();
+    if (mean <= 0.0) {
+        return profile;
+    }
+    for (unsigned i = 0; i < CacheLine::kBits; ++i) {
+        profile[i] = static_cast<double>(dataFlips_[i]) / mean;
+    }
+    return profile;
+}
+
+void
+WearTracker::clear()
+{
+    dataFlips_.fill(0);
+    metaFlips_.fill(0);
+    writes_ = 0;
+    totalDataFlips_ = 0;
+    totalMetaFlips_ = 0;
+}
+
+} // namespace deuce

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-bit-position wear accounting.
+ *
+ * PCM cells wear out per flip. Vertical wear leveling (Start-Gap and
+ * friends) equalises wear *across* lines, so the residual lifetime
+ * limiter is the variation of flips across bit positions *within* a
+ * line (Figure 12 of the paper). The tracker accumulates flips per
+ * physical bit position, summed over all lines; horizontal wear
+ * leveling changes the logical-to-physical bit mapping via a per-line
+ * rotation that the caller supplies with each write.
+ */
+
+#ifndef DEUCE_PCM_WEAR_TRACKER_HH
+#define DEUCE_PCM_WEAR_TRACKER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/cache_line.hh"
+
+namespace deuce
+{
+
+/** Accumulates cell flips per physical bit position within the line. */
+class WearTracker
+{
+  public:
+    /** Number of tracked metadata positions (flip/modified bits). */
+    static constexpr unsigned kMetaBits = 64;
+
+    WearTracker();
+
+    /**
+     * Record the cell flips of one line write.
+     *
+     * @param diff      XOR of old and new stored data images, in
+     *                  logical bit positions
+     * @param meta_diff XOR of old and new per-line metadata bits
+     * @param rotation  horizontal-wear-leveling rotation currently
+     *                  applied to the line: logical bit b lives at
+     *                  physical position (b + rotation) % 512
+     */
+    void recordWrite(const CacheLine &diff, uint64_t meta_diff,
+                     unsigned rotation = 0);
+
+    /** Total line writes recorded. */
+    uint64_t writes() const { return writes_; }
+
+    /** Total data-cell flips recorded. */
+    uint64_t totalDataFlips() const { return totalDataFlips_; }
+
+    /** Total metadata-cell flips recorded. */
+    uint64_t totalMetaFlips() const { return totalMetaFlips_; }
+
+    /** Flips recorded at physical data bit position @p pos. */
+    uint64_t positionFlips(unsigned pos) const { return dataFlips_[pos]; }
+
+    /** Flips recorded for metadata bit @p pos. */
+    uint64_t metaPositionFlips(unsigned pos) const
+    {
+        return metaFlips_[pos];
+    }
+
+    /** Mean flips per data bit position. */
+    double meanPositionFlips() const;
+
+    /** Largest flips at any data bit position. */
+    uint64_t maxPositionFlips() const;
+
+    /**
+     * Ratio of the hottest data position to the mean — the
+     * non-uniformity factor of Figure 12 (1.0 = perfectly uniform).
+     */
+    double nonUniformity() const;
+
+    /**
+     * Per-position flip counts normalised to the mean, for plotting
+     * Figure 12 style curves.
+     */
+    std::vector<double> normalizedProfile() const;
+
+    /** Reset all counters. */
+    void clear();
+
+  private:
+    std::array<uint64_t, CacheLine::kBits> dataFlips_;
+    std::array<uint64_t, kMetaBits> metaFlips_;
+    uint64_t writes_ = 0;
+    uint64_t totalDataFlips_ = 0;
+    uint64_t totalMetaFlips_ = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_PCM_WEAR_TRACKER_HH

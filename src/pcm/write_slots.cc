@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Write-slot model implementation.
+ */
+
+#include "pcm/write_slots.hh"
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+unsigned
+slotsForWrite(const CacheLine &diff, unsigned meta_flips,
+              const PcmConfig &cfg)
+{
+    deuce_assert(cfg.slotBits > 0 &&
+                 CacheLine::kBits % cfg.slotBits == 0);
+    unsigned regions = CacheLine::kBits / cfg.slotBits;
+
+    unsigned slots = 0;
+    for (unsigned r = 0; r < regions; ++r) {
+        unsigned flips = hammingDistance(diff, CacheLine{},
+                                         r * cfg.slotBits, cfg.slotBits);
+        if (r == 0) {
+            flips += meta_flips;
+        }
+        if (flips == 0) {
+            continue;
+        }
+        // One slot per dirty region: the slot's current budget covers
+        // the worst case because the device applies internal FNW when
+        // more than half the region's cells would flip. Note the
+        // *reported* flip counts stay at the raw data-comparison
+        // values, matching the paper's accounting (encrypted memory
+        // shows 50% flips even though the device never drives more
+        // than slotFlipBudget cells per slot).
+        slots += 1;
+    }
+    return slots > 0 ? slots : 1;
+}
+
+double
+writeLatencyNs(const CacheLine &diff, unsigned meta_flips,
+               const PcmConfig &cfg)
+{
+    return slotsForWrite(diff, meta_flips, cfg) * cfg.writeSlotNs;
+}
+
+} // namespace deuce

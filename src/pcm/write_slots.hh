@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Write-slot model (Section 6.1 of the paper).
+ *
+ * The device writes through 128-bit slots with a per-slot current
+ * budget of 64 bit flips (enforced internally with device-level FNW, so
+ * a 128-bit region never needs more than ~half its bits driven). A
+ * 64-byte line spans four slot regions; a region whose cells all stay
+ * unchanged costs no slot, so reducing and clustering bit flips lets a
+ * line complete in fewer slots, raising effective write bandwidth.
+ */
+
+#ifndef DEUCE_PCM_WRITE_SLOTS_HH
+#define DEUCE_PCM_WRITE_SLOTS_HH
+
+#include <cstdint>
+
+#include "common/cache_line.hh"
+#include "pcm/config.hh"
+
+namespace deuce
+{
+
+/**
+ * Number of write slots a write consumes.
+ *
+ * @param diff        XOR of old and new stored images (1 = cell flips)
+ * @param meta_flips  metadata cell flips (counters, flip/modified
+ *                    bits); charged to the slot of slot-region 0,
+ *                    where the per-line metadata column resides
+ * @param cfg         device parameters (slot width and flip budget)
+ * @return slots used; at least 1 (a write request always occupies the
+ *         bank for one slot even if every cell is silent)
+ */
+unsigned slotsForWrite(const CacheLine &diff, unsigned meta_flips,
+                       const PcmConfig &cfg = PcmConfig{});
+
+/** Effective write service latency in nanoseconds for a write. */
+double writeLatencyNs(const CacheLine &diff, unsigned meta_flips,
+                      const PcmConfig &cfg = PcmConfig{});
+
+} // namespace deuce
+
+#endif // DEUCE_PCM_WRITE_SLOTS_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment runner: one (benchmark, scheme, wear-leveling) cell of
+ * any of the paper's tables or figures, plus sweep/report helpers.
+ */
+
+#ifndef DEUCE_SIM_EXPERIMENT_HH
+#define DEUCE_SIM_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/otp_engine.hh"
+#include "enc/scheme.hh"
+#include "sim/memory_system.hh"
+#include "sim/timing.hh"
+#include "trace/profile.hh"
+
+namespace deuce
+{
+
+/** Knobs of one experiment cell. */
+struct ExperimentOptions
+{
+    /** Writebacks to simulate (events scale with mpki/wbpki). */
+    uint64_t writebacks = 200000;
+
+    /** Also service read misses (needed for timing/energy runs). */
+    bool processReads = false;
+
+    /** Run the bank-contention timing model. */
+    bool timing = false;
+
+    /** Wear-leveling configuration. */
+    WearLevelingConfig wl;
+
+    /** Timing model parameters. */
+    TimingConfig timingCfg;
+
+    /** PCM device parameters. */
+    PcmConfig pcm;
+
+    /**
+     * Use the fast hash-based pad generator instead of real AES
+     * (identical flip statistics; ~20x faster for large sweeps).
+     */
+    bool fastOtp = false;
+
+    /** Key seed for the pad generator. */
+    uint64_t otpSeed = 0x5ec2e7;
+};
+
+/** One result row (a bar of a figure / a cell of a table). */
+struct ExperimentRow
+{
+    std::string bench;
+    std::string scheme;
+
+    /** Average bits modified per write, percent of the 512 line bits. */
+    double flipPct = 0.0;
+
+    /** Average write slots per write. */
+    double avgSlots = 0.0;
+
+    /** Execution time (timing runs only), ns. */
+    double executionNs = 0.0;
+
+    /** Memory energy, pJ (timing runs only). */
+    double energyPj = 0.0;
+
+    /** Memory power, mW (timing runs only). */
+    double powerMw = 0.0;
+
+    /** Energy-delay product, pJ*ns (timing runs only). */
+    double edp = 0.0;
+
+    /** Flips/write at the hottest bit position. */
+    double maxFlipRate = 0.0;
+
+    /** Hottest-position to mean-position wear ratio. */
+    double wearNonUniformity = 1.0;
+
+    /** Counter-cache miss ratio (timing runs with the model on). */
+    double counterCacheMissRate = 0.0;
+
+    /** Scheme tracking-bit overhead per line (Table 3 column). */
+    unsigned trackingBits = 0;
+
+    uint64_t writebacks = 0;
+    uint64_t reads = 0;
+};
+
+/** Run one (benchmark, scheme) cell. */
+ExperimentRow runExperiment(const BenchmarkProfile &profile,
+                            const std::string &scheme_id,
+                            const ExperimentOptions &options);
+
+/**
+ * Run one cell with an externally constructed scheme (for custom
+ * configurations not expressible as a factory id).
+ */
+ExperimentRow runExperiment(const BenchmarkProfile &profile,
+                            const EncryptionScheme &scheme,
+                            const ExperimentOptions &options);
+
+/** Arithmetic mean of a row field over benchmarks (paper's "Avg"). */
+double averageOf(const std::vector<ExperimentRow> &rows,
+                 double ExperimentRow::*field);
+
+/** Geometric mean of per-row ratios vs a baseline row set. */
+double geomeanSpeedup(const std::vector<ExperimentRow> &baseline,
+                      const std::vector<ExperimentRow> &scheme,
+                      double ExperimentRow::*field);
+
+} // namespace deuce
+
+#endif // DEUCE_SIM_EXPERIMENT_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * MemorySystem: composes an encryption scheme, wear-leveling policies,
+ * and the PCM device models into one secure PCM main memory.
+ *
+ * Responsibilities:
+ *  - per-line stored state (ciphertext image, counters, tracking bits)
+ *  - install-on-first-touch (pages arrive encrypted, no flips charged)
+ *  - per-write accounting: bit flips (data + metadata), write slots,
+ *    energy, and per-bit-position wear (with the current HWL rotation)
+ *  - vertical wear leveling bookkeeping (Start-Gap advance)
+ *
+ * The stored image kept here is the *logical* ciphertext; the HWL
+ * rotation only affects which physical cells the flips land on, which
+ * is exactly what WearTracker records.
+ */
+
+#ifndef DEUCE_SIM_MEMORY_SYSTEM_HH
+#define DEUCE_SIM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/cache_line.hh"
+#include "common/stats.hh"
+#include "enc/scheme.hh"
+#include "pcm/config.hh"
+#include "pcm/energy.hh"
+#include "pcm/wear_tracker.hh"
+#include "pcm/write_slots.hh"
+#include "wear/rotation.hh"
+#include "wear/security_refresh.hh"
+#include "wear/start_gap.hh"
+#include "wear/vwl.hh"
+
+namespace deuce
+{
+
+/** Wear-leveling configuration of a MemorySystem. */
+struct WearLevelingConfig
+{
+    /** Enable vertical wear leveling. */
+    bool verticalEnabled = true;
+
+    /** Which vertical wear-leveling algorithm to run. */
+    enum class Engine { StartGap, SecurityRefresh } engine =
+        Engine::StartGap;
+
+    /** Lines covered by the wear-leveled region (power of two for
+     *  Security Refresh). */
+    uint64_t numLines = 1 << 16;
+
+    /** Demand writes between gap movements / refresh steps. */
+    uint64_t gapWriteInterval = 100;
+
+    /** Intra-line rotation policy. */
+    enum class Rotation { None, Hwl, HwlHashed, PerLine } rotation =
+        Rotation::None;
+};
+
+/** Per-write outcome surfaced to callers. */
+struct WriteOutcome
+{
+    /** Full accounting from the scheme transition. */
+    WriteResult result;
+
+    /** Write slots consumed (Section 6.1 model). */
+    unsigned slots = 0;
+
+    /** Fraction of the 512 line bits flipped (incl. metadata). */
+    double flipFraction = 0.0;
+};
+
+/** A secure PCM main memory for one scheme + wear-leveling combo. */
+class MemorySystem
+{
+  public:
+    /**
+     * @param scheme   encryption scheme (not owned; must outlive us)
+     * @param wl       wear-leveling configuration
+     * @param pcm      device parameters
+     * @param initial  callback providing a line's plaintext contents
+     *                 at install time
+     */
+    MemorySystem(const EncryptionScheme &scheme,
+                 const WearLevelingConfig &wl = WearLevelingConfig{},
+                 const PcmConfig &pcm = PcmConfig{},
+                 std::function<CacheLine(uint64_t)> initial = {});
+
+    /** Write back a line (installing it first if never seen). */
+    WriteOutcome write(uint64_t line_addr, const CacheLine &plaintext);
+
+    /** Read (decrypt) a line; installs it if never seen. */
+    CacheLine read(uint64_t line_addr);
+
+    /** True iff the line has been installed. */
+    bool contains(uint64_t line_addr) const;
+
+    /** Direct access to a line's stored state (for tests/inspection). */
+    const StoredLineState &storedState(uint64_t line_addr) const;
+
+    const EncryptionScheme &scheme() const { return scheme_; }
+    const WearTracker &wearTracker() const { return wear_; }
+    const EnergyAccumulator &energy() const { return energy_; }
+    const PcmConfig &pcmConfig() const { return pcm_; }
+
+    /** Running mean of flip fraction per write. */
+    const RunningStat &flipStat() const { return flipStat_; }
+
+    /** Running mean of write slots per write. */
+    const RunningStat &slotStat() const { return slotStat_; }
+
+    /** The VWL engine (null when vertical WL is disabled). */
+    const VerticalWearLeveler *vwl() const { return vwl_.get(); }
+
+    /** The engine as a Start-Gap (null if disabled or a different
+     *  algorithm is configured). */
+    const StartGap *
+    startGap() const
+    {
+        return dynamic_cast<const StartGap *>(vwl_.get());
+    }
+
+  private:
+    StoredLineState &install(uint64_t line_addr);
+
+    const EncryptionScheme &scheme_;
+    WearLevelingConfig wlCfg_;
+    PcmConfig pcm_;
+    std::function<CacheLine(uint64_t)> initial_;
+
+    std::unique_ptr<VerticalWearLeveler> vwl_;
+    std::unique_ptr<RotationPolicy> rotation_;
+
+    std::unordered_map<uint64_t, StoredLineState> lines_;
+    WearTracker wear_;
+    EnergyAccumulator energy_;
+    RunningStat flipStat_;
+    RunningStat slotStat_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_SIM_MEMORY_SYSTEM_HH

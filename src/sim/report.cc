@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Report/table formatting implementation.
+ */
+
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    deuce_assert(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    deuce_assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.emplace_back(); // sentinel
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c == 0) {
+                os << cells[c]
+                   << std::string(widths[c] - cells[c].size(), ' ');
+            } else {
+                os << "  "
+                   << std::string(widths[c] - cells[c].size(), ' ')
+                   << cells[c];
+            }
+        }
+        os << '\n';
+    };
+
+    auto print_rule = [&]() {
+        size_t total = 0;
+        for (size_t c = 0; c < widths.size(); ++c) {
+            total += widths[c] + (c ? 2 : 0);
+        }
+        os << std::string(total, '-') << '\n';
+    };
+
+    print_row(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty()) {
+            print_rule();
+        } else {
+            print_row(row);
+        }
+    }
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+void
+printBanner(std::ostream &os, const std::string &experiment_id,
+            const std::string &title)
+{
+    os << '\n' << "=== " << experiment_id << ": " << title
+       << " ===" << '\n';
+}
+
+void
+printPaperVsMeasured(std::ostream &os, const std::string &label,
+                     double paper, double measured, int precision)
+{
+    os << "  " << label << ": paper " << fmt(paper, precision)
+       << "  |  measured " << fmt(measured, precision) << '\n';
+}
+
+} // namespace deuce

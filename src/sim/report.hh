@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table formatting for the bench binaries, so every
+ * regenerated figure/table prints in one consistent aligned layout.
+ */
+
+#ifndef DEUCE_SIM_REPORT_HH
+#define DEUCE_SIM_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deuce
+{
+
+/** Simple right-aligned text table (first column left-aligned). */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal rule before the next row. */
+    void addRule();
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; ///< empty row = rule
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double value, int precision = 1);
+
+/** Print a "FigureN: title" banner. */
+void printBanner(std::ostream &os, const std::string &experiment_id,
+                 const std::string &title);
+
+/**
+ * Print a paper-vs-measured comparison line, e.g.
+ *   "  paper: 23.7   measured: 24.1".
+ */
+void printPaperVsMeasured(std::ostream &os, const std::string &label,
+                          double paper, double measured,
+                          int precision = 1);
+
+} // namespace deuce
+
+#endif // DEUCE_SIM_REPORT_HH

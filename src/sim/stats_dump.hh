@@ -1,0 +1,34 @@
+/**
+ * @file
+ * gem5-style statistics dump: every counter the simulation gathered,
+ * one per line, in `name value # description` format, so existing
+ * gem5-ecosystem tooling (grep/awk dashboards, stat-diff scripts) can
+ * consume this simulator's output unchanged.
+ */
+
+#ifndef DEUCE_SIM_STATS_DUMP_HH
+#define DEUCE_SIM_STATS_DUMP_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/memory_system.hh"
+#include "sim/timing.hh"
+
+namespace deuce
+{
+
+/**
+ * Dump a MemorySystem's counters.
+ * @param prefix stat-name prefix, e.g. "system.pcm"
+ */
+void dumpStats(std::ostream &os, const MemorySystem &memory,
+               const std::string &prefix = "system.pcm");
+
+/** Dump a timing run's counters. */
+void dumpStats(std::ostream &os, const TimingResult &result,
+               const std::string &prefix = "system.timing");
+
+} // namespace deuce
+
+#endif // DEUCE_SIM_STATS_DUMP_HH

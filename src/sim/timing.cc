@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Timing simulator implementation.
+ */
+
+#include "sim/timing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+TimingSimulator::TimingSimulator(const TimingConfig &cfg,
+                                 const PcmConfig &pcm)
+    : cfg_(cfg), pcm_(pcm)
+{
+    deuce_assert(cfg.cores >= 1);
+    deuce_assert(cfg.mlp >= 1.0);
+}
+
+TimingResult
+TimingSimulator::run(TraceSource &source, MemorySystem &memory)
+{
+    const unsigned banks = pcm_.totalBanks();
+
+    /** Per-bank service state. */
+    struct Bank
+    {
+        /** Time the bank finishes all *committed* work (FCFS) or all
+         *  reads (ReadPriority). */
+        double busyUntil = 0.0;
+
+        /** Write work deferred behind reads (ReadPriority only). */
+        double deferredWriteNs = 0.0;
+
+        /** Last time deferred work was drained against idle time. */
+        double lastDrain = 0.0;
+    };
+    std::vector<Bank> bank_state(banks);
+
+    // Optional on-chip counter cache: counters live in memory (16
+    // per 64-byte metadata line); a miss costs one extra array read
+    // on the same bank before the demand access can start.
+    std::unique_ptr<SetAssocCache> counter_cache;
+    if (cfg_.counterCacheBytes > 0) {
+        CacheConfig cc;
+        cc.name = "counter$";
+        cc.capacityBytes = cfg_.counterCacheBytes;
+        cc.ways = 8;
+        cc.lineBytes = 64;
+        counter_cache = std::make_unique<SetAssocCache>(cc);
+    }
+
+    const double ns_per_instr =
+        cfg_.cpiBase / (cfg_.cores * cfg_.coreGhz);
+
+    double now = 0.0;
+    uint64_t last_icount = 0;
+    RunningStat read_latency;
+    TimingResult result;
+
+    auto drain_deferred = [&](Bank &bank) {
+        // Idle time since the last drain retires deferred writes.
+        double idle_from = std::max(bank.busyUntil, bank.lastDrain);
+        if (now > idle_from) {
+            double drained =
+                std::min(bank.deferredWriteNs, now - idle_from);
+            bank.deferredWriteNs -= drained;
+        }
+        bank.lastDrain = std::max(bank.lastDrain, now);
+    };
+
+    TraceEvent ev;
+    while (source.next(ev)) {
+        uint64_t gap =
+            (ev.icount > last_icount) ? ev.icount - last_icount : 0;
+        last_icount = ev.icount;
+        now += static_cast<double>(gap) * ns_per_instr;
+
+        unsigned bank_idx = static_cast<unsigned>(ev.lineAddr % banks);
+        Bank &bank = bank_state[bank_idx];
+
+        // Counter-cache lookup: every access to an encrypted line
+        // needs its counter; a miss adds one metadata read in front
+        // of the demand access.
+        double counter_penalty = 0.0;
+        if (counter_cache) {
+            uint64_t meta_line = ev.lineAddr / 16;
+            if (!counter_cache->access(meta_line, false).hit) {
+                counter_penalty = pcm_.readLatencyNs;
+                ++result.counterCacheMisses;
+            }
+        }
+
+        if (ev.kind == EventKind::Writeback) {
+            WriteOutcome out = memory.write(ev.lineAddr, ev.data);
+            double service =
+                out.slots * pcm_.writeSlotNs + counter_penalty;
+
+            if (cfg_.scheduler == TimingConfig::Scheduler::Fcfs) {
+                double start = std::max(bank.busyUntil, now);
+                bank.busyUntil = start + service;
+                double backlog = bank.busyUntil - now;
+                if (backlog > cfg_.writeBacklogNs) {
+                    now += backlog - cfg_.writeBacklogNs;
+                }
+            } else {
+                // ReadPriority: the write parks in the bank's write
+                // queue (it pauses for reads), draining in idle time.
+                drain_deferred(bank);
+                bank.deferredWriteNs += service;
+                if (bank.deferredWriteNs > cfg_.writeBacklogNs) {
+                    now += bank.deferredWriteNs - cfg_.writeBacklogNs;
+                    drain_deferred(bank);
+                }
+            }
+            ++result.writebacks;
+        } else {
+            memory.read(ev.lineAddr);
+            double start;
+            if (cfg_.scheduler == TimingConfig::Scheduler::Fcfs) {
+                start = std::max(bank.busyUntil, now);
+            } else {
+                // Reads bypass queued writes but not an in-flight
+                // read on the same bank.
+                drain_deferred(bank);
+                start = std::max(bank.busyUntil, now);
+            }
+            // Figure 3: with OTP the pad generation overlaps the
+            // array access (only spill-over beyond the array latency
+            // shows); a serialized cipher adds its full latency.
+            double decrypt_penalty = 0.0;
+            switch (cfg_.decryptPath) {
+              case TimingConfig::DecryptPath::NoDecrypt:
+                break;
+              case TimingConfig::DecryptPath::OtpParallel:
+                decrypt_penalty = std::max(
+                    0.0, cfg_.decryptLatencyNs - pcm_.readLatencyNs);
+                break;
+              case TimingConfig::DecryptPath::Serialized:
+                decrypt_penalty = cfg_.decryptLatencyNs;
+                break;
+            }
+            double finish = start + pcm_.readLatencyNs +
+                            counter_penalty + decrypt_penalty;
+            bank.busyUntil = finish;
+
+            double latency = finish - now;
+            read_latency.add(latency);
+            now += latency / (cfg_.cores * cfg_.mlp);
+            ++result.reads;
+        }
+    }
+
+    for (const Bank &bank : bank_state) {
+        now = std::max(now, bank.busyUntil + bank.deferredWriteNs);
+    }
+
+    result.executionNs = now;
+    result.instructions = last_icount;
+    result.avgReadLatencyNs = read_latency.mean();
+    result.avgWriteSlots = memory.slotStat().mean();
+    result.avgFlipFraction = memory.flipStat().mean();
+    if (counter_cache) {
+        result.counterCacheMissRate = counter_cache->missRatio();
+    }
+    return result;
+}
+
+} // namespace deuce

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CpuStream implementation.
+ */
+
+#include "trace/cpu_stream.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+namespace
+{
+
+/** Distinct, non-overlapping line-address regions. */
+constexpr uint64_t kHotBase = 0;
+constexpr uint64_t kStreamBase = uint64_t{1} << 32;
+constexpr uint64_t kColdBase = uint64_t{1} << 33;
+
+} // namespace
+
+CpuStream::CpuStream(const CpuStreamConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      hotSampler_(cfg.hotLines, 0.8)
+{
+    deuce_assert(cfg.apki > 0.0);
+    deuce_assert(cfg.streamFraction + cfg.hotFraction <= 1.0);
+    gapInstructions_ = 1000.0 / cfg.apki;
+}
+
+CpuAccess
+CpuStream::next()
+{
+    CpuAccess access;
+
+    double u = rng_.nextDouble();
+    double gap = -std::log(1.0 - u) * gapInstructions_;
+    // Round to the nearest instruction (floor+1 would bias the rate
+    // low by half an instruction per access).
+    uint64_t step = static_cast<uint64_t>(gap + 0.5);
+    icount_ += step > 0 ? step : 1;
+    access.icount = icount_;
+    access.isWrite = rng_.nextBool(cfg_.storeFraction);
+
+    double cls = rng_.nextDouble();
+    if (cls < cfg_.streamFraction) {
+        // Streaming: sequential sweep, restarting at a random offset
+        // when the run ends (lbm/leslie-style behaviour; near-zero
+        // reuse below the line level).
+        if (streamLeft_ == 0) {
+            streamPos_ = rng_.nextBounded(uint64_t{1} << 24);
+            streamLeft_ = cfg_.streamRunLines;
+        }
+        access.lineAddr = kStreamBase + streamPos_;
+        ++streamPos_;
+        --streamLeft_;
+    } else if (cls < cfg_.streamFraction + cfg_.hotFraction) {
+        // Hot set: Zipf reuse inside a cache-resident region.
+        access.lineAddr = kHotBase + hotSampler_.sample(rng_);
+    } else {
+        // Pointer chase: uniform over a region far larger than any
+        // cache (mcf-style misses).
+        access.lineAddr = kColdBase + rng_.nextBounded(cfg_.coldLines);
+    }
+    return access;
+}
+
+} // namespace deuce

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Trace events exchanged between workload sources and the simulator.
+ *
+ * The unit of simulation is the L4-filtered memory stream: read misses
+ * and writebacks at 64-byte line granularity, stamped with the
+ * instruction count at which they were issued (used by the timing
+ * model to convert rates into time).
+ */
+
+#ifndef DEUCE_TRACE_EVENT_HH
+#define DEUCE_TRACE_EVENT_HH
+
+#include <cstdint>
+
+#include "common/cache_line.hh"
+
+namespace deuce
+{
+
+/** Kind of memory-side event. */
+enum class EventKind : uint8_t
+{
+    ReadMiss = 0,  ///< L4 read miss: fetch a line from PCM
+    Writeback = 1, ///< dirty eviction from L4: write a line to PCM
+};
+
+/** One memory-side event. */
+struct TraceEvent
+{
+    /** Kind of access. */
+    EventKind kind = EventKind::ReadMiss;
+
+    /** Line address (line index within the PCM address space). */
+    uint64_t lineAddr = 0;
+
+    /** Instructions retired (across all cores) when issued. */
+    uint64_t icount = 0;
+
+    /** New line contents (valid for Writeback events only). */
+    CacheLine data;
+};
+
+/** A source of trace events (synthetic generator or trace file). */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next event.
+     * @return false when the source is exhausted (@p out untouched)
+     */
+    virtual bool next(TraceEvent &out) = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_TRACE_EVENT_HH

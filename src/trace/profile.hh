@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Statistical benchmark profiles replacing the paper's SPEC2006 traces.
+ *
+ * Every result in the paper is a function of the writeback stream's
+ * statistics, not of instruction semantics, so each SPEC benchmark is
+ * characterised by the knobs below. The rate parameters (mpki, wbpki)
+ * are taken directly from Table 2 of the paper; the content-model
+ * parameters are calibrated so the paper's anchor measurements
+ * reproduce (see DESIGN.md section 1 and tools/calibrate).
+ */
+
+#ifndef DEUCE_TRACE_PROFILE_HH
+#define DEUCE_TRACE_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deuce
+{
+
+/** Statistical model of one benchmark's memory write behaviour. */
+struct BenchmarkProfile
+{
+    /** Benchmark name (SPEC2006 short name). */
+    std::string name;
+
+    /** L4 read misses per kilo-instruction (Table 2). */
+    double mpki = 1.0;
+
+    /** L4 writebacks per kilo-instruction (Table 2). */
+    double wbpki = 1.0;
+
+    /**
+     * Distinct lines in the writeback working set. Scaled down from
+     * SPEC's footprints so that lines accumulate realistic write
+     * counts (tens of writes, spanning several DEUCE epochs) within
+     * tractable simulation lengths; flip statistics depend on writes
+     * per line, not on the absolute footprint.
+     */
+    uint64_t workingSetLines = 4096;
+
+    /** Zipf skew of line reuse (0 = uniform across the working set). */
+    double lineZipfAlpha = 0.6;
+
+    /**
+     * Fraction of writebacks that rewrite the entire line (every word
+     * modified, as in Gems/soplex). Dense writes are where DEUCE
+     * degenerates to full re-encryption.
+     */
+    double denseFraction = 0.0;
+
+    /** Probability each bit of a densely-written byte flips. */
+    double denseBitDensity = 0.12;
+
+    /**
+     * Mean number of modification clusters per sparse writeback. A
+     * cluster is a short run of modified bytes (think: one updated
+     * field of a struct).
+     */
+    double meanClusters = 2.0;
+
+    /** Mean byte length of a modification cluster (>= 1). */
+    double meanClusterBytes = 2.0;
+
+    /**
+     * Probability that a cluster lands on one of the line's recently
+     * modified positions instead of a fresh position. High values
+     * give the stable footprints where DEUCE shines.
+     */
+    double footprintStability = 0.8;
+
+    /** Recently-used cluster positions remembered per line. */
+    unsigned hotSetSize = 4;
+
+    /**
+     * Zipf skew of the global popularity of byte positions within a
+     * line; drives the intra-line wear non-uniformity of Figure 12.
+     */
+    double positionZipfAlpha = 0.8;
+
+    /** Probability each bit of a sparsely-modified byte flips. */
+    double sparseBitDensity = 0.46;
+
+    /**
+     * Fraction of modified bytes rewritten with a near-complement
+     * value (high flip density); these are the writes Flip-N-Write
+     * recovers.
+     */
+    double complementFraction = 0.15;
+
+    /**
+     * Probability per sparse writeback that the benchmark's single
+     * hottest byte (popularity rank 0) receives a high-density
+     * toggle. Models the flag/counter bits that give libquantum its
+     * 27x and mcf its 6x hottest-bit wear (Figure 12).
+     */
+    double hotToggleRate = 0.0;
+
+    /** Per-bit flip probability of the hot toggle byte. */
+    double hotToggleDensity = 0.85;
+
+    /** RNG seed so each benchmark's stream is reproducible. */
+    uint64_t seed = 1;
+};
+
+/**
+ * The 12 write-intensive SPEC2006 benchmarks of Table 2, in the
+ * paper's order (by WBPKI, descending).
+ */
+std::vector<BenchmarkProfile> spec2006Profiles();
+
+/** Look up a profile by name (fatal if unknown). */
+BenchmarkProfile profileByName(const std::string &name);
+
+} // namespace deuce
+
+#endif // DEUCE_TRACE_PROFILE_HH

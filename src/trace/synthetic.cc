@@ -1,0 +1,267 @@
+/**
+ * @file
+ * SyntheticWorkload implementation.
+ */
+
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile &profile,
+                                     uint64_t max_events)
+    : profile_(profile),
+      maxEvents_(max_events),
+      rng_(profile.seed),
+      lineSampler_(profile.workingSetLines, profile.lineZipfAlpha),
+      // Reads cover a region 4x the write working set: most misses
+      // are to data that is read but rarely dirtied.
+      readSampler_(profile.workingSetLines * 4, profile.lineZipfAlpha),
+      positionSampler_(CacheLine::kBytes, profile.positionZipfAlpha)
+{
+    deuce_assert(profile.mpki + profile.wbpki > 0.0);
+    eventGapInstructions_ =
+        1000.0 / (profile.mpki + profile.wbpki);
+    writebackFraction_ = profile.wbpki / (profile.mpki + profile.wbpki);
+
+    // Fixed per-benchmark mapping from popularity rank to byte
+    // position. The mapping is locality-preserving (a window shuffle
+    // of the identity, plus a per-benchmark rotation): frequently
+    // co-written fields of real structures are spatially adjacent,
+    // which is what lets typical writebacks complete in ~2 of the 4
+    // 128-bit write-slot regions (Figure 15) instead of scattering
+    // across the whole line.
+    Rng shuffle_rng(profile.seed ^ 0xabcdef12345678ull);
+    unsigned rotate =
+        static_cast<unsigned>(shuffle_rng.nextBounded(4)) * 16;
+    for (unsigned i = 0; i < CacheLine::kBytes; ++i) {
+        positionByRank_[i] =
+            static_cast<uint8_t>((i + rotate) % CacheLine::kBytes);
+    }
+    constexpr unsigned kWindow = 8;
+    for (unsigned base = 0; base < CacheLine::kBytes; base += kWindow) {
+        for (unsigned i = kWindow - 1; i > 0; --i) {
+            unsigned j =
+                static_cast<unsigned>(shuffle_rng.nextBounded(i + 1));
+            std::swap(positionByRank_[base + i],
+                      positionByRank_[base + j]);
+        }
+    }
+}
+
+bool
+SyntheticWorkload::next(TraceEvent &out)
+{
+    if (eventsProduced_ >= maxEvents_) {
+        return false;
+    }
+    ++eventsProduced_;
+
+    // Advance the instruction clock with an exponential gap whose mean
+    // matches the combined miss + writeback rate.
+    double u = rng_.nextDouble();
+    double gap = -std::log(1.0 - u) * eventGapInstructions_;
+    icount_ += static_cast<uint64_t>(gap) + 1;
+    out.icount = icount_;
+
+    if (rng_.nextBool(writebackFraction_)) {
+        ++writebacks_;
+        out.kind = EventKind::Writeback;
+        out.lineAddr = lineSampler_.sample(rng_);
+        LineState &line = lineState(out.lineAddr);
+        mutateLine(line);
+        out.data = line.data;
+    } else {
+        ++reads_;
+        out.kind = EventKind::ReadMiss;
+        out.lineAddr = readSampler_.sample(rng_);
+        out.data = CacheLine{};
+    }
+    return true;
+}
+
+const CacheLine &
+SyntheticWorkload::lineContents(uint64_t line_addr)
+{
+    return lineState(line_addr).data;
+}
+
+CacheLine
+SyntheticWorkload::initialContents(uint64_t line_addr) const
+{
+    // Deterministic initial contents derived from the address, so a
+    // line's history does not depend on first-touch order.
+    CacheLine data;
+    Rng init(profile_.seed ^ (line_addr * 0x9e3779b97f4a7c15ull));
+    for (unsigned limb = 0; limb < CacheLine::kLimbs; ++limb) {
+        data.limb(limb) = init.next();
+    }
+    return data;
+}
+
+SyntheticWorkload::LineState &
+SyntheticWorkload::lineState(uint64_t line_addr)
+{
+    auto it = lines_.find(line_addr);
+    if (it != lines_.end()) {
+        return it->second;
+    }
+    LineState state;
+    state.data = initialContents(line_addr);
+    return lines_.emplace(line_addr, state).first->second;
+}
+
+void
+SyntheticWorkload::mutateLine(LineState &line)
+{
+    if (rng_.nextBool(profile_.denseFraction)) {
+        mutateDense(line);
+    } else {
+        mutateSparse(line);
+    }
+}
+
+void
+SyntheticWorkload::mutateDense(LineState &line)
+{
+    // Every 16-bit word must change (the whole-line-rewrite pattern),
+    // but with modest per-bit density so the unencrypted DCW cost
+    // stays realistic.
+    for (unsigned word = 0; word < CacheLine::kBytes / 2; ++word) {
+        unsigned lsb = word * 16;
+        uint64_t delta = 0;
+        for (unsigned bit = 0; bit < 16; ++bit) {
+            if (rng_.nextBool(profile_.denseBitDensity)) {
+                delta |= uint64_t{1} << bit;
+            }
+        }
+        if (delta == 0) {
+            delta = uint64_t{1} << rng_.nextBounded(16);
+        }
+        line.data.setField(lsb, 16, line.data.field(lsb, 16) ^ delta);
+    }
+}
+
+void
+SyntheticWorkload::mutateSparse(LineState &line)
+{
+    // Cluster count is tightly peaked around the mean: writebacks of
+    // a given program mostly update the same number of fields, and a
+    // heavy tail would constantly spill past the hot set, overstating
+    // footprint drift.
+    double mean = profile_.meanClusters;
+    unsigned clusters = static_cast<unsigned>(mean);
+    clusters += rng_.nextBool(mean - clusters) ? 1 : 0;
+    if (rng_.nextBool(0.1)) {
+        ++clusters;
+    } else if (clusters > 1 && rng_.nextBool(0.1)) {
+        --clusters;
+    }
+    if (clusters == 0) {
+        clusters = 1;
+    }
+
+    // Collect the set of modified bytes first, then mutate each byte
+    // exactly once: overlapping clusters must not XOR-cancel each
+    // other, and reused positions are drawn as *distinct* hot
+    // entries so an n-cluster write has n distinct targets.
+    std::array<bool, CacheLine::kBytes> marked{};
+    std::array<bool, CacheLine::kBytes> complementByte{};
+
+    // Reuse walks the hot list in MRU order, so successive writes hit
+    // the *same* top-k positions (a stable footprint whose per-epoch
+    // union stays near k). Fresh positions are inserted at the front,
+    // aging the footprint gradually -- the drift that makes long
+    // DEUCE epochs re-encrypt stale words (wrf/milc in Figure 9).
+    unsigned hot_used = 0;
+
+    for (unsigned c = 0; c < clusters; ++c) {
+        unsigned start;
+        unsigned length;
+        bool reuse = hot_used < line.hotCount &&
+                     rng_.nextBool(profile_.footprintStability);
+        if (reuse) {
+            start = line.hotStarts[hot_used];
+            length = line.hotLens[hot_used];
+            ++hot_used;
+        } else {
+            start = sampleClusterStart();
+            length =
+                rng_.nextPositiveGeometric(profile_.meanClusterBytes);
+            length = std::min(length, CacheLine::kBytes - start);
+            // Insert at the MRU position, shifting the rest down.
+            unsigned capacity =
+                std::min<unsigned>(profile_.hotSetSize,
+                                   line.hotStarts.size());
+            if (capacity > 0) {
+                unsigned count =
+                    std::min<unsigned>(line.hotCount + 1, capacity);
+                for (unsigned i = count; i-- > 1;) {
+                    line.hotStarts[i] = line.hotStarts[i - 1];
+                    line.hotLens[i] = line.hotLens[i - 1];
+                }
+                line.hotStarts[0] = static_cast<uint8_t>(start);
+                line.hotLens[0] = static_cast<uint8_t>(length);
+                line.hotCount = static_cast<uint8_t>(count);
+                if (hot_used < count) {
+                    ++hot_used; // do not re-pick what we just inserted
+                }
+            }
+        }
+
+        bool complement = rng_.nextBool(profile_.complementFraction);
+        for (unsigned b = 0; b < length; ++b) {
+            marked[start + b] = true;
+            complementByte[start + b] = complement;
+        }
+    }
+
+    // The benchmark's hottest byte: a frequently-toggled flag or
+    // counter field, the source of the extreme per-bit wear spikes
+    // of Figure 12.
+    if (rng_.nextBool(profile_.hotToggleRate)) {
+        unsigned hot = positionByRank_[0];
+        marked[hot] = true;
+        mutateByte(line.data, hot, profile_.hotToggleDensity);
+        marked[hot] = false; // already mutated; skip the loop below
+    }
+
+    for (unsigned byte = 0; byte < CacheLine::kBytes; ++byte) {
+        if (marked[byte]) {
+            double density = complementByte[byte]
+                ? 0.9 : profile_.sparseBitDensity;
+            mutateByte(line.data, byte, density);
+        }
+    }
+}
+
+void
+SyntheticWorkload::mutateByte(CacheLine &data, unsigned byte,
+                              double density)
+{
+    uint8_t delta = 0;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        if (rng_.nextBool(density)) {
+            delta |= static_cast<uint8_t>(1u << bit);
+        }
+    }
+    if (delta == 0) {
+        // A "modified" byte must actually change.
+        delta = static_cast<uint8_t>(1u << rng_.nextBounded(8));
+    }
+    data.setByte(byte, data.byte(byte) ^ delta);
+}
+
+unsigned
+SyntheticWorkload::sampleClusterStart()
+{
+    unsigned rank = static_cast<unsigned>(positionSampler_.sample(rng_));
+    return positionByRank_[rank];
+}
+
+} // namespace deuce

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Synthetic memory-trace generator driven by a BenchmarkProfile.
+ *
+ * The generator maintains the actual plaintext contents of every line
+ * in the write working set and evolves them writeback by writeback, so
+ * downstream consumers observe real data (exact DCW distances, exact
+ * word-modification footprints), not just statistics:
+ *
+ *  - Lines are chosen by a Zipf sampler (reuse skew).
+ *  - A writeback is either *dense* (every word of the line changes,
+ *    the Gems/soplex pattern) or *sparse* (a few byte clusters).
+ *  - Sparse clusters preferentially revisit the line's recent
+ *    modification positions (footprint stability), drawn initially
+ *    from a benchmark-wide popularity ranking of byte positions
+ *    (intra-line hotness; Figure 12).
+ *  - Modified bytes flip a profile-controlled fraction of their bits,
+ *    with an occasional near-complement rewrite (what FNW recovers).
+ */
+
+#ifndef DEUCE_TRACE_SYNTHETIC_HH
+#define DEUCE_TRACE_SYNTHETIC_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "trace/event.hh"
+#include "trace/profile.hh"
+
+namespace deuce
+{
+
+/** Deterministic synthetic workload for one benchmark profile. */
+class SyntheticWorkload : public TraceSource
+{
+  public:
+    /**
+     * @param profile    benchmark model parameters
+     * @param max_events events to produce before the source reports
+     *                   exhaustion (reads + writebacks)
+     */
+    SyntheticWorkload(const BenchmarkProfile &profile,
+                      uint64_t max_events);
+
+    bool next(TraceEvent &out) override;
+
+    /**
+     * Current plaintext contents of a line (creating it with its
+     * deterministic initial contents if never touched).
+     */
+    const CacheLine &lineContents(uint64_t line_addr);
+
+    /**
+     * The deterministic contents a line has before its first
+     * writeback. This is what a simulator must install on first
+     * touch: at the moment of a line's first writeback event the
+     * event's data is already mutated, while the pre-image is still
+     * exactly this initial value (lines only change via writebacks).
+     */
+    CacheLine initialContents(uint64_t line_addr) const;
+
+    /** Number of writebacks produced so far. */
+    uint64_t writebacksProduced() const { return writebacks_; }
+
+    /** Number of read misses produced so far. */
+    uint64_t readsProduced() const { return reads_; }
+
+    const BenchmarkProfile &profile() const { return profile_; }
+
+  private:
+    /** Per-line mutable state. */
+    struct LineState
+    {
+        CacheLine data;
+
+        /**
+         * Recently modified fields in MRU order: byte start and byte
+         * length. A field's extent is fixed at first touch -- the
+         * program rewrites the same struct member / array element,
+         * so reuse must not redraw the size.
+         */
+        std::array<uint8_t, 8> hotStarts{};
+        std::array<uint8_t, 8> hotLens{};
+        uint8_t hotCount = 0;
+    };
+
+    LineState &lineState(uint64_t line_addr);
+
+    /** Apply one writeback's modifications to a line's contents. */
+    void mutateLine(LineState &line);
+
+    /** Dense rewrite: every word of the line changes. */
+    void mutateDense(LineState &line);
+
+    /** Sparse rewrite: a few byte clusters change. */
+    void mutateSparse(LineState &line);
+
+    /** Flip bits of one byte; guarantees the byte actually changes. */
+    void mutateByte(CacheLine &data, unsigned byte, double density);
+
+    /** Draw a fresh cluster start from the popularity ranking. */
+    unsigned sampleClusterStart();
+
+    BenchmarkProfile profile_;
+    uint64_t maxEvents_;
+    uint64_t eventsProduced_ = 0;
+    uint64_t writebacks_ = 0;
+    uint64_t reads_ = 0;
+    uint64_t icount_ = 0;
+
+    Rng rng_;
+    ZipfSampler lineSampler_;
+    ZipfSampler readSampler_;
+    ZipfSampler positionSampler_;
+
+    /** Popularity-rank -> byte-position permutation (fixed per run). */
+    std::array<uint8_t, CacheLine::kBytes> positionByRank_;
+
+    std::unordered_map<uint64_t, LineState> lines_;
+
+    /** Mean instruction gap between consecutive memory events. */
+    double eventGapInstructions_;
+
+    /** P(event is a writeback). */
+    double writebackFraction_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_TRACE_SYNTHETIC_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Binary trace reader/writer implementation.
+ */
+
+#include "trace/trace_io.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'D', 'E', 'U', 'C', 'T', 'R', 'C', '1'};
+
+void
+putU64(std::FILE *f, uint64_t v)
+{
+    uint8_t buf[8];
+    for (unsigned i = 0; i < 8; ++i) {
+        buf[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    if (std::fwrite(buf, 1, 8, f) != 8) {
+        deuce_fatal("trace write failed");
+    }
+}
+
+bool
+getU64(std::FILE *f, uint64_t &v)
+{
+    uint8_t buf[8];
+    if (std::fread(buf, 1, 8, f) != 8) {
+        return false;
+    }
+    v = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+    }
+    return true;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_) {
+        deuce_fatal("cannot open trace file for writing: " + path);
+    }
+    if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) !=
+        sizeof(kMagic)) {
+        deuce_fatal("trace write failed: " + path);
+    }
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_) {
+        std::fclose(file_);
+    }
+}
+
+void
+TraceWriter::write(const TraceEvent &event)
+{
+    uint8_t kind = static_cast<uint8_t>(event.kind);
+    if (std::fwrite(&kind, 1, 1, file_) != 1) {
+        deuce_fatal("trace write failed");
+    }
+    putU64(file_, event.lineAddr);
+    putU64(file_, event.icount);
+    if (event.kind == EventKind::Writeback) {
+        uint8_t bytes[CacheLine::kBytes];
+        event.data.toBytes(bytes);
+        if (std::fwrite(bytes, 1, sizeof(bytes), file_) !=
+            sizeof(bytes)) {
+            deuce_fatal("trace write failed");
+        }
+    }
+    ++count_;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (!file_) {
+        deuce_fatal("cannot open trace file: " + path);
+    }
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        deuce_fatal("not a DEUCE trace file: " + path);
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_) {
+        std::fclose(file_);
+    }
+}
+
+bool
+TraceReader::next(TraceEvent &out)
+{
+    uint8_t kind;
+    if (std::fread(&kind, 1, 1, file_) != 1) {
+        return false; // clean EOF
+    }
+    if (kind > 1) {
+        deuce_fatal("corrupt trace record");
+    }
+    out.kind = static_cast<EventKind>(kind);
+    if (!getU64(file_, out.lineAddr) || !getU64(file_, out.icount)) {
+        deuce_fatal("truncated trace record");
+    }
+    if (out.kind == EventKind::Writeback) {
+        uint8_t bytes[CacheLine::kBytes];
+        if (std::fread(bytes, 1, sizeof(bytes), file_) !=
+            sizeof(bytes)) {
+            deuce_fatal("truncated trace record");
+        }
+        out.data = CacheLine::fromBytes(bytes);
+    } else {
+        out.data = CacheLine{};
+    }
+    return true;
+}
+
+} // namespace deuce

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Binary trace file format, so experiment inputs can be captured once
+ * and replayed exactly (e.g. to compare schemes on an identical
+ * stream, or to archive a calibrated workload).
+ *
+ * Layout (little-endian):
+ *   8-byte magic "DEUCTRC1"
+ *   repeated records:
+ *     u8  kind (0 = read miss, 1 = writeback)
+ *     u64 lineAddr
+ *     u64 icount
+ *     64 bytes of line data (writeback records only)
+ */
+
+#ifndef DEUCE_TRACE_TRACE_IO_HH
+#define DEUCE_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/event.hh"
+
+namespace deuce
+{
+
+/** Streams TraceEvents to a binary file. */
+class TraceWriter
+{
+  public:
+    /** Open (truncate) @p path; fatal on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one event. */
+    void write(const TraceEvent &event);
+
+    /** Events written so far. */
+    uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_;
+    uint64_t count_ = 0;
+};
+
+/** Replays a binary trace file as a TraceSource. */
+class TraceReader : public TraceSource
+{
+  public:
+    /** Open @p path; fatal on missing file or bad magic. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(TraceEvent &out) override;
+
+  private:
+    std::FILE *file_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_TRACE_TRACE_IO_HH

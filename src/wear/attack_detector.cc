@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Attack detector implementation.
+ */
+
+#include "wear/attack_detector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+AttackDetector::AttackDetector(uint64_t window_writes,
+                               double threshold_share)
+    : windowWrites_(window_writes)
+{
+    deuce_assert(window_writes >= 2);
+    deuce_assert(threshold_share > 0.0 && threshold_share <= 1.0);
+    flagCount_ = std::max<uint64_t>(
+        2, static_cast<uint64_t>(threshold_share *
+                                 static_cast<double>(window_writes)));
+}
+
+bool
+AttackDetector::onWrite(uint64_t line_addr)
+{
+    ++writes_;
+    uint64_t count = ++counts_[line_addr];
+
+    bool newly_flagged = false;
+    if (count == flagCount_ && !flagged_.count(line_addr)) {
+        flagged_.insert(line_addr);
+        ++linesFlagged_;
+        newly_flagged = true;
+    }
+
+    if (++windowFill_ >= windowWrites_) {
+        rollWindow();
+    }
+    return newly_flagged;
+}
+
+void
+AttackDetector::rollWindow()
+{
+    uint64_t max_count = 0;
+    for (const auto &[line, count] : counts_) {
+        max_count = std::max(max_count, count);
+    }
+    maxShare_ = std::max(
+        maxShare_, static_cast<double>(max_count) /
+                       static_cast<double>(windowWrites_));
+
+    counts_.clear();
+    flagged_.clear();
+    windowFill_ = 0;
+    ++windows_;
+}
+
+bool
+AttackDetector::isFlagged(uint64_t line_addr) const
+{
+    return flagged_.count(line_addr) != 0;
+}
+
+} // namespace deuce

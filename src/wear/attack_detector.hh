@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Online detection of malicious write streams (Qureshi et al.,
+ * HPCA-2011; Section 7.3 of the DEUCE paper).
+ *
+ * Endurance-limited memories can be killed by a program that hammers
+ * a few lines. Wear leveling slows such attacks; an attack detector
+ * spots them early so the OS can throttle the offender. The detector
+ * monitors the write stream in windows of W writes and flags any line
+ * whose share of the window exceeds what a benign Zipf-ish workload
+ * would produce.
+ *
+ * Hardware would track approximate counts (the paper's detector uses
+ * a small tagged table); this model keeps exact per-window counts and
+ * documents the table size a practical design would need.
+ */
+
+#ifndef DEUCE_WEAR_ATTACK_DETECTOR_HH
+#define DEUCE_WEAR_ATTACK_DETECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace deuce
+{
+
+/** Write-stream monitor flagging endurance attacks. */
+class AttackDetector
+{
+  public:
+    /**
+     * @param window_writes    writes per observation window
+     * @param threshold_share  per-line share of a window above which
+     *                         the line is flagged (e.g. 0.05 = a line
+     *                         receiving >5% of all writes)
+     */
+    explicit AttackDetector(uint64_t window_writes = 4096,
+                            double threshold_share = 0.05);
+
+    /**
+     * Account one write.
+     * @return true if this write pushed its line over the threshold
+     *         within the current window (attack suspected)
+     */
+    bool onWrite(uint64_t line_addr);
+
+    /** Lines flagged since construction (across all windows). */
+    uint64_t linesFlagged() const { return linesFlagged_; }
+
+    /** Total writes observed. */
+    uint64_t writes() const { return writes_; }
+
+    /** Completed observation windows. */
+    uint64_t windows() const { return windows_; }
+
+    /** Largest per-line share seen in any completed window. */
+    double maxObservedShare() const { return maxShare_; }
+
+    /** Is the line currently flagged (until its window expires)? */
+    bool isFlagged(uint64_t line_addr) const;
+
+  private:
+    void rollWindow();
+
+    uint64_t windowWrites_;
+    uint64_t flagCount_;
+
+    uint64_t writes_ = 0;
+    uint64_t windowFill_ = 0;
+    uint64_t windows_ = 0;
+    uint64_t linesFlagged_ = 0;
+    double maxShare_ = 0.0;
+
+    std::unordered_map<uint64_t, uint64_t> counts_;
+    std::unordered_set<uint64_t> flagged_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_WEAR_ATTACK_DETECTOR_HH

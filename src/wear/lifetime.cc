@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Lifetime model implementation.
+ */
+
+#include "wear/lifetime.hh"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+LifetimeEstimate
+estimateLifetime(const WearTracker &tracker, const PcmConfig &cfg)
+{
+    deuce_assert(tracker.writes() > 0);
+
+    LifetimeEstimate est;
+    double writes = static_cast<double>(tracker.writes());
+    est.maxFlipRate =
+        static_cast<double>(tracker.maxPositionFlips()) / writes;
+    est.meanFlipRate = tracker.meanPositionFlips() / writes;
+    est.nonUniformity = (est.meanFlipRate > 0.0)
+        ? est.maxFlipRate / est.meanFlipRate : 1.0;
+    est.writesToFailure = (est.maxFlipRate > 0.0)
+        ? cfg.cellEndurance / est.maxFlipRate : cfg.cellEndurance;
+    return est;
+}
+
+double
+normalizedLifetime(const WearTracker &scheme, const WearTracker &baseline)
+{
+    LifetimeEstimate s = estimateLifetime(scheme);
+    LifetimeEstimate b = estimateLifetime(baseline);
+    deuce_assert(s.maxFlipRate > 0.0);
+    return b.maxFlipRate / s.maxFlipRate;
+}
+
+double
+perfectLeveledLifetime(const WearTracker &tracker, const PcmConfig &cfg)
+{
+    deuce_assert(tracker.writes() > 0);
+    double mean_rate = tracker.meanPositionFlips() /
+                       static_cast<double>(tracker.writes());
+    return (mean_rate > 0.0) ? cfg.cellEndurance / mean_rate
+                             : cfg.cellEndurance;
+}
+
+double
+ecpLifetime(const WearTracker &tracker, unsigned ecp_entries,
+            const PcmConfig &cfg)
+{
+    deuce_assert(tracker.writes() > 0);
+    deuce_assert(ecp_entries < CacheLine::kBits);
+
+    // The line dies when the (ecp_entries + 1)-th hottest position
+    // wears out: sort per-position flip counts descending.
+    std::vector<uint64_t> flips(CacheLine::kBits);
+    for (unsigned pos = 0; pos < CacheLine::kBits; ++pos) {
+        flips[pos] = tracker.positionFlips(pos);
+    }
+    std::nth_element(flips.begin(), flips.begin() + ecp_entries,
+                     flips.end(), std::greater<uint64_t>());
+    double limiting_rate = static_cast<double>(flips[ecp_entries]) /
+                           static_cast<double>(tracker.writes());
+    return (limiting_rate > 0.0) ? cfg.cellEndurance / limiting_rate
+                                 : cfg.cellEndurance;
+}
+
+} // namespace deuce

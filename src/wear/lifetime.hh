@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Endurance-limited lifetime model (Section 5.4 / Figure 14).
+ *
+ * With vertical wear leveling equalising wear across lines, a memory
+ * dies when the hottest *bit position within the line* reaches the
+ * cell endurance. Lifetime is therefore inversely proportional to the
+ * flip rate of the hottest position:
+ *
+ *     lifetime  ∝  endurance / max_pos(flips(pos) / lineWrites)
+ *
+ * The model turns WearTracker profiles into absolute lifetime
+ * estimates and into the paper's normalised lifetime (relative to the
+ * encrypted-memory baseline, whose flips are uniform at ~50%).
+ */
+
+#ifndef DEUCE_WEAR_LIFETIME_HH
+#define DEUCE_WEAR_LIFETIME_HH
+
+#include "pcm/config.hh"
+#include "pcm/wear_tracker.hh"
+
+namespace deuce
+{
+
+/** Lifetime summary derived from a wear profile. */
+struct LifetimeEstimate
+{
+    /** Flips per line-write at the hottest bit position. */
+    double maxFlipRate = 0.0;
+
+    /** Mean flips per line-write per bit position. */
+    double meanFlipRate = 0.0;
+
+    /** Hottest-to-mean ratio (1.0 = perfectly uniform wear). */
+    double nonUniformity = 1.0;
+
+    /**
+     * Line writes the memory survives before the hottest cell reaches
+     * the endurance limit.
+     */
+    double writesToFailure = 0.0;
+};
+
+/** Compute the lifetime estimate for a recorded wear profile. */
+LifetimeEstimate estimateLifetime(const WearTracker &tracker,
+                                  const PcmConfig &cfg = PcmConfig{});
+
+/**
+ * Lifetime of @p scheme normalised to @p baseline (both profiles must
+ * have recorded at least one write). This is the y-axis of Figure 14.
+ */
+double normalizedLifetime(const WearTracker &scheme,
+                          const WearTracker &baseline);
+
+/**
+ * Lifetime the same flip volume would achieve under perfect intra-line
+ * wear leveling (every position at the mean rate); upper bound used to
+ * validate that HWL is within ~0.5% of perfect.
+ */
+double perfectLeveledLifetime(const WearTracker &tracker,
+                              const PcmConfig &cfg = PcmConfig{});
+
+/**
+ * Lifetime with k Error-Correcting Pointers per line (Schechter et
+ * al., ISCA-2010 — the failure-handling scheme the paper's related
+ * work assumes). ECP-k lets a line survive its k hottest cells dying:
+ * the line fails when cell k+1 (by wear rate) reaches the endurance
+ * limit, so
+ *
+ *     lifetime(k) = endurance / (k+1-th largest per-position rate)
+ *
+ * @param ecp_entries number of correctable cells per line (0 = none)
+ * @return line writes survivable with ECP-k
+ */
+double ecpLifetime(const WearTracker &tracker, unsigned ecp_entries,
+                   const PcmConfig &cfg = PcmConfig{});
+
+} // namespace deuce
+
+#endif // DEUCE_WEAR_LIFETIME_HH

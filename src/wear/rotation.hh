@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Intra-line (horizontal) wear-leveling rotation policies.
+ *
+ * A rotation policy decides, per line, by how many bit positions the
+ * stored image is rotated inside the physical row. The policy of the
+ * paper (HwlRotation) derives the amount algebraically from Start-Gap
+ * state, so it costs no storage and no extra writes — the rotation of
+ * a line only changes at the instant the gap copies it, which is a
+ * full-line write anyway.
+ */
+
+#ifndef DEUCE_WEAR_ROTATION_HH
+#define DEUCE_WEAR_ROTATION_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/cache_line.hh"
+#include "wear/start_gap.hh"
+#include "wear/vwl.hh"
+
+namespace deuce
+{
+
+/** Interface: current rotation amount for a logical line. */
+class RotationPolicy
+{
+  public:
+    virtual ~RotationPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Rotation (in bits, applied as rotl) for line @p la right now. */
+    virtual unsigned rotationFor(uint64_t la) const = 0;
+
+    /** Storage overhead in bits per line (0 for algebraic policies). */
+    virtual unsigned storageBitsPerLine() const = 0;
+
+    /** Hook called after each write to line @p la. */
+    virtual void onWrite(uint64_t la) { (void)la; }
+};
+
+/** No intra-line rotation (the baseline for all non-HWL systems). */
+class NoRotation : public RotationPolicy
+{
+  public:
+    std::string name() const override { return "none"; }
+    unsigned rotationFor(uint64_t) const override { return 0; }
+    unsigned storageBitsPerLine() const override { return 0; }
+};
+
+/**
+ * Horizontal Wear Leveling (Section 5.3): rotation = epoch mod
+ * BitsInLine, where the epoch is the vertical wear leveler's
+ * per-line movement count (Start' for Start-Gap, round count for
+ * Security Refresh). Optionally hardened (footnote 2) by hashing the
+ * epoch with the line address so an adversary cannot phase-lock
+ * writes to the rotation schedule.
+ */
+class HwlRotation : public RotationPolicy
+{
+  public:
+    /**
+     * @param vwl    the vertical wear-leveling engine whose state
+     *               drives the rotation (not owned)
+     * @param hashed use Hash(epoch, LineAddress) instead of the epoch
+     * @param bits   rotation modulus (BitsInLine; default 512)
+     */
+    explicit HwlRotation(const VerticalWearLeveler &vwl,
+                         bool hashed = false,
+                         unsigned bits = CacheLine::kBits);
+
+    std::string name() const override;
+    unsigned rotationFor(uint64_t la) const override;
+    unsigned storageBitsPerLine() const override { return 0; }
+
+  private:
+    const VerticalWearLeveler &vwl_;
+    bool hashed_;
+    unsigned bits_;
+};
+
+/**
+ * Baseline from Zhou et al. (ISCA-2009): each line keeps a dedicated
+ * rotation register advanced by one bit every @p interval writes to
+ * that line. Effective, but costs log2(BitsInLine) bits per line —
+ * exactly the storage HWL avoids.
+ */
+class PerLineRotation : public RotationPolicy
+{
+  public:
+    explicit PerLineRotation(unsigned interval = 8,
+                             unsigned bits = CacheLine::kBits);
+
+    std::string name() const override { return "per-line"; }
+    unsigned rotationFor(uint64_t la) const override;
+    unsigned storageBitsPerLine() const override;
+    void onWrite(uint64_t la) override;
+
+  private:
+    unsigned interval_;
+    unsigned bits_;
+    mutable std::unordered_map<uint64_t, uint64_t> writeCount_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_WEAR_ROTATION_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Security Refresh implementation.
+ */
+
+#include "wear/security_refresh.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+SecurityRefresh::SecurityRefresh(uint64_t num_lines,
+                                 uint64_t refresh_interval,
+                                 uint64_t seed)
+    : numLines_(num_lines), refreshInterval_(refresh_interval),
+      rng_(seed)
+{
+    deuce_assert(num_lines >= 2);
+    deuce_assert(std::has_single_bit(num_lines));
+    deuce_assert(refresh_interval >= 1);
+    keyOld_ = 0; // boot mapping is the identity
+    keyNew_ = rng_.nextBounded(numLines_);
+}
+
+uint64_t
+SecurityRefresh::remap(uint64_t la) const
+{
+    deuce_assert(la < numLines_);
+    return la ^ (swapped(la) ? keyNew_ : keyOld_);
+}
+
+bool
+SecurityRefresh::onWrite()
+{
+    if (++writesSinceStep_ < refreshInterval_) {
+        return false;
+    }
+    writesSinceStep_ = 0;
+    step();
+    return true;
+}
+
+void
+SecurityRefresh::step()
+{
+    ++pointer_;
+    if (pointer_ >= numLines_) {
+        // Round complete: retire the old key, draw a fresh one.
+        pointer_ = 0;
+        keyOld_ = keyNew_;
+        // A new key equal to the old would make the round a no-op;
+        // redraw (the real hardware draws from an LFSR and tolerates
+        // this, but the redraw keeps remap churn uniform).
+        do {
+            keyNew_ = rng_.nextBounded(numLines_);
+        } while (numLines_ > 1 && keyNew_ == keyOld_);
+        ++rounds_;
+    }
+}
+
+uint64_t
+SecurityRefresh::hwlEpoch(uint64_t la) const
+{
+    // Every completed round moved the line once; within the current
+    // round it has moved iff its pair was already swapped.
+    return rounds_ + (swapped(la) ? 1 : 0);
+}
+
+} // namespace deuce

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Security Refresh vertical wear leveling (Seong, Woo & Lee,
+ * ISCA-2010) — the second VWL algorithm the paper builds HWL on.
+ *
+ * A region of N = 2^k lines is remapped by XORing the address with a
+ * random key. A refresh pointer sweeps the region; each step swaps
+ * one address *pair* from the old key's placement to the new key's.
+ * When the sweep completes, the old key retires and a fresh random
+ * key is drawn, so the mapping keeps re-randomising — unlike
+ * Start-Gap's predictable rotation, an attacker cannot aim writes at
+ * a fixed physical line.
+ *
+ * Remap rule (with m = keyOld ^ keyNew): the pair {a, a^m} has been
+ * swapped iff min(a, a^m) < pointer; swapped addresses map through
+ * keyNew, the rest through keyOld. Both placements send the pair
+ * {a, a^m} to the same two physical slots, so the overall mapping
+ * stays a bijection throughout the sweep.
+ */
+
+#ifndef DEUCE_WEAR_SECURITY_REFRESH_HH
+#define DEUCE_WEAR_SECURITY_REFRESH_HH
+
+#include "common/rng.hh"
+#include "wear/vwl.hh"
+
+namespace deuce
+{
+
+/** Security-Refresh remapping engine for a 2^k-line region. */
+class SecurityRefresh : public VerticalWearLeveler
+{
+  public:
+    /**
+     * @param num_lines        region size; must be a power of two
+     * @param refresh_interval demand writes between refresh steps
+     * @param seed             RNG seed for the remap keys
+     */
+    SecurityRefresh(uint64_t num_lines, uint64_t refresh_interval = 100,
+                    uint64_t seed = 0x5ec4ef);
+
+    uint64_t remap(uint64_t la) const override;
+    bool onWrite() override;
+    uint64_t hwlEpoch(uint64_t la) const override;
+
+    /** Completed key rounds so far. */
+    uint64_t rounds() const { return rounds_; }
+
+    uint64_t keyOld() const { return keyOld_; }
+    uint64_t keyNew() const { return keyNew_; }
+    uint64_t pointer() const { return pointer_; }
+    uint64_t numLines() const { return numLines_; }
+
+    /** True iff @p la's pair has been swapped in the current round. */
+    bool
+    swapped(uint64_t la) const
+    {
+        uint64_t m = keyOld_ ^ keyNew_;
+        uint64_t buddy = la ^ m;
+        return (la < buddy ? la : buddy) < pointer_;
+    }
+
+  private:
+    void step();
+
+    uint64_t numLines_;
+    uint64_t refreshInterval_;
+    Rng rng_;
+    uint64_t keyOld_;
+    uint64_t keyNew_;
+    uint64_t pointer_ = 0;
+    uint64_t rounds_ = 0;
+    uint64_t writesSinceStep_ = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_WEAR_SECURITY_REFRESH_HH

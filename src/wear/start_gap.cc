@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Start-Gap implementation.
+ */
+
+#include "wear/start_gap.hh"
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+StartGap::StartGap(uint64_t num_lines, uint64_t gap_interval)
+    : numLines_(num_lines), gapInterval_(gap_interval), gap_(num_lines)
+{
+    deuce_assert(num_lines >= 1);
+    deuce_assert(gap_interval >= 1);
+}
+
+uint64_t
+StartGap::remap(uint64_t la) const
+{
+    deuce_assert(la < numLines_);
+    uint64_t pa = (la + start_) % numLines_;
+    if (pa >= gap_) {
+        ++pa;
+    }
+    return pa;
+}
+
+bool
+StartGap::onWrite()
+{
+    if (++writesSinceMove_ < gapInterval_) {
+        return false;
+    }
+    writesSinceMove_ = 0;
+    moveGap();
+    return true;
+}
+
+void
+StartGap::moveGap()
+{
+    ++gapMoves_;
+    if (gap_ == 0) {
+        // The gap wraps: the content of the bottom slot moves to slot
+        // 0 and a full rotation completes, incrementing Start. Start
+        // wraps at N, by which time every line has cycled through
+        // every slot.
+        gap_ = numLines_;
+        start_ = (start_ + 1) % numLines_;
+        ++cumulativeStart_;
+    } else {
+        --gap_;
+    }
+}
+
+bool
+StartGap::gapCrossed(uint64_t la) const
+{
+    // The line has already shifted down in this rotation iff its
+    // pre-adjustment position is at or below the gap. (When the gap
+    // is at the bottom, slot N, nothing has moved yet.)
+    return (la + start_) % numLines_ >= gap_;
+}
+
+} // namespace deuce

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Start-Gap vertical wear leveling (Qureshi et al., MICRO-42).
+ *
+ * The memory provisions one spare slot (the gap). Every @p gapInterval
+ * line writes, the line just above the gap is copied into the gap,
+ * moving the gap up by one slot; after the gap has travelled through
+ * all N+1 slots every line has shifted down by one and the Start
+ * register increments. Remapping is purely algebraic:
+ *
+ *     PA = (LA + Start) mod N;  if (PA >= Gap) PA += 1
+ *
+ * so no per-line table is needed. Horizontal wear leveling (hwl.hh)
+ * reuses Start and Gap to derive a per-line bit rotation for free.
+ */
+
+#ifndef DEUCE_WEAR_START_GAP_HH
+#define DEUCE_WEAR_START_GAP_HH
+
+#include <cstdint>
+
+#include "wear/vwl.hh"
+
+namespace deuce
+{
+
+/** Start-Gap remapping engine for a region of N lines. */
+class StartGap : public VerticalWearLeveler
+{
+  public:
+    /**
+     * @param num_lines    lines in the wear-leveled region (N >= 1)
+     * @param gap_interval line writes between gap movements
+     *                     (the paper uses 100)
+     */
+    explicit StartGap(uint64_t num_lines, uint64_t gap_interval = 100);
+
+    /** Physical slot (in [0, N]) currently holding logical line @p la. */
+    uint64_t remap(uint64_t la) const override;
+
+    /**
+     * Account one demand line write; may move the gap.
+     * @return true if this write triggered a gap movement (which costs
+     *         one extra line write of wear for the copied line)
+     */
+    bool onWrite() override;
+
+    /**
+     * True iff the gap has already passed logical line @p la in the
+     * current rotation, i.e. the line has already shifted down.
+     */
+    bool gapCrossed(uint64_t la) const;
+
+    /**
+     * Start' of the HWL algebra: the cumulative rotation count, plus
+     * one if the gap has already crossed the line this rotation
+     * (Section 5.3). HWL uses the *cumulative* count (a wide
+     * hardware register) rather than the mod-N remap Start, so the
+     * rotation keeps sweeping through all bit positions even when
+     * the wear-leveled region is small.
+     */
+    uint64_t
+    startPrime(uint64_t la) const
+    {
+        return cumulativeStart_ + (gapCrossed(la) ? 1 : 0);
+    }
+
+    /** VWL interface: the HWL rotation epoch is Start'. */
+    uint64_t
+    hwlEpoch(uint64_t la) const override
+    {
+        return startPrime(la);
+    }
+
+    uint64_t start() const { return start_; }
+
+    /** Full gap rotations completed since boot (never wraps). */
+    uint64_t cumulativeStart() const { return cumulativeStart_; }
+    uint64_t gap() const { return gap_; }
+    uint64_t numLines() const { return numLines_; }
+
+    /** Total gap movements performed (extra wear writes). */
+    uint64_t gapMoves() const { return gapMoves_; }
+
+  private:
+    void moveGap();
+
+    uint64_t numLines_;
+    uint64_t gapInterval_;
+    uint64_t start_ = 0;
+    uint64_t cumulativeStart_ = 0;
+    uint64_t gap_;           ///< gap slot index in [0, N]
+    uint64_t writesSinceMove_ = 0;
+    uint64_t gapMoves_ = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_WEAR_START_GAP_HH

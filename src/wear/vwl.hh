@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Interface for vertical (line-granularity) wear-leveling engines.
+ *
+ * The paper names two VWL algorithms — Start-Gap and Security
+ * Refresh — and derives its Horizontal Wear Leveling from "the global
+ * structures used by Vertical Wear Leveling" (Section 5.3). This
+ * interface is that coupling point: any VWL exposes a monotone
+ * per-line epoch from which the HWL rotation amount is computed
+ * algebraically, with zero per-line storage.
+ */
+
+#ifndef DEUCE_WEAR_VWL_HH
+#define DEUCE_WEAR_VWL_HH
+
+#include <cstdint>
+
+namespace deuce
+{
+
+/** A vertical wear-leveling engine. */
+class VerticalWearLeveler
+{
+  public:
+    virtual ~VerticalWearLeveler() = default;
+
+    /** Physical slot currently holding logical line @p la. */
+    virtual uint64_t remap(uint64_t la) const = 0;
+
+    /**
+     * Account one demand line write.
+     * @return true if this write triggered a line movement (the
+     *         wear-leveling copy that HWL piggybacks its rotation on)
+     */
+    virtual bool onWrite() = 0;
+
+    /**
+     * Monotone count of how many times line @p la has been moved by
+     * the wear leveler since boot. HWL uses this as the rotation
+     * epoch: rotation = hwlEpoch(la) mod BitsInLine (optionally
+     * hashed with the address, footnote 2).
+     */
+    virtual uint64_t hwlEpoch(uint64_t la) const = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_WEAR_VWL_HH

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the set-associative cache model and the hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/logging.hh"
+
+namespace deuce
+{
+namespace
+{
+
+CacheConfig
+smallCache(uint64_t capacity = 1024, unsigned ways = 2)
+{
+    CacheConfig cfg;
+    cfg.name = "test";
+    cfg.capacityBytes = capacity;
+    cfg.ways = ways;
+    cfg.lineBytes = 64;
+    return cfg;
+}
+
+TEST(SetAssocCache, GeometryDerivedFromConfig)
+{
+    SetAssocCache c(smallCache(1024, 2));
+    // 1024 B / (64 B * 2 ways) = 8 sets.
+    EXPECT_EQ(c.numSets(), 8u);
+}
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache c(smallCache());
+    CacheAccessResult r = c.access(5, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.writeback.has_value());
+    r = c.access(5, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(c.accesses(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCache, LruEviction)
+{
+    SetAssocCache c(smallCache(1024, 2)); // 8 sets, 2 ways
+    // Three lines mapping to set 0: 0, 8, 16.
+    c.access(0, false);
+    c.access(8, false);
+    c.access(0, false);  // 0 becomes MRU
+    c.access(16, false); // evicts 8 (LRU)
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(8));
+    EXPECT_TRUE(c.contains(16));
+}
+
+TEST(SetAssocCache, DirtyEvictionProducesWriteback)
+{
+    SetAssocCache c(smallCache(1024, 2));
+    c.access(0, true); // dirty
+    c.access(8, false);
+    CacheAccessResult r = c.access(16, false); // evicts 0
+    ASSERT_TRUE(r.writeback.has_value());
+    EXPECT_EQ(*r.writeback, 0u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(SetAssocCache, CleanEvictionIsSilent)
+{
+    SetAssocCache c(smallCache(1024, 2));
+    c.access(0, false);
+    c.access(8, false);
+    CacheAccessResult r = c.access(16, false);
+    EXPECT_FALSE(r.writeback.has_value());
+}
+
+TEST(SetAssocCache, WriteHitMarksDirty)
+{
+    SetAssocCache c(smallCache(1024, 2));
+    c.access(0, false);
+    EXPECT_FALSE(c.isDirty(0));
+    c.access(0, true);
+    EXPECT_TRUE(c.isDirty(0));
+}
+
+TEST(SetAssocCache, FlushDirtyDrainsAndClears)
+{
+    SetAssocCache c(smallCache(1024, 2));
+    c.access(0, true);
+    c.access(8, true);
+    c.access(1, false);
+    auto flushed = c.flushDirty();
+    EXPECT_EQ(flushed.size(), 2u);
+    EXPECT_FALSE(c.isDirty(0));
+    EXPECT_FALSE(c.isDirty(8));
+    EXPECT_TRUE(c.contains(0)) << "flush keeps lines resident";
+    EXPECT_TRUE(c.flushDirty().empty());
+}
+
+TEST(SetAssocCache, MissRatio)
+{
+    SetAssocCache c(smallCache());
+    c.access(1, false);
+    c.access(1, false);
+    c.access(1, false);
+    c.access(2, false);
+    EXPECT_DOUBLE_EQ(c.missRatio(), 0.5);
+}
+
+TEST(SetAssocCache, InvalidGeometryRejected)
+{
+    CacheConfig cfg = smallCache(1000, 2); // not divisible
+    EXPECT_THROW(SetAssocCache{cfg}, PanicError);
+}
+
+TEST(CacheHierarchy, MissesPropagateAndFill)
+{
+    std::vector<CacheConfig> levels = {smallCache(512, 2),
+                                       smallCache(4096, 4)};
+    CacheHierarchy h(levels);
+    h.access(3, false);
+    EXPECT_EQ(h.level(0).misses(), 1u);
+    EXPECT_EQ(h.level(1).misses(), 1u);
+    // Now resident everywhere: L1 hit, L2 untouched.
+    h.access(3, false);
+    EXPECT_EQ(h.level(0).misses(), 1u);
+    EXPECT_EQ(h.level(1).accesses(), 1u);
+}
+
+TEST(CacheHierarchy, DirtyVictimLandsInNextLevel)
+{
+    std::vector<CacheConfig> levels = {smallCache(128, 1),
+                                       smallCache(4096, 4)};
+    CacheHierarchy h(levels);
+    // L1 has 2 sets; lines 0 and 2 collide in set 0.
+    h.access(0, true);
+    auto to_mem = h.access(2, false); // evicts dirty 0 from L1
+    EXPECT_TRUE(to_mem.empty()) << "L2 absorbs the victim";
+    EXPECT_TRUE(h.level(1).isDirty(0));
+}
+
+TEST(CacheHierarchy, LastLevelEvictionReachesMemory)
+{
+    std::vector<CacheConfig> levels = {smallCache(128, 1),
+                                       smallCache(128, 1)};
+    CacheHierarchy h(levels);
+    // Both levels: 2 sets, 1 way; lines 0, 2, 4 collide in set 0.
+    // The hierarchy is mostly-inclusive: a demand miss allocates in
+    // every level, so the second access already squeezes the first
+    // line out of the (equal-sized) L2, and each further conflicting
+    // access spills the previous line to memory.
+    auto first = h.access(0, true);
+    EXPECT_TRUE(first.empty());
+    auto second = h.access(2, true);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0], 0u);
+    auto third = h.access(4, true);
+    ASSERT_EQ(third.size(), 1u);
+    EXPECT_EQ(third[0], 2u);
+}
+
+TEST(CacheHierarchy, FlushDrainsEverythingToMemory)
+{
+    std::vector<CacheConfig> levels = {smallCache(256, 2),
+                                       smallCache(1024, 2)};
+    CacheHierarchy h(levels);
+    for (uint64_t line = 0; line < 4; ++line) {
+        h.access(line, true);
+    }
+    auto to_mem = h.flush();
+    EXPECT_EQ(to_mem.size(), 4u);
+    // A second flush finds nothing dirty.
+    EXPECT_TRUE(h.flush().empty());
+}
+
+TEST(CacheHierarchy, WritebackFilteringReducesTraffic)
+{
+    // Repeatedly writing a small working set through a big cache
+    // must produce far fewer memory writebacks than writes.
+    std::vector<CacheConfig> levels = {smallCache(64 * 1024, 16)};
+    CacheHierarchy h(levels);
+    uint64_t to_mem = 0;
+    const int writes = 10000;
+    for (int i = 0; i < writes; ++i) {
+        to_mem += h.access(static_cast<uint64_t>(i % 128), true).size();
+    }
+    EXPECT_LT(to_mem, 10u);
+}
+
+} // namespace
+} // namespace deuce

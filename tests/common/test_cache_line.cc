@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for CacheLine: bit/byte/field accessors, popcount,
+ * Hamming distances, rotations, and byte serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cache_line.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace deuce
+{
+namespace
+{
+
+CacheLine
+randomLine(Rng &rng)
+{
+    CacheLine line;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        line.limb(i) = rng.next();
+    }
+    return line;
+}
+
+TEST(CacheLine, DefaultIsAllZero)
+{
+    CacheLine line;
+    EXPECT_EQ(line.popcount(), 0u);
+    for (unsigned i = 0; i < CacheLine::kBits; ++i) {
+        EXPECT_FALSE(line.bit(i));
+    }
+}
+
+TEST(CacheLine, SetAndGetSingleBits)
+{
+    CacheLine line;
+    line.setBit(0, true);
+    line.setBit(63, true);
+    line.setBit(64, true);
+    line.setBit(511, true);
+    EXPECT_TRUE(line.bit(0));
+    EXPECT_TRUE(line.bit(63));
+    EXPECT_TRUE(line.bit(64));
+    EXPECT_TRUE(line.bit(511));
+    EXPECT_EQ(line.popcount(), 4u);
+
+    line.setBit(63, false);
+    EXPECT_FALSE(line.bit(63));
+    EXPECT_EQ(line.popcount(), 3u);
+}
+
+TEST(CacheLine, ByteAccessorsMatchBitLayout)
+{
+    CacheLine line;
+    line.setByte(0, 0x01);  // bit 0
+    line.setByte(7, 0x80);  // bit 63
+    line.setByte(8, 0xff);  // bits 64..71
+    EXPECT_TRUE(line.bit(0));
+    EXPECT_TRUE(line.bit(63));
+    for (unsigned b = 64; b < 72; ++b) {
+        EXPECT_TRUE(line.bit(b));
+    }
+    EXPECT_EQ(line.byte(0), 0x01);
+    EXPECT_EQ(line.byte(7), 0x80);
+    EXPECT_EQ(line.byte(8), 0xff);
+    EXPECT_EQ(line.byte(9), 0x00);
+}
+
+TEST(CacheLine, FieldExtractWithinLimb)
+{
+    CacheLine line;
+    line.limb(0) = 0x123456789abcdef0ull;
+    EXPECT_EQ(line.field(0, 16), 0xdef0u);
+    EXPECT_EQ(line.field(16, 16), 0x9abcu);
+    EXPECT_EQ(line.field(4, 8), 0xefu);
+    EXPECT_EQ(line.field(0, 64), 0x123456789abcdef0ull);
+}
+
+TEST(CacheLine, FieldCrossesLimbBoundary)
+{
+    CacheLine line;
+    line.limb(0) = 0xf000000000000000ull;
+    line.limb(1) = 0x000000000000000aull;
+    // Bits 60..67: 0xf from limb 0, 0xa from limb 1 -> 0xaf.
+    EXPECT_EQ(line.field(60, 8), 0xafu);
+}
+
+TEST(CacheLine, SetFieldRoundTrip)
+{
+    Rng rng(7);
+    CacheLine line = randomLine(rng);
+    for (unsigned lsb : {0u, 5u, 60u, 120u, 250u, 448u}) {
+        for (unsigned width : {1u, 8u, 16u, 31u, 64u}) {
+            if (lsb + width > CacheLine::kBits) {
+                continue;
+            }
+            uint64_t value = rng.next();
+            CacheLine copy = line;
+            copy.setField(lsb, width, value);
+            uint64_t mask = (width == 64)
+                ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+            EXPECT_EQ(copy.field(lsb, width), value & mask)
+                << "lsb=" << lsb << " width=" << width;
+        }
+    }
+}
+
+TEST(CacheLine, SetFieldDoesNotDisturbNeighbours)
+{
+    CacheLine line;
+    line.setField(100, 16, 0xffff);
+    EXPECT_EQ(line.popcount(), 16u);
+    EXPECT_FALSE(line.bit(99));
+    EXPECT_FALSE(line.bit(116));
+    for (unsigned b = 100; b < 116; ++b) {
+        EXPECT_TRUE(line.bit(b));
+    }
+}
+
+TEST(CacheLine, XorAndComplement)
+{
+    Rng rng(11);
+    CacheLine a = randomLine(rng);
+    CacheLine b = randomLine(rng);
+    CacheLine x = a ^ b;
+    EXPECT_EQ(x ^ b, a);
+    EXPECT_EQ(x ^ a, b);
+    EXPECT_EQ((a ^ a).popcount(), 0u);
+    EXPECT_EQ((a ^ ~a).popcount(), CacheLine::kBits);
+}
+
+TEST(CacheLine, HammingDistanceFullLine)
+{
+    CacheLine a, b;
+    EXPECT_EQ(hammingDistance(a, b), 0u);
+    b.setBit(3, true);
+    b.setBit(333, true);
+    EXPECT_EQ(hammingDistance(a, b), 2u);
+    EXPECT_EQ(hammingDistance(b, a), 2u);
+}
+
+TEST(CacheLine, HammingDistanceRegion)
+{
+    CacheLine a, b;
+    b.setBit(10, true);
+    b.setBit(20, true);
+    b.setBit(100, true);
+    EXPECT_EQ(hammingDistance(a, b, 0, 64), 2u);
+    EXPECT_EQ(hammingDistance(a, b, 64, 64), 1u);
+    EXPECT_EQ(hammingDistance(a, b, 128, 128), 0u);
+    EXPECT_EQ(hammingDistance(a, b, 0, 512), 3u);
+    // Unaligned regions.
+    EXPECT_EQ(hammingDistance(a, b, 15, 10), 1u);
+    EXPECT_EQ(hammingDistance(a, b, 21, 100), 1u);
+}
+
+TEST(CacheLine, RotlMovesBitsAsDocumented)
+{
+    CacheLine line;
+    line.setBit(0, true);
+    CacheLine rot = line.rotl(5);
+    EXPECT_TRUE(rot.bit(5));
+    EXPECT_EQ(rot.popcount(), 1u);
+
+    // Wrap-around.
+    CacheLine top;
+    top.setBit(511, true);
+    EXPECT_TRUE(top.rotl(1).bit(0));
+    EXPECT_TRUE(top.rotl(513).bit(0)); // modulo 512
+}
+
+TEST(CacheLine, RotationRoundTripsForAllAmounts)
+{
+    Rng rng(13);
+    CacheLine line = randomLine(rng);
+    for (unsigned amount = 0; amount < CacheLine::kBits; amount += 7) {
+        EXPECT_EQ(line.rotl(amount).rotr(amount), line)
+            << "amount=" << amount;
+    }
+    EXPECT_EQ(line.rotl(0), line);
+    EXPECT_EQ(line.rotl(512), line);
+}
+
+TEST(CacheLine, RotationPreservesPopcount)
+{
+    Rng rng(17);
+    CacheLine line = randomLine(rng);
+    unsigned pop = line.popcount();
+    for (unsigned amount : {1u, 17u, 63u, 64u, 65u, 300u, 511u}) {
+        EXPECT_EQ(line.rotl(amount).popcount(), pop);
+    }
+}
+
+TEST(CacheLine, RotationComposition)
+{
+    Rng rng(19);
+    CacheLine line = randomLine(rng);
+    EXPECT_EQ(line.rotl(100).rotl(200), line.rotl(300));
+    EXPECT_EQ(line.rotl(400).rotl(200), line.rotl(88)); // mod 512
+}
+
+TEST(CacheLine, ByteSerializationRoundTrip)
+{
+    Rng rng(23);
+    CacheLine line = randomLine(rng);
+    uint8_t buf[CacheLine::kBytes];
+    line.toBytes(buf);
+    EXPECT_EQ(CacheLine::fromBytes(buf), line);
+    // Byte i of the buffer must equal byte accessor i.
+    for (unsigned i = 0; i < CacheLine::kBytes; ++i) {
+        EXPECT_EQ(buf[i], line.byte(i));
+    }
+}
+
+TEST(CacheLine, HexDump)
+{
+    CacheLine line;
+    line.setByte(0, 0xab);
+    std::string hex = line.toHex();
+    ASSERT_EQ(hex.size(), 128u);
+    // Limb 7 prints first; byte 0 is the last two hex digits.
+    EXPECT_EQ(hex.substr(126, 2), "ab");
+    EXPECT_EQ(hex.substr(0, 2), "00");
+}
+
+TEST(CacheLine, FieldBoundsChecked)
+{
+    CacheLine line;
+    EXPECT_THROW(line.field(500, 20), PanicError);
+    EXPECT_THROW((void)line.field(0, 0), PanicError);
+    EXPECT_THROW(line.setField(512, 1, 0), PanicError);
+}
+
+} // namespace
+} // namespace deuce

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit and statistical tests for Rng and ZipfSampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool differs_from_c = false;
+    for (int i = 0; i < 100; ++i) {
+        uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next()) {
+            differs_from_c = true;
+        }
+    }
+    EXPECT_TRUE(differs_from_c);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(1);
+    for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.nextBounded(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng rng(2);
+    std::map<uint64_t, int> seen;
+    for (int i = 0; i < 1000; ++i) {
+        ++seen[rng.nextBounded(5)];
+    }
+    EXPECT_EQ(seen.size(), 5u);
+    for (const auto &[value, count] : seen) {
+        EXPECT_GT(count, 100) << "value " << value << " under-sampled";
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(4);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+}
+
+TEST(Rng, PositiveGeometricMeanAndSupport)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        unsigned v = rng.nextPositiveGeometric(3.5);
+        ASSERT_GE(v, 1u);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 20000.0, 3.5, 0.15);
+    // Mean <= 1 degenerates to constant 1.
+    EXPECT_EQ(rng.nextPositiveGeometric(0.5), 1u);
+}
+
+TEST(Rng, PoissonMean)
+{
+    Rng rng(6);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        sum += rng.nextPoisson(2.5);
+    }
+    EXPECT_NEAR(sum / 20000.0, 2.5, 0.1);
+    EXPECT_EQ(rng.nextPoisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedSamplingFollowsWeights)
+{
+    Rng rng(7);
+    std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 20000; ++i) {
+        ++counts[rng.nextWeighted(weights)];
+    }
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / 20000.0, 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / 20000.0, 0.3, 0.02);
+    EXPECT_NEAR(counts[3] / 20000.0, 0.6, 0.02);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(8);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (parent.next() == child.next()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(ZipfSampler, UniformWhenAlphaZero)
+{
+    Rng rng(9);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 50000; ++i) {
+        uint64_t s = zipf.sample(rng);
+        ASSERT_LT(s, 10u);
+        ++counts[s];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(c / 50000.0, 0.1, 0.01);
+    }
+}
+
+TEST(ZipfSampler, SkewFavorsLowRanks)
+{
+    Rng rng(10);
+    ZipfSampler zipf(1000, 1.0);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 100000; ++i) {
+        uint64_t s = zipf.sample(rng);
+        ASSERT_LT(s, 1000u);
+        ++counts[s];
+    }
+    // Rank 0 should dominate and counts should broadly decay.
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[200]);
+    // For alpha=1 the ratio count[0]/count[9] is about 10.
+    EXPECT_NEAR(static_cast<double>(counts[0]) / counts[9], 10.0, 4.0);
+}
+
+TEST(ZipfSampler, SingleItemAlwaysZero)
+{
+    Rng rng(11);
+    ZipfSampler zipf(1, 1.2);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(zipf.sample(rng), 0u);
+    }
+}
+
+TEST(ZipfSampler, AlphaGreaterThanOne)
+{
+    Rng rng(12);
+    ZipfSampler zipf(64, 1.7);
+    std::vector<int> counts(64, 0);
+    for (int i = 0; i < 50000; ++i) {
+        ++counts[zipf.sample(rng)];
+    }
+    // Heavily skewed: top rank takes a large share.
+    EXPECT_GT(counts[0], 50000 / 4);
+}
+
+} // namespace
+} // namespace deuce

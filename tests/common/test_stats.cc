@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for RunningStat and Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(x);
+    }
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    // Sample variance of this classic sequence is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(-3.5);
+    EXPECT_EQ(s.mean(), -3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), -3.5);
+    EXPECT_EQ(s.max(), -3.5);
+}
+
+TEST(RunningStat, ClearResets)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, NumericallyStableOnLargeOffsets)
+{
+    RunningStat s;
+    const double base = 1e12;
+    for (int i = 0; i < 1000; ++i) {
+        s.add(base + (i % 2));
+    }
+    EXPECT_NEAR(s.mean(), base + 0.5, 1e-3);
+    EXPECT_NEAR(s.variance(), 0.25, 1e-3);
+}
+
+TEST(Histogram, BinsAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.0);   // bin 0
+    h.add(0.99);  // bin 0
+    h.add(5.0);   // bin 5
+    h.add(9.99);  // bin 9
+    h.add(-1.0);  // underflow
+    h.add(10.0);  // overflow (hi is exclusive)
+    h.add(42.0);  // overflow
+
+    EXPECT_EQ(h.totalCount(), 7u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLo(5), 5.0);
+}
+
+TEST(Histogram, QuantileApproximation)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i) {
+        h.add(i + 0.5);
+    }
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.5, 1.0);
+}
+
+TEST(Histogram, InvalidConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), PanicError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), PanicError);
+}
+
+} // namespace
+} // namespace deuce

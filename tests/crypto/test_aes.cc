@@ -1,0 +1,133 @@
+/**
+ * @file
+ * AES-128 validation against FIPS-197 / NIST vectors, plus structural
+ * properties (decrypt inverts encrypt, avalanche behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+
+namespace deuce
+{
+namespace
+{
+
+AesBlock
+blockFromHex(const char *hex)
+{
+    AesBlock b{};
+    for (unsigned i = 0; i < 16; ++i) {
+        auto nibble = [](char c) -> uint8_t {
+            if (c >= '0' && c <= '9') return static_cast<uint8_t>(c - '0');
+            return static_cast<uint8_t>(c - 'a' + 10);
+        };
+        b[i] = static_cast<uint8_t>((nibble(hex[2 * i]) << 4) |
+                                    nibble(hex[2 * i + 1]));
+    }
+    return b;
+}
+
+/** FIPS-197 Appendix B: the canonical worked example. */
+TEST(Aes128, Fips197AppendixB)
+{
+    Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    AesBlock pt = blockFromHex("3243f6a8885a308d313198a2e0370734");
+    AesBlock expect = blockFromHex("3925841d02dc09fbdc118597196a0b32");
+    EXPECT_EQ(aes.encrypt(pt), expect);
+}
+
+/** FIPS-197 Appendix C.1: sequential key and plaintext. */
+TEST(Aes128, Fips197AppendixC1)
+{
+    Aes128 aes(blockFromHex("000102030405060708090a0b0c0d0e0f"));
+    AesBlock pt = blockFromHex("00112233445566778899aabbccddeeff");
+    AesBlock expect = blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    EXPECT_EQ(aes.encrypt(pt), expect);
+    EXPECT_EQ(aes.decrypt(expect), pt);
+}
+
+/** NIST SP 800-38A ECB-AES128 vectors (all four blocks). */
+TEST(Aes128, NistSp80038aEcbVectors)
+{
+    Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const char *pts[4] = {
+        "6bc1bee22e409f96e93d7e117393172a",
+        "ae2d8a571e03ac9c9eb76fac45af8e51",
+        "30c81c46a35ce411e5fbc1191a0a52ef",
+        "f69f2445df4f9b17ad2b417be66c3710",
+    };
+    const char *cts[4] = {
+        "3ad77bb40d7a3660a89ecaf32466ef97",
+        "f5d3d58503b9699de785895a96fdbaaf",
+        "43b1cd7f598ece23881b00e3ed030688",
+        "7b0c785e27e8ad3f8223207104725dd4",
+    };
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(aes.encrypt(blockFromHex(pts[i])),
+                  blockFromHex(cts[i])) << "vector " << i;
+    }
+}
+
+TEST(Aes128, DecryptInvertsEncryptOnRandomBlocks)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        AesKey key;
+        AesBlock pt;
+        for (unsigned i = 0; i < 16; ++i) {
+            key[i] = static_cast<uint8_t>(rng.next());
+            pt[i] = static_cast<uint8_t>(rng.next());
+        }
+        Aes128 aes(key);
+        EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+    }
+}
+
+TEST(Aes128, AvalancheHalfTheBitsFlipOnOneBitChange)
+{
+    Rng rng(101);
+    AesKey key{};
+    Aes128 aes(key);
+    double total = 0.0;
+    const int trials = 200;
+    for (int trial = 0; trial < trials; ++trial) {
+        AesBlock pt;
+        for (unsigned i = 0; i < 16; ++i) {
+            pt[i] = static_cast<uint8_t>(rng.next());
+        }
+        AesBlock pt2 = pt;
+        pt2[rng.nextBounded(16)] ^=
+            static_cast<uint8_t>(1u << rng.nextBounded(8));
+
+        AesBlock c1 = aes.encrypt(pt);
+        AesBlock c2 = aes.encrypt(pt2);
+        int diff = 0;
+        for (unsigned i = 0; i < 16; ++i) {
+            diff += __builtin_popcount(c1[i] ^ c2[i]);
+        }
+        total += diff;
+    }
+    // Mean flips across trials should be very close to 64 of 128.
+    EXPECT_NEAR(total / trials, 64.0, 3.0);
+}
+
+TEST(Aes128, DifferentKeysGiveDifferentCiphertexts)
+{
+    AesBlock pt{};
+    Aes128 a(blockFromHex("00000000000000000000000000000000"));
+    Aes128 b(blockFromHex("00000000000000000000000000000001"));
+    EXPECT_NE(a.encrypt(pt), b.encrypt(pt));
+}
+
+TEST(Aes128, EncryptIsDeterministic)
+{
+    AesKey key = blockFromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Aes128 a(key), b(key);
+    AesBlock pt = blockFromHex("6bc1bee22e409f96e93d7e117393172a");
+    EXPECT_EQ(a.encrypt(pt), b.encrypt(pt));
+}
+
+} // namespace
+} // namespace deuce

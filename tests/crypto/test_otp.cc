@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the counter-mode pad generators: determinism, uniqueness
+ * over the (address, counter, block) space, avalanche statistics, and
+ * the statistical equivalence of the fast engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/cache_line.hh"
+#include "crypto/otp_engine.hh"
+
+namespace deuce
+{
+namespace
+{
+
+class OtpEngineTest : public ::testing::TestWithParam<bool>
+{
+  protected:
+    std::unique_ptr<OtpEngine>
+    make(uint64_t seed = 0x1234)
+    {
+        if (GetParam()) {
+            return std::make_unique<FastOtpEngine>(seed);
+        }
+        return makeAesOtpEngine(seed);
+    }
+};
+
+TEST_P(OtpEngineTest, Deterministic)
+{
+    auto a = make();
+    auto b = make();
+    EXPECT_EQ(a->padForBlock(5, 7, 2), b->padForBlock(5, 7, 2));
+    EXPECT_EQ(a->padForLine(99, 1000), b->padForLine(99, 1000));
+}
+
+TEST_P(OtpEngineTest, DistinctAcrossInputs)
+{
+    auto otp = make();
+    std::set<AesBlock> seen;
+    for (uint64_t addr = 0; addr < 8; ++addr) {
+        for (uint64_t ctr = 0; ctr < 8; ++ctr) {
+            for (unsigned block = 0; block < 4; ++block) {
+                auto [it, inserted] =
+                    seen.insert(otp->padForBlock(addr, ctr, block));
+                EXPECT_TRUE(inserted)
+                    << "pad collision at addr=" << addr
+                    << " ctr=" << ctr << " block=" << block;
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(), 8u * 8u * 4u);
+}
+
+TEST_P(OtpEngineTest, KeyChangesPad)
+{
+    auto a = make(1);
+    auto b = make(2);
+    EXPECT_NE(a->padForBlock(0, 0, 0), b->padForBlock(0, 0, 0));
+}
+
+TEST_P(OtpEngineTest, PadForLineConcatenatesBlocks)
+{
+    auto otp = make();
+    CacheLine pad = otp->padForLine(321, 17);
+    for (unsigned block = 0; block < 4; ++block) {
+        AesBlock expected = otp->padForBlock(321, 17, block);
+        for (unsigned i = 0; i < 16; ++i) {
+            EXPECT_EQ(pad.byte(block * 16 + i), expected[i]);
+        }
+    }
+}
+
+TEST_P(OtpEngineTest, ConsecutiveCounterPadsDifferInHalfTheBits)
+{
+    auto otp = make();
+    double total = 0.0;
+    const int trials = 200;
+    for (int i = 0; i < trials; ++i) {
+        CacheLine p1 = otp->padForLine(42, i);
+        CacheLine p2 = otp->padForLine(42, i + 1);
+        total += hammingDistance(p1, p2);
+    }
+    // This is the paper's core premise: a counter bump re-randomises
+    // about half of the 512 pad bits.
+    EXPECT_NEAR(total / trials, 256.0, 8.0);
+}
+
+TEST_P(OtpEngineTest, PadBitsAreBalanced)
+{
+    auto otp = make();
+    double total = 0.0;
+    const int trials = 200;
+    for (int i = 0; i < trials; ++i) {
+        total += otp->padForLine(7, i).popcount();
+    }
+    EXPECT_NEAR(total / trials, 256.0, 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AesAndFast, OtpEngineTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "Fast" : "Aes";
+                         });
+
+TEST(OtpEngines, FastAndAesHaveMatchingFlipStatistics)
+{
+    // The fast engine is only legitimate as an AES stand-in if the
+    // flip statistics agree; compare the mean pad-to-pad Hamming
+    // distance of both engines.
+    auto aes = makeAesOtpEngine(5);
+    FastOtpEngine fast(5);
+    double aes_mean = 0.0, fast_mean = 0.0;
+    const int trials = 300;
+    for (int i = 0; i < trials; ++i) {
+        aes_mean += hammingDistance(aes->padForLine(9, i),
+                                    aes->padForLine(9, i + 1));
+        fast_mean += hammingDistance(fast.padForLine(9, i),
+                                     fast.padForLine(9, i + 1));
+    }
+    aes_mean /= trials;
+    fast_mean /= trials;
+    EXPECT_NEAR(aes_mean, fast_mean, 6.0);
+}
+
+TEST(OtpEngines, BlockIndexOutOfRangePanics)
+{
+    auto otp = makeAesOtpEngine(1);
+    EXPECT_ANY_THROW(otp->padForBlock(0, 0, 4));
+}
+
+} // namespace
+} // namespace deuce

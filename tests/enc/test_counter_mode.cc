@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for baseline counter-mode encryption (with and without FNW)
+ * and the unencrypted baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/counter_mode.hh"
+#include "enc/no_encryption.hh"
+
+namespace deuce
+{
+namespace
+{
+
+CacheLine
+randomLine(Rng &rng)
+{
+    CacheLine line;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        line.limb(i) = rng.next();
+    }
+    return line;
+}
+
+class CounterModeTest : public ::testing::Test
+{
+  protected:
+    CounterModeTest() : otp_(makeAesOtpEngine(77)) {}
+    std::unique_ptr<OtpEngine> otp_;
+};
+
+TEST_F(CounterModeTest, InstallThenReadReturnsPlaintext)
+{
+    CounterModeEncryption enc(*otp_);
+    Rng rng(1);
+    CacheLine plain = randomLine(rng);
+    StoredLineState state;
+    enc.install(123, plain, state);
+    EXPECT_EQ(enc.read(123, state), plain);
+    EXPECT_EQ(state.counter, 0u);
+}
+
+TEST_F(CounterModeTest, CiphertextIsNotPlaintext)
+{
+    CounterModeEncryption enc(*otp_);
+    Rng rng(2);
+    CacheLine plain = randomLine(rng);
+    StoredLineState state;
+    enc.install(5, plain, state);
+    // The stored image must differ from the plaintext in ~half the
+    // bits; equality would mean no encryption at all.
+    EXPECT_NEAR(hammingDistance(state.data, plain), 256u, 60u);
+}
+
+TEST_F(CounterModeTest, WriteIncrementsCounterAndRoundTrips)
+{
+    CounterModeEncryption enc(*otp_);
+    Rng rng(3);
+    StoredLineState state;
+    enc.install(9, randomLine(rng), state);
+    for (uint64_t i = 1; i <= 20; ++i) {
+        CacheLine plain = randomLine(rng);
+        enc.write(9, plain, state);
+        EXPECT_EQ(state.counter, i);
+        EXPECT_EQ(enc.read(9, state), plain);
+    }
+}
+
+TEST_F(CounterModeTest, RewritingSameDataStillFlipsHalfTheBits)
+{
+    // The Avalanche problem of Figure 1(a): even a writeback that
+    // changes nothing re-encrypts with a fresh pad.
+    CounterModeEncryption enc(*otp_);
+    Rng rng(4);
+    CacheLine plain = randomLine(rng);
+    StoredLineState state;
+    enc.install(1, plain, state);
+    WriteResult r = enc.write(1, plain, state);
+    EXPECT_NEAR(r.dataFlips, 256u, 60u);
+    EXPECT_EQ(enc.read(1, state), plain);
+}
+
+TEST_F(CounterModeTest, AverageFlipsAreFiftyPercent)
+{
+    CounterModeEncryption enc(*otp_);
+    Rng rng(5);
+    StoredLineState state;
+    enc.install(2, randomLine(rng), state);
+    double total = 0.0;
+    const int writes = 300;
+    for (int i = 0; i < writes; ++i) {
+        total += enc.write(2, randomLine(rng), state).dataFlips;
+    }
+    EXPECT_NEAR(total / writes / CacheLine::kBits, 0.5, 0.02);
+}
+
+TEST_F(CounterModeTest, CounterFlipsChargedAsMetadata)
+{
+    CounterModeEncryption enc(*otp_);
+    Rng rng(6);
+    StoredLineState state;
+    enc.install(3, randomLine(rng), state);
+    WriteResult r = enc.write(3, randomLine(rng), state);
+    // Counter 0 -> 1 flips exactly one bit.
+    EXPECT_EQ(r.metaFlips, 1u);
+    r = enc.write(3, randomLine(rng), state);
+    // Counter 1 -> 2 flips two bits.
+    EXPECT_EQ(r.metaFlips, 2u);
+}
+
+TEST_F(CounterModeTest, FnwCompositionRoundTripsAndReducesFlips)
+{
+    CounterModeEncryption plain_enc(*otp_);
+    CounterModeEncryption fnw_enc(*otp_, true);
+    Rng rng(7);
+
+    StoredLineState s1, s2;
+    CacheLine init = randomLine(rng);
+    plain_enc.install(4, init, s1);
+    fnw_enc.install(4, init, s2);
+
+    double flips_plain = 0.0, flips_fnw = 0.0;
+    const int writes = 300;
+    for (int i = 0; i < writes; ++i) {
+        CacheLine data = randomLine(rng);
+        flips_plain += plain_enc.write(4, data, s1).totalFlips();
+        flips_fnw += fnw_enc.write(4, data, s2).totalFlips();
+        ASSERT_EQ(fnw_enc.read(4, s2), data);
+    }
+    // Paper: 50% -> 43%.
+    EXPECT_NEAR(flips_plain / writes / CacheLine::kBits, 0.50, 0.02);
+    EXPECT_NEAR(flips_fnw / writes / CacheLine::kBits, 0.43, 0.02);
+}
+
+TEST_F(CounterModeTest, DifferentAddressesGetDifferentCiphertext)
+{
+    CounterModeEncryption enc(*otp_);
+    Rng rng(8);
+    CacheLine plain = randomLine(rng);
+    StoredLineState a, b;
+    enc.install(100, plain, a);
+    enc.install(101, plain, b);
+    // Same data, same counter, different address: dictionary attacks
+    // must not see equal ciphertext (Figure 2b).
+    EXPECT_NE(a.data, b.data);
+}
+
+TEST_F(CounterModeTest, TrackingOverheadMatchesTable3)
+{
+    CounterModeEncryption plain_enc(*otp_);
+    CounterModeEncryption fnw_enc(*otp_, true);
+    EXPECT_EQ(plain_enc.trackingBitsPerLine(), 0u);
+    EXPECT_EQ(fnw_enc.trackingBitsPerLine(), 32u);
+}
+
+TEST(NoEncryption, StoresPlaintextAndCountsDcwFlips)
+{
+    NoEncryption enc(false);
+    Rng rng(9);
+    CacheLine a = randomLine(rng);
+    StoredLineState state;
+    enc.install(0, a, state);
+    EXPECT_EQ(state.data, a);
+
+    CacheLine b = a;
+    b.setBit(0, !b.bit(0));
+    b.setBit(99, !b.bit(99));
+    WriteResult r = enc.write(0, b, state);
+    EXPECT_EQ(r.dataFlips, 2u);
+    EXPECT_EQ(r.metaFlips, 0u);
+    EXPECT_EQ(enc.read(0, state), b);
+}
+
+TEST(NoEncryption, FnwVariantRoundTrips)
+{
+    NoEncryption enc(true);
+    Rng rng(10);
+    StoredLineState state;
+    enc.install(0, randomLine(rng), state);
+    for (int i = 0; i < 50; ++i) {
+        CacheLine data = randomLine(rng);
+        enc.write(0, data, state);
+        ASSERT_EQ(enc.read(0, state), data);
+    }
+    EXPECT_EQ(enc.trackingBitsPerLine(), 32u);
+}
+
+} // namespace
+} // namespace deuce

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fuzz-style cross-component consistency checks: long random traffic
+ * through the full stack, with every internal accounting channel
+ * cross-validated against every other on each step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/scheme_factory.hh"
+#include "pcm/write_slots.hh"
+#include "sim/memory_system.hh"
+
+namespace deuce
+{
+namespace
+{
+
+CacheLine
+randomLine(Rng &rng)
+{
+    CacheLine line;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        line.limb(i) = rng.next();
+    }
+    return line;
+}
+
+class FuzzConsistencyTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FuzzConsistencyTest, AllAccountingChannelsAgree)
+{
+    auto otp = std::make_unique<FastOtpEngine>(77);
+    auto scheme = makeScheme(GetParam(), *otp);
+    WearLevelingConfig wl;
+    wl.verticalEnabled = true;
+    wl.numLines = 64;
+    wl.gapWriteInterval = 3;
+    MemorySystem memory(*scheme, wl);
+
+    Rng rng(123);
+    std::map<uint64_t, CacheLine> truth;
+    uint64_t total_flips = 0;
+    uint64_t total_slots = 0;
+    uint64_t writes = 0;
+
+    for (int step = 0; step < 1500; ++step) {
+        uint64_t addr = rng.nextBounded(48);
+        CacheLine data = truth.count(addr) ? truth[addr] : CacheLine{};
+        unsigned touches =
+            1 + static_cast<unsigned>(rng.nextBounded(10));
+        for (unsigned t = 0; t < touches; ++t) {
+            data.setByte(static_cast<unsigned>(rng.nextBounded(64)),
+                         static_cast<uint8_t>(rng.next()));
+        }
+        if (rng.nextBool(0.1)) {
+            data = randomLine(rng);
+        }
+
+        WriteOutcome out = memory.write(addr, data);
+        truth[addr] = data;
+        ++writes;
+        total_flips += out.result.totalFlips();
+        total_slots += out.slots;
+
+        // Channel 1: WriteResult internals are self-consistent.
+        ASSERT_EQ(out.result.dataFlips, out.result.dataDiff.popcount());
+        ASSERT_EQ(out.result.totalFlips(),
+                  out.result.dataFlips + out.result.metaFlips);
+
+        // Channel 2: slot count recomputes from the diff.
+        ASSERT_EQ(out.slots, slotsForWrite(out.result.dataDiff,
+                                           out.result.metaFlips,
+                                           memory.pcmConfig()));
+
+        // Channel 3: flip fraction is totalFlips / 512.
+        ASSERT_DOUBLE_EQ(out.flipFraction,
+                         out.result.totalFlips() / 512.0);
+
+        // Channel 4: decrypt returns ground truth.
+        if (step % 25 == 0) {
+            for (const auto &[a, d] : truth) {
+                ASSERT_EQ(memory.read(a), d) << GetParam();
+            }
+        }
+    }
+
+    // Channel 5: the aggregates agree with the per-write sums.
+    EXPECT_EQ(memory.energy().flips(), total_flips);
+    EXPECT_EQ(memory.energy().writes(), writes);
+    EXPECT_DOUBLE_EQ(memory.slotStat().sum(),
+                     static_cast<double>(total_slots));
+    EXPECT_DOUBLE_EQ(memory.flipStat().sum() * 512.0,
+                     static_cast<double>(total_flips));
+
+    // Channel 6: wear tracker's totals match the data-flip volume
+    // (it records data and tracking-bit diffs; counters are charged
+    // to metaFlips only, so wear-meta <= meta).
+    EXPECT_EQ(memory.wearTracker().writes(), writes);
+    uint64_t wear_total = memory.wearTracker().totalDataFlips();
+    uint64_t meta_total = memory.wearTracker().totalMetaFlips();
+    EXPECT_LE(wear_total + meta_total, total_flips);
+    EXPECT_GE(wear_total + meta_total,
+              total_flips - memory.energy().writes() * 28);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, FuzzConsistencyTest,
+    ::testing::Values("nodcw", "nofnw", "encr", "encr-fnw", "ble",
+                      "ble-deuce", "deuce", "deuce-fnw", "dyndeuce",
+                      "addrpad"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace deuce

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the PCM channel address decode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "pcm/address_map.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(AddressMap, BankInterleavesFirst)
+{
+    AddressMap map; // 4 ranks x 8 banks
+    // Consecutive lines hit consecutive banks of rank 0.
+    for (uint64_t la = 0; la < 8; ++la) {
+        PcmLocation loc = map.decode(la);
+        EXPECT_EQ(loc.bank, la);
+        EXPECT_EQ(loc.rank, 0u);
+        EXPECT_EQ(loc.row, 0u);
+    }
+    // Line 8 wraps into rank 1.
+    EXPECT_EQ(map.decode(8).rank, 1u);
+    EXPECT_EQ(map.decode(8).bank, 0u);
+    // Line 32 (= 8 banks x 4 ranks) starts row 1.
+    EXPECT_EQ(map.decode(32).row, 1u);
+    EXPECT_EQ(map.decode(32).rank, 0u);
+    EXPECT_EQ(map.decode(32).bank, 0u);
+}
+
+TEST(AddressMap, EncodeInvertsDecode)
+{
+    AddressMap map;
+    for (uint64_t la : {0ull, 1ull, 31ull, 32ull, 12345ull,
+                        (1ull << 29) - 1, 987654321ull}) {
+        EXPECT_EQ(map.encode(map.decode(la)), la);
+    }
+}
+
+TEST(AddressMap, FlatBankCoversAllBanksUniformly)
+{
+    AddressMap map;
+    std::set<unsigned> banks;
+    for (uint64_t la = 0; la < 32; ++la) {
+        unsigned b = map.flatBank(la);
+        EXPECT_LT(b, 32u);
+        banks.insert(b);
+    }
+    EXPECT_EQ(banks.size(), 32u) << "32 consecutive lines hit all "
+                                    "32 banks exactly once";
+}
+
+TEST(AddressMap, CustomGeometry)
+{
+    PcmConfig cfg;
+    cfg.ranks = 2;
+    cfg.banksPerRank = 4;
+    AddressMap map(cfg);
+    EXPECT_EQ(map.decode(7).rank, 1u);
+    EXPECT_EQ(map.decode(7).bank, 3u);
+    EXPECT_EQ(map.decode(8).row, 1u);
+    EXPECT_EQ(map.encode(map.decode(1000)), 1000u);
+}
+
+TEST(AddressMap, EncodeValidatesFields)
+{
+    AddressMap map;
+    PcmLocation bad;
+    bad.bank = 8; // out of range
+    EXPECT_THROW(map.encode(bad), PanicError);
+}
+
+} // namespace
+} // namespace deuce

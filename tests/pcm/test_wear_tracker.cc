@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for per-bit-position wear accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcm/wear_tracker.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(WearTracker, StartsEmpty)
+{
+    WearTracker t;
+    EXPECT_EQ(t.writes(), 0u);
+    EXPECT_EQ(t.totalDataFlips(), 0u);
+    EXPECT_EQ(t.maxPositionFlips(), 0u);
+    EXPECT_EQ(t.nonUniformity(), 1.0);
+}
+
+TEST(WearTracker, RecordsPositions)
+{
+    WearTracker t;
+    CacheLine diff;
+    diff.setBit(3, true);
+    diff.setBit(100, true);
+    t.recordWrite(diff, 0);
+    t.recordWrite(diff, 0);
+
+    EXPECT_EQ(t.writes(), 2u);
+    EXPECT_EQ(t.totalDataFlips(), 4u);
+    EXPECT_EQ(t.positionFlips(3), 2u);
+    EXPECT_EQ(t.positionFlips(100), 2u);
+    EXPECT_EQ(t.positionFlips(4), 0u);
+    EXPECT_EQ(t.maxPositionFlips(), 2u);
+}
+
+TEST(WearTracker, RotationRemapsPositions)
+{
+    WearTracker t;
+    CacheLine diff;
+    diff.setBit(0, true);
+    t.recordWrite(diff, 0, 10);
+    EXPECT_EQ(t.positionFlips(10), 1u);
+    EXPECT_EQ(t.positionFlips(0), 0u);
+
+    // Rotation wraps.
+    t.recordWrite(diff, 0, 512 + 5);
+    EXPECT_EQ(t.positionFlips(5), 1u);
+
+    CacheLine top;
+    top.setBit(510, true);
+    t.recordWrite(top, 0, 4);
+    EXPECT_EQ(t.positionFlips(2), 1u);
+}
+
+TEST(WearTracker, MetadataTrackedSeparately)
+{
+    WearTracker t;
+    t.recordWrite(CacheLine{}, 0b1011);
+    EXPECT_EQ(t.totalMetaFlips(), 3u);
+    EXPECT_EQ(t.metaPositionFlips(0), 1u);
+    EXPECT_EQ(t.metaPositionFlips(1), 1u);
+    EXPECT_EQ(t.metaPositionFlips(2), 0u);
+    EXPECT_EQ(t.metaPositionFlips(3), 1u);
+    EXPECT_EQ(t.totalDataFlips(), 0u);
+}
+
+TEST(WearTracker, NonUniformityOfSkewedTraffic)
+{
+    WearTracker t;
+    CacheLine hot;
+    hot.setBit(0, true);
+    for (int i = 0; i < 90; ++i) {
+        t.recordWrite(hot, 0);
+    }
+    CacheLine cold;
+    cold.setBit(1, true);
+    for (int i = 0; i < 10; ++i) {
+        t.recordWrite(cold, 0);
+    }
+    // 100 flips over 512 positions: mean is 100/512; max is 90.
+    EXPECT_NEAR(t.meanPositionFlips(), 100.0 / 512.0, 1e-9);
+    EXPECT_EQ(t.maxPositionFlips(), 90u);
+    EXPECT_NEAR(t.nonUniformity(), 90.0 / (100.0 / 512.0), 1e-6);
+}
+
+TEST(WearTracker, NormalizedProfileAveragesToOne)
+{
+    WearTracker t;
+    CacheLine diff;
+    diff.setBit(7, true);
+    diff.setBit(70, true);
+    for (int i = 0; i < 10; ++i) {
+        t.recordWrite(diff, 0, static_cast<unsigned>(i * 50));
+    }
+    std::vector<double> profile = t.normalizedProfile();
+    ASSERT_EQ(profile.size(), CacheLine::kBits);
+    double sum = 0.0;
+    for (double v : profile) {
+        sum += v;
+    }
+    EXPECT_NEAR(sum / CacheLine::kBits, 1.0, 1e-9);
+}
+
+TEST(WearTracker, ClearResets)
+{
+    WearTracker t;
+    CacheLine diff;
+    diff.setBit(1, true);
+    t.recordWrite(diff, 1);
+    t.clear();
+    EXPECT_EQ(t.writes(), 0u);
+    EXPECT_EQ(t.totalDataFlips(), 0u);
+    EXPECT_EQ(t.totalMetaFlips(), 0u);
+    EXPECT_EQ(t.positionFlips(1), 0u);
+}
+
+} // namespace
+} // namespace deuce

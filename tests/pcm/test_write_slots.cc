@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the write-slot model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcm/write_slots.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(WriteSlots, SilentWriteStillTakesOneSlot)
+{
+    CacheLine no_diff;
+    EXPECT_EQ(slotsForWrite(no_diff, 0), 1u);
+}
+
+TEST(WriteSlots, OneDirtyRegionOneSlot)
+{
+    CacheLine diff;
+    diff.setBit(5, true);
+    diff.setBit(100, true); // both in region 0 (bits 0..127)
+    EXPECT_EQ(slotsForWrite(diff, 0), 1u);
+}
+
+TEST(WriteSlots, EachDirtyRegionCostsASlot)
+{
+    CacheLine diff;
+    diff.setBit(0, true);    // region 0
+    diff.setBit(130, true);  // region 1
+    diff.setBit(300, true);  // region 2
+    diff.setBit(511, true);  // region 3
+    EXPECT_EQ(slotsForWrite(diff, 0), 4u);
+}
+
+TEST(WriteSlots, SparseRegionsSkipped)
+{
+    CacheLine diff;
+    diff.setBit(200, true); // region 1 only
+    EXPECT_EQ(slotsForWrite(diff, 0), 1u);
+    diff.setBit(400, true); // region 3
+    EXPECT_EQ(slotsForWrite(diff, 0), 2u);
+}
+
+TEST(WriteSlots, MetadataChargedToFirstRegion)
+{
+    CacheLine diff;
+    diff.setBit(400, true); // region 3 dirty
+    // Metadata flips alone should activate region 0's slot.
+    EXPECT_EQ(slotsForWrite(diff, 3), 2u);
+    // Without metadata, only one slot.
+    EXPECT_EQ(slotsForWrite(diff, 0), 1u);
+}
+
+TEST(WriteSlots, FullyRandomEncryptedLineTakesFourSlots)
+{
+    CacheLine diff = ~CacheLine{};
+    EXPECT_EQ(slotsForWrite(diff, 2), 4u);
+}
+
+TEST(WriteSlots, LatencyScalesWithSlots)
+{
+    PcmConfig cfg;
+    CacheLine diff;
+    diff.setBit(0, true);
+    diff.setBit(200, true);
+    EXPECT_DOUBLE_EQ(writeLatencyNs(diff, 0, cfg),
+                     2 * cfg.writeSlotNs);
+}
+
+TEST(WriteSlots, CustomSlotWidth)
+{
+    PcmConfig cfg;
+    cfg.slotBits = 256; // two regions per line
+    CacheLine diff;
+    diff.setBit(0, true);
+    diff.setBit(511, true);
+    EXPECT_EQ(slotsForWrite(diff, 0, cfg), 2u);
+    diff.setBit(255, true);
+    EXPECT_EQ(slotsForWrite(diff, 0, cfg), 2u);
+}
+
+TEST(WriteSlots, ConfigTotalBanks)
+{
+    PcmConfig cfg;
+    EXPECT_EQ(cfg.totalBanks(), cfg.ranks * cfg.banksPerRank);
+}
+
+} // namespace
+} // namespace deuce

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the plain-text table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(Report, FmtPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+    EXPECT_EQ(fmt(2.0), "2.0");
+}
+
+TEST(Report, TableAlignsColumns)
+{
+    Table t({"bench", "flips"});
+    t.addRow({"libq", "8.3"});
+    t.addRow({"longname", "50.1"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    // Header, rule, two rows.
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("libq"), std::string::npos);
+    EXPECT_NE(out.find("longname"), std::string::npos);
+    // Every line has the same width (aligned columns).
+    std::istringstream is(out);
+    std::string line;
+    size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0) {
+            width = line.size();
+        }
+        EXPECT_EQ(line.size(), width) << "misaligned: " << line;
+    }
+}
+
+TEST(Report, TableRuleSeparatesSections)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRule();
+    t.addRow({"3", "4"});
+    std::ostringstream os;
+    t.print(os);
+    // Two rules: one under the header, one we added.
+    std::string out = os.str();
+    size_t first = out.find("--");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(out.find("--", first + 5), std::string::npos);
+}
+
+TEST(Report, RowArityChecked)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Report, BannerAndComparison)
+{
+    std::ostringstream os;
+    printBanner(os, "Figure 10", "bit flips per write");
+    printPaperVsMeasured(os, "DEUCE avg", 23.7, 23.0);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Figure 10"), std::string::npos);
+    EXPECT_NE(out.find("23.7"), std::string::npos);
+    EXPECT_NE(out.find("23.0"), std::string::npos);
+}
+
+} // namespace
+} // namespace deuce

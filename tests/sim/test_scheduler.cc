@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the memory-controller scheduler policies and the on-chip
+ * counter-cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/scheme_factory.hh"
+#include "sim/timing.hh"
+
+namespace deuce
+{
+namespace
+{
+
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<TraceEvent> events)
+        : events_(std::move(events))
+    {}
+
+    bool
+    next(TraceEvent &out) override
+    {
+        if (pos_ >= events_.size()) {
+            return false;
+        }
+        out = events_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<TraceEvent> events_;
+    size_t pos_ = 0;
+};
+
+/** Interleaved reads and dense writes, all hitting one bank. */
+std::vector<TraceEvent>
+oneBankMix(int count, uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<TraceEvent> events;
+    CacheLine data;
+    for (int i = 0; i < count; ++i) {
+        TraceEvent ev;
+        ev.icount = static_cast<uint64_t>(i + 1) * 20;
+        ev.lineAddr = 0; // one bank
+        if (i % 2 == 0) {
+            ev.kind = EventKind::Writeback;
+            for (unsigned l = 0; l < CacheLine::kLimbs; ++l) {
+                data.limb(l) = rng.next();
+            }
+            ev.data = data;
+        } else {
+            ev.kind = EventKind::ReadMiss;
+        }
+        events.push_back(ev);
+    }
+    return events;
+}
+
+TimingResult
+runWith(const TimingConfig &cfg, std::vector<TraceEvent> events)
+{
+    auto otp = std::make_unique<FastOtpEngine>(1);
+    auto scheme = makeScheme("encr", *otp);
+    WearLevelingConfig wl;
+    wl.verticalEnabled = false;
+    MemorySystem memory(*scheme, wl);
+    VectorSource source(std::move(events));
+    TimingSimulator sim(cfg, PcmConfig{});
+    return sim.run(source, memory);
+}
+
+TEST(Scheduler, ReadPriorityCutsReadLatencyUnderWritePressure)
+{
+    TimingConfig fcfs;
+    fcfs.scheduler = TimingConfig::Scheduler::Fcfs;
+    TimingConfig rp;
+    rp.scheduler = TimingConfig::Scheduler::ReadPriority;
+
+    TimingResult r_fcfs = runWith(fcfs, oneBankMix(2000));
+    TimingResult r_rp = runWith(rp, oneBankMix(2000));
+
+    // Same work either way, but reads no longer wait behind the
+    // write queue.
+    EXPECT_LT(r_rp.avgReadLatencyNs, r_fcfs.avgReadLatencyNs * 0.7);
+    EXPECT_LE(r_rp.executionNs, r_fcfs.executionNs * 1.05);
+}
+
+TEST(Scheduler, DeferredWritesStillBoundedByBacklog)
+{
+    TimingConfig rp;
+    rp.scheduler = TimingConfig::Scheduler::ReadPriority;
+    rp.writeBacklogNs = 1200.0; // two encrypted writes
+
+    // Back-to-back writes to one bank: the backlog bound must
+    // throttle execution to (roughly) write bandwidth.
+    Rng rng(2);
+    std::vector<TraceEvent> events;
+    CacheLine data;
+    for (int i = 0; i < 500; ++i) {
+        TraceEvent ev;
+        ev.kind = EventKind::Writeback;
+        ev.icount = static_cast<uint64_t>(i + 1);
+        ev.lineAddr = 0;
+        for (unsigned l = 0; l < CacheLine::kLimbs; ++l) {
+            data.limb(l) = rng.next();
+        }
+        ev.data = data;
+        events.push_back(ev);
+    }
+    TimingResult r = runWith(rp, std::move(events));
+    double write_work =
+        r.writebacks * r.avgWriteSlots * PcmConfig{}.writeSlotNs;
+    EXPECT_NEAR(r.executionNs, write_work, write_work * 0.05);
+}
+
+TEST(CounterCache, PerfectWhenDisabled)
+{
+    TimingConfig cfg; // counterCacheBytes = 0
+    TimingResult r = runWith(cfg, oneBankMix(500));
+    EXPECT_EQ(r.counterCacheMisses, 0u);
+    EXPECT_EQ(r.counterCacheMissRate, 0.0);
+}
+
+TEST(CounterCache, SmallWorkingSetHitsAfterWarmup)
+{
+    TimingConfig cfg;
+    cfg.counterCacheBytes = 64 * 1024;
+    // All traffic to one line -> one counter metadata line -> a
+    // single compulsory miss.
+    TimingResult r = runWith(cfg, oneBankMix(1000));
+    EXPECT_EQ(r.counterCacheMisses, 1u);
+}
+
+TEST(CounterCache, ThrashingWorkingSetMissesAndSlowsExecution)
+{
+    auto make_span = [](int count) {
+        std::vector<TraceEvent> events;
+        for (int i = 0; i < count; ++i) {
+            TraceEvent ev;
+            ev.kind = EventKind::ReadMiss;
+            ev.icount = static_cast<uint64_t>(i + 1) * 1000;
+            // Stride of 16 lines: a fresh counter metadata line each
+            // access, far exceeding a tiny counter cache.
+            ev.lineAddr = static_cast<uint64_t>(i) * 16;
+            events.push_back(ev);
+        }
+        return events;
+    };
+    TimingConfig tiny;
+    tiny.counterCacheBytes = 1024;
+    TimingConfig off;
+
+    TimingResult r_tiny = runWith(tiny, make_span(2000));
+    TimingResult r_off = runWith(off, make_span(2000));
+    EXPECT_GT(r_tiny.counterCacheMissRate, 0.9);
+    EXPECT_GT(r_tiny.avgReadLatencyNs,
+              r_off.avgReadLatencyNs + PcmConfig{}.readLatencyNs * 0.9);
+}
+
+TEST(DecryptPath, OtpParallelIsFreeWhenCipherFitsUnderArrayRead)
+{
+    TimingConfig none;
+    none.decryptPath = TimingConfig::DecryptPath::NoDecrypt;
+    TimingConfig otp;
+    otp.decryptPath = TimingConfig::DecryptPath::OtpParallel;
+    otp.decryptLatencyNs = 40.0; // < 75ns array read
+
+    TimingResult r_none = runWith(none, oneBankMix(1000, 5));
+    TimingResult r_otp = runWith(otp, oneBankMix(1000, 5));
+    EXPECT_DOUBLE_EQ(r_none.avgReadLatencyNs, r_otp.avgReadLatencyNs);
+}
+
+TEST(DecryptPath, SerializedCipherAddsItsFullLatency)
+{
+    TimingConfig otp;
+    otp.decryptPath = TimingConfig::DecryptPath::OtpParallel;
+    otp.decryptLatencyNs = 40.0;
+    TimingConfig serial;
+    serial.decryptPath = TimingConfig::DecryptPath::Serialized;
+    serial.decryptLatencyNs = 40.0;
+
+    TimingResult r_otp = runWith(otp, oneBankMix(1000, 6));
+    TimingResult r_serial = runWith(serial, oneBankMix(1000, 6));
+    EXPECT_GT(r_serial.avgReadLatencyNs,
+              r_otp.avgReadLatencyNs + 39.0);
+    EXPECT_GT(r_serial.executionNs, r_otp.executionNs);
+}
+
+TEST(DecryptPath, SlowCipherSpillsOverEvenWithOtp)
+{
+    TimingConfig fast;
+    fast.decryptPath = TimingConfig::DecryptPath::OtpParallel;
+    fast.decryptLatencyNs = 40.0;
+    TimingConfig slow;
+    slow.decryptPath = TimingConfig::DecryptPath::OtpParallel;
+    slow.decryptLatencyNs = 100.0; // exceeds the 75ns array read
+
+    TimingResult r_fast = runWith(fast, oneBankMix(1000, 7));
+    TimingResult r_slow = runWith(slow, oneBankMix(1000, 7));
+    EXPECT_NEAR(r_slow.avgReadLatencyNs - r_fast.avgReadLatencyNs,
+                25.0, 8.0);
+}
+
+} // namespace
+} // namespace deuce

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the gem5-style stats dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/scheme_factory.hh"
+#include "sim/stats_dump.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(StatsDump, MemorySystemCountersAppear)
+{
+    auto otp = std::make_unique<FastOtpEngine>(1);
+    auto scheme = makeScheme("deuce", *otp);
+    WearLevelingConfig wl;
+    wl.verticalEnabled = false;
+    MemorySystem memory(*scheme, wl);
+
+    Rng rng(1);
+    CacheLine data;
+    for (int i = 0; i < 10; ++i) {
+        data.setField(0, 64, rng.next());
+        memory.write(3, data);
+    }
+    memory.read(3);
+
+    std::ostringstream os;
+    dumpStats(os, memory, "test.pcm");
+    std::string out = os.str();
+
+    EXPECT_NE(out.find("test.pcm.writes"), std::string::npos);
+    EXPECT_NE(out.find("test.pcm.reads"), std::string::npos);
+    EXPECT_NE(out.find("test.pcm.bitFlips"), std::string::npos);
+    EXPECT_NE(out.find("test.pcm.wear.nonUniformity"),
+              std::string::npos);
+    EXPECT_NE(out.find("10"), std::string::npos);
+
+    // gem5 format: every line carries a '#'-prefixed description.
+    std::istringstream is(out);
+    std::string line;
+    while (std::getline(is, line)) {
+        EXPECT_NE(line.find(" # "), std::string::npos) << line;
+    }
+}
+
+TEST(StatsDump, TimingResultCountersAppear)
+{
+    TimingResult result;
+    result.executionNs = 1234.5;
+    result.instructions = 999;
+    result.reads = 7;
+    result.writebacks = 3;
+    result.counterCacheMisses = 2;
+    result.counterCacheMissRate = 0.25;
+
+    std::ostringstream os;
+    dumpStats(os, result);
+    std::string out = os.str();
+    EXPECT_NE(out.find("system.timing.executionNs"), std::string::npos);
+    EXPECT_NE(out.find("1234.5"), std::string::npos);
+    EXPECT_NE(out.find("counterCache.missRate"), std::string::npos);
+}
+
+TEST(StatsDump, CounterCacheSectionOmittedWhenUnused)
+{
+    TimingResult result;
+    std::ostringstream os;
+    dumpStats(os, result);
+    EXPECT_EQ(os.str().find("counterCache"), std::string::npos);
+}
+
+} // namespace
+} // namespace deuce

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the bank-contention timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/scheme_factory.hh"
+#include "sim/timing.hh"
+
+namespace deuce
+{
+namespace
+{
+
+/** Replayable in-memory trace source. */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<TraceEvent> events)
+        : events_(std::move(events))
+    {}
+
+    bool
+    next(TraceEvent &out) override
+    {
+        if (pos_ >= events_.size()) {
+            return false;
+        }
+        out = events_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<TraceEvent> events_;
+    size_t pos_ = 0;
+};
+
+std::vector<TraceEvent>
+makeWriteStream(int count, uint64_t icount_gap, bool random_data,
+                uint64_t seed = 3)
+{
+    Rng rng(seed);
+    std::vector<TraceEvent> events;
+    CacheLine data;
+    for (int i = 0; i < count; ++i) {
+        TraceEvent ev;
+        ev.kind = EventKind::Writeback;
+        ev.lineAddr = static_cast<uint64_t>(i);
+        ev.icount = static_cast<uint64_t>(i + 1) * icount_gap;
+        if (random_data) {
+            for (unsigned l = 0; l < CacheLine::kLimbs; ++l) {
+                data.limb(l) = rng.next();
+            }
+        } else {
+            data.setField(0, 16, rng.next() | 1);
+        }
+        ev.data = data;
+        events.push_back(ev);
+    }
+    return events;
+}
+
+class TimingTest : public ::testing::Test
+{
+  protected:
+    TimingTest() : otp_(makeAesOtpEngine(1)) {}
+
+    WearLevelingConfig
+    noWl()
+    {
+        WearLevelingConfig wl;
+        wl.verticalEnabled = false;
+        return wl;
+    }
+
+    std::unique_ptr<OtpEngine> otp_;
+    TimingConfig cfg_;
+    PcmConfig pcm_;
+};
+
+TEST_F(TimingTest, EmptyTraceZeroTime)
+{
+    auto scheme = makeScheme("nodcw", *otp_);
+    MemorySystem mem(*scheme, noWl());
+    VectorSource source({});
+    TimingSimulator sim(cfg_, pcm_);
+    TimingResult r = sim.run(source, mem);
+    EXPECT_EQ(r.executionNs, 0.0);
+    EXPECT_EQ(r.reads, 0u);
+    EXPECT_EQ(r.writebacks, 0u);
+}
+
+TEST_F(TimingTest, ComputeBoundTimeFollowsInstructionRate)
+{
+    // Very sparse memory traffic: execution time ~ instructions *
+    // ns-per-instruction.
+    auto scheme = makeScheme("nodcw", *otp_);
+    MemorySystem mem(*scheme, noWl());
+    auto events = makeWriteStream(10, 10'000'000, false);
+    VectorSource source(events);
+    TimingSimulator sim(cfg_, pcm_);
+    TimingResult r = sim.run(source, mem);
+    double ns_per_instr = cfg_.cpiBase / (cfg_.cores * cfg_.coreGhz);
+    EXPECT_NEAR(r.executionNs,
+                static_cast<double>(r.instructions) * ns_per_instr,
+                r.executionNs * 0.01);
+}
+
+TEST_F(TimingTest, WriteBoundTimeFollowsSlots)
+{
+    // Dense back-to-back writebacks to one bank: the writes dominate
+    // and execution time approaches writebacks * slots * slotNs.
+    auto scheme = makeScheme("encr", *otp_);
+    MemorySystem mem(*scheme, noWl());
+    auto events = makeWriteStream(500, 1, true);
+    for (auto &ev : events) {
+        ev.lineAddr = 0; // all to bank 0
+    }
+    VectorSource source(events);
+    TimingSimulator sim(cfg_, pcm_);
+    TimingResult r = sim.run(source, mem);
+    double write_work = r.writebacks * r.avgWriteSlots *
+                        pcm_.writeSlotNs;
+    EXPECT_NEAR(r.executionNs, write_work, write_work * 0.05);
+}
+
+TEST_F(TimingTest, FewerSlotsMeansFasterExecution)
+{
+    // The Figure 16 mechanism: same trace, but a scheme with fewer
+    // write slots finishes sooner.
+    auto run = [&](const char *id, uint64_t seed) {
+        auto scheme = makeScheme(id, *otp_);
+        MemorySystem mem(*scheme, noWl());
+        auto events = makeWriteStream(2000, 30, false, seed);
+        VectorSource source(events);
+        TimingSimulator sim(cfg_, pcm_);
+        return sim.run(source, mem);
+    };
+    TimingResult encr = run("encr", 3);
+    TimingResult deuce = run("deuce", 3);
+    EXPECT_LT(deuce.avgWriteSlots, encr.avgWriteSlots);
+    EXPECT_LT(deuce.executionNs, encr.executionNs);
+}
+
+TEST_F(TimingTest, ReadsStallTheCores)
+{
+    auto scheme = makeScheme("nodcw", *otp_);
+    auto make_reads = [&](int count) {
+        std::vector<TraceEvent> events;
+        for (int i = 0; i < count; ++i) {
+            TraceEvent ev;
+            ev.kind = EventKind::ReadMiss;
+            ev.lineAddr = static_cast<uint64_t>(i);
+            ev.icount = static_cast<uint64_t>(i + 1) * 50;
+            events.push_back(ev);
+        }
+        return events;
+    };
+    MemorySystem mem_a(*scheme, noWl());
+    VectorSource with_reads(make_reads(2000));
+    TimingSimulator sim(cfg_, pcm_);
+    TimingResult r = sim.run(with_reads, mem_a);
+    double ns_per_instr = cfg_.cpiBase / (cfg_.cores * cfg_.coreGhz);
+    double compute_only =
+        static_cast<double>(r.instructions) * ns_per_instr;
+    EXPECT_GT(r.executionNs, compute_only * 1.5);
+    EXPECT_GE(r.avgReadLatencyNs, pcm_.readLatencyNs);
+}
+
+TEST_F(TimingTest, BankSpreadingBeatsSingleBank)
+{
+    auto scheme = makeScheme("encr", *otp_);
+    auto run = [&](bool spread) {
+        MemorySystem mem(*scheme, noWl());
+        auto events = makeWriteStream(1000, 1, true);
+        if (!spread) {
+            for (auto &ev : events) {
+                ev.lineAddr = 0;
+            }
+        }
+        VectorSource source(events);
+        TimingSimulator sim(cfg_, pcm_);
+        return sim.run(source, mem).executionNs;
+    };
+    EXPECT_LT(run(true), run(false) * 0.2);
+}
+
+} // namespace
+} // namespace deuce

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the CPU-level access stream and its interaction with the
+ * cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cache/cache.hh"
+#include "trace/cpu_stream.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(CpuStream, Deterministic)
+{
+    CpuStream a, b;
+    for (int i = 0; i < 1000; ++i) {
+        CpuAccess x = a.next();
+        CpuAccess y = b.next();
+        ASSERT_EQ(x.lineAddr, y.lineAddr);
+        ASSERT_EQ(x.isWrite, y.isWrite);
+        ASSERT_EQ(x.icount, y.icount);
+    }
+}
+
+TEST(CpuStream, AccessRateMatchesApki)
+{
+    CpuStreamConfig cfg;
+    cfg.apki = 100.0;
+    CpuStream stream(cfg);
+    uint64_t last = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        last = stream.next().icount;
+    }
+    double apki = static_cast<double>(n) / last * 1000.0;
+    EXPECT_NEAR(apki, 100.0, 4.0);
+}
+
+TEST(CpuStream, StoreFractionHolds)
+{
+    CpuStreamConfig cfg;
+    cfg.storeFraction = 0.25;
+    CpuStream stream(cfg);
+    int stores = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        stores += stream.next().isWrite ? 1 : 0;
+    }
+    EXPECT_NEAR(stores / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(CpuStream, ClassesUseDisjointRegions)
+{
+    CpuStream stream;
+    std::map<int, uint64_t> per_class; // 0 = hot, 1 = stream, 2 = cold
+    for (int i = 0; i < 50000; ++i) {
+        uint64_t addr = stream.next().lineAddr;
+        if (addr < (uint64_t{1} << 32)) {
+            ++per_class[0];
+        } else if (addr < (uint64_t{1} << 33)) {
+            ++per_class[1];
+        } else {
+            ++per_class[2];
+        }
+    }
+    // All three classes occur roughly at their configured mix.
+    CpuStreamConfig cfg;
+    EXPECT_NEAR(per_class[0] / 50000.0, cfg.hotFraction, 0.02);
+    EXPECT_NEAR(per_class[1] / 50000.0, cfg.streamFraction, 0.02);
+    EXPECT_NEAR(per_class[2] / 50000.0,
+                1.0 - cfg.hotFraction - cfg.streamFraction, 0.02);
+}
+
+TEST(CpuStream, HotClassIsCacheFriendlyStreamIsNot)
+{
+    // Feed each class through a small cache in isolation.
+    auto miss_rate = [](double hot, double stream_frac) {
+        CpuStreamConfig cfg;
+        cfg.hotFraction = hot;
+        cfg.streamFraction = stream_frac;
+        CpuStream stream(cfg);
+        CacheConfig cc;
+        cc.capacityBytes = 32 * 1024;
+        cc.ways = 8;
+        SetAssocCache cache(cc);
+        for (int i = 0; i < 30000; ++i) {
+            cache.access(stream.next().lineAddr, false);
+        }
+        return cache.missRatio();
+    };
+    double hot_only = miss_rate(1.0, 0.0);
+    double stream_only = miss_rate(0.0, 1.0);
+    EXPECT_LT(hot_only, 0.05);
+    EXPECT_GT(stream_only, 0.9);
+}
+
+TEST(CpuStream, HierarchyFiltersToTable2Regime)
+{
+    // Through a scaled Table 1 stack, the default mix must land in
+    // the 1-10 WBPKI band the paper's workloads occupy.
+    std::vector<CacheConfig> levels = {
+        {"L1", 4 * 1024, 8, 64},
+        {"L2", 32 * 1024, 8, 64},
+        {"L3", 128 * 1024, 8, 64},
+        {"L4", 8 * 1024 * 1024, 16, 64},
+    };
+    CacheHierarchy caches(levels);
+    CpuStream stream;
+    uint64_t writebacks = 0, last_icount = 0;
+    for (int i = 0; i < 400000; ++i) {
+        CpuAccess access = stream.next();
+        last_icount = access.icount;
+        writebacks += caches.access(access.lineAddr,
+                                    access.isWrite).size();
+    }
+    double wbpki = static_cast<double>(writebacks) /
+                   (static_cast<double>(last_icount) / 1000.0);
+    EXPECT_GT(wbpki, 0.3);
+    EXPECT_LT(wbpki, 12.0);
+}
+
+} // namespace
+} // namespace deuce

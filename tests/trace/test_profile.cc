@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the SPEC2006 benchmark profile table (Table 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "trace/profile.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(Profiles, TwelveBenchmarksInPaperOrder)
+{
+    auto profiles = spec2006Profiles();
+    ASSERT_EQ(profiles.size(), 12u);
+    const char *expected[] = {"libq", "mcf",      "lbm",    "Gems",
+                              "milc", "omnetpp",  "leslie3d", "soplex",
+                              "zeusmp", "wrf",    "xalanc", "astar"};
+    for (size_t i = 0; i < 12; ++i) {
+        EXPECT_EQ(profiles[i].name, expected[i]);
+    }
+}
+
+TEST(Profiles, RatesMatchTable2)
+{
+    auto p = profileByName("libq");
+    EXPECT_DOUBLE_EQ(p.mpki, 22.9);
+    EXPECT_DOUBLE_EQ(p.wbpki, 9.78);
+    p = profileByName("astar");
+    EXPECT_DOUBLE_EQ(p.mpki, 1.84);
+    EXPECT_DOUBLE_EQ(p.wbpki, 1.29);
+    p = profileByName("soplex");
+    EXPECT_DOUBLE_EQ(p.mpki, 25.5);
+    EXPECT_DOUBLE_EQ(p.wbpki, 3.97);
+}
+
+TEST(Profiles, WbpkiDescendingAsInTable2)
+{
+    auto profiles = spec2006Profiles();
+    for (size_t i = 1; i < profiles.size(); ++i) {
+        EXPECT_GE(profiles[i - 1].wbpki, profiles[i].wbpki)
+            << profiles[i].name;
+    }
+    // Every benchmark has at least 1 WBPKI (the paper's inclusion
+    // criterion).
+    for (const auto &p : profiles) {
+        EXPECT_GE(p.wbpki, 1.0) << p.name;
+    }
+}
+
+TEST(Profiles, AllParametersSane)
+{
+    for (const auto &p : spec2006Profiles()) {
+        EXPECT_GT(p.workingSetLines, 0u) << p.name;
+        EXPECT_GE(p.denseFraction, 0.0) << p.name;
+        EXPECT_LE(p.denseFraction, 1.0) << p.name;
+        EXPECT_GE(p.meanClusters, 1.0) << p.name;
+        EXPECT_GE(p.meanClusterBytes, 1.0) << p.name;
+        EXPECT_GT(p.footprintStability, 0.0) << p.name;
+        EXPECT_LE(p.footprintStability, 1.0) << p.name;
+        EXPECT_GT(p.hotSetSize, 0u) << p.name;
+        EXPECT_LE(p.hotSetSize, 8u) << p.name;
+        EXPECT_GT(p.sparseBitDensity, 0.0) << p.name;
+        EXPECT_LT(p.sparseBitDensity, 1.0) << p.name;
+        EXPECT_NE(p.seed, 0u) << p.name;
+    }
+}
+
+TEST(Profiles, DensePairIsGemsAndSoplex)
+{
+    // The two workloads where FNW beats DEUCE (Section 4.6).
+    for (const auto &p : spec2006Profiles()) {
+        if (p.name == "Gems" || p.name == "soplex") {
+            EXPECT_GE(p.denseFraction, 0.5) << p.name;
+        } else {
+            EXPECT_LT(p.denseFraction, 0.2) << p.name;
+        }
+    }
+}
+
+TEST(Profiles, SeedsAreDistinct)
+{
+    auto profiles = spec2006Profiles();
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        for (size_t j = i + 1; j < profiles.size(); ++j) {
+            EXPECT_NE(profiles[i].seed, profiles[j].seed)
+                << profiles[i].name << " vs " << profiles[j].name;
+        }
+    }
+}
+
+TEST(Profiles, UnknownNameIsFatal)
+{
+    EXPECT_THROW(profileByName("quake"), FatalError);
+}
+
+} // namespace
+} // namespace deuce

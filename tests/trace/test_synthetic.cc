@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator: determinism, rate
+ * calibration, content-evolution invariants, and the statistical
+ * properties the experiments rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+
+namespace deuce
+{
+namespace
+{
+
+BenchmarkProfile
+testProfile()
+{
+    BenchmarkProfile p;
+    p.name = "test";
+    p.mpki = 10.0;
+    p.wbpki = 5.0;
+    p.workingSetLines = 256;
+    p.seed = 42;
+    return p;
+}
+
+TEST(Synthetic, DeterministicStreams)
+{
+    SyntheticWorkload a(testProfile(), 2000);
+    SyntheticWorkload b(testProfile(), 2000);
+    TraceEvent ea, eb;
+    while (true) {
+        bool ra = a.next(ea);
+        bool rb = b.next(eb);
+        ASSERT_EQ(ra, rb);
+        if (!ra) {
+            break;
+        }
+        ASSERT_EQ(ea.kind, eb.kind);
+        ASSERT_EQ(ea.lineAddr, eb.lineAddr);
+        ASSERT_EQ(ea.icount, eb.icount);
+        ASSERT_EQ(ea.data, eb.data);
+    }
+}
+
+TEST(Synthetic, ExhaustsAfterMaxEvents)
+{
+    SyntheticWorkload w(testProfile(), 100);
+    TraceEvent ev;
+    int count = 0;
+    while (w.next(ev)) {
+        ++count;
+    }
+    EXPECT_EQ(count, 100);
+    EXPECT_FALSE(w.next(ev));
+}
+
+TEST(Synthetic, EventMixMatchesRates)
+{
+    SyntheticWorkload w(testProfile(), 30000);
+    TraceEvent ev;
+    while (w.next(ev)) {
+    }
+    // wbpki / (mpki + wbpki) = 1/3 of events are writebacks.
+    double frac = static_cast<double>(w.writebacksProduced()) /
+                  (w.writebacksProduced() + w.readsProduced());
+    EXPECT_NEAR(frac, 1.0 / 3.0, 0.02);
+}
+
+TEST(Synthetic, InstructionRateMatchesMpkiPlusWbpki)
+{
+    BenchmarkProfile p = testProfile();
+    SyntheticWorkload w(p, 30000);
+    TraceEvent ev;
+    uint64_t last_icount = 0;
+    uint64_t events = 0;
+    while (w.next(ev)) {
+        EXPECT_GT(ev.icount, last_icount) << "icount must increase";
+        last_icount = ev.icount;
+        ++events;
+    }
+    // Events per kilo-instruction should equal mpki + wbpki.
+    double epki = static_cast<double>(events) / last_icount * 1000.0;
+    EXPECT_NEAR(epki, p.mpki + p.wbpki, 0.5);
+}
+
+TEST(Synthetic, WritebackAlwaysChangesTheLine)
+{
+    SyntheticWorkload w(testProfile(), 20000);
+    std::map<uint64_t, CacheLine> shadow;
+    TraceEvent ev;
+    while (w.next(ev)) {
+        if (ev.kind != EventKind::Writeback) {
+            continue;
+        }
+        auto it = shadow.find(ev.lineAddr);
+        CacheLine prev = (it != shadow.end())
+            ? it->second : w.initialContents(ev.lineAddr);
+        EXPECT_NE(ev.data, prev)
+            << "silent writeback at line " << ev.lineAddr;
+        shadow[ev.lineAddr] = ev.data;
+    }
+}
+
+TEST(Synthetic, EventDataMatchesLineContents)
+{
+    SyntheticWorkload w(testProfile(), 5000);
+    TraceEvent ev;
+    while (w.next(ev)) {
+        if (ev.kind == EventKind::Writeback) {
+            EXPECT_EQ(w.lineContents(ev.lineAddr), ev.data);
+        }
+    }
+}
+
+TEST(Synthetic, InitialContentsStableAndOrderIndependent)
+{
+    SyntheticWorkload a(testProfile(), 10);
+    SyntheticWorkload b(testProfile(), 10);
+    // Query in different orders; values must agree.
+    CacheLine a5 = a.initialContents(5);
+    CacheLine a9 = a.initialContents(9);
+    CacheLine b9 = b.initialContents(9);
+    CacheLine b5 = b.initialContents(5);
+    EXPECT_EQ(a5, b5);
+    EXPECT_EQ(a9, b9);
+    EXPECT_NE(a5, a9);
+}
+
+TEST(Synthetic, WritebackAddressesStayInWorkingSet)
+{
+    BenchmarkProfile p = testProfile();
+    SyntheticWorkload w(p, 20000);
+    TraceEvent ev;
+    while (w.next(ev)) {
+        if (ev.kind == EventKind::Writeback) {
+            EXPECT_LT(ev.lineAddr, p.workingSetLines);
+        } else {
+            EXPECT_LT(ev.lineAddr, p.workingSetLines * 4);
+        }
+    }
+}
+
+TEST(Synthetic, DenseProfileModifiesEveryWord)
+{
+    BenchmarkProfile p = testProfile();
+    p.denseFraction = 1.0;
+    SyntheticWorkload w(p, 4000);
+    std::map<uint64_t, CacheLine> shadow;
+    TraceEvent ev;
+    while (w.next(ev)) {
+        if (ev.kind != EventKind::Writeback) {
+            continue;
+        }
+        auto it = shadow.find(ev.lineAddr);
+        CacheLine prev = (it != shadow.end())
+            ? it->second : w.initialContents(ev.lineAddr);
+        for (unsigned word = 0; word < 32; ++word) {
+            EXPECT_NE(ev.data.field(word * 16, 16),
+                      prev.field(word * 16, 16))
+                << "dense write left word " << word << " unmodified";
+        }
+        shadow[ev.lineAddr] = ev.data;
+    }
+}
+
+TEST(Synthetic, StableProfileHasSmallFootprint)
+{
+    // With maximal stability and one cluster, the set of words a hot
+    // line modifies over its lifetime stays small.
+    BenchmarkProfile p = testProfile();
+    p.workingSetLines = 4;
+    p.meanClusters = 1.0;
+    p.meanClusterBytes = 2.0;
+    p.footprintStability = 1.0;
+    p.hotSetSize = 2;
+    SyntheticWorkload w(p, 4000);
+
+    std::map<uint64_t, CacheLine> shadow;
+    std::map<uint64_t, std::set<unsigned>> touched_words;
+    TraceEvent ev;
+    while (w.next(ev)) {
+        if (ev.kind != EventKind::Writeback) {
+            continue;
+        }
+        auto it = shadow.find(ev.lineAddr);
+        CacheLine prev = (it != shadow.end())
+            ? it->second : w.initialContents(ev.lineAddr);
+        for (unsigned word = 0; word < 32; ++word) {
+            if (ev.data.field(word * 16, 16) !=
+                prev.field(word * 16, 16)) {
+                touched_words[ev.lineAddr].insert(word);
+            }
+        }
+        shadow[ev.lineAddr] = ev.data;
+    }
+    for (const auto &[line, words] : touched_words) {
+        EXPECT_LE(words.size(), 6u)
+            << "line " << line << " footprint drifted";
+    }
+}
+
+TEST(Synthetic, DriftyProfileHasLargerFootprintThanStable)
+{
+    auto footprint = [](double stability) {
+        BenchmarkProfile p = testProfile();
+        p.workingSetLines = 8;
+        p.meanClusters = 2.0;
+        p.footprintStability = stability;
+        SyntheticWorkload w(p, 6000);
+        std::map<uint64_t, CacheLine> shadow;
+        std::map<uint64_t, std::set<unsigned>> touched;
+        TraceEvent ev;
+        while (w.next(ev)) {
+            if (ev.kind != EventKind::Writeback) {
+                continue;
+            }
+            auto it = shadow.find(ev.lineAddr);
+            CacheLine prev = (it != shadow.end())
+                ? it->second : w.initialContents(ev.lineAddr);
+            for (unsigned word = 0; word < 32; ++word) {
+                if (ev.data.field(word * 16, 16) !=
+                    prev.field(word * 16, 16)) {
+                    touched[ev.lineAddr].insert(word);
+                }
+            }
+            shadow[ev.lineAddr] = ev.data;
+        }
+        double total = 0.0;
+        for (const auto &[line, words] : touched) {
+            total += static_cast<double>(words.size());
+        }
+        return total / static_cast<double>(touched.size());
+    };
+    EXPECT_GT(footprint(0.2), footprint(0.99) * 1.5);
+}
+
+} // namespace
+} // namespace deuce

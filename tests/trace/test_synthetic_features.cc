@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the workload-model features added during calibration:
+ * the hot-toggle byte (Figure 12 hotspots), the locality-preserving
+ * position map (Figure 15 slot locality), fixed per-field extents,
+ * and dense/sparse mixing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <set>
+
+#include "common/stats.hh"
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+
+namespace deuce
+{
+namespace
+{
+
+BenchmarkProfile
+base()
+{
+    BenchmarkProfile p;
+    p.name = "feature-test";
+    p.mpki = 2.0;
+    p.wbpki = 2.0;
+    p.workingSetLines = 64;
+    p.seed = 99;
+    return p;
+}
+
+/** Per-bit flip counts over a writeback stream. */
+std::array<uint64_t, CacheLine::kBits>
+bitFlipProfile(const BenchmarkProfile &p, uint64_t events)
+{
+    SyntheticWorkload w(p, events);
+    std::map<uint64_t, CacheLine> shadow;
+    std::array<uint64_t, CacheLine::kBits> flips{};
+    TraceEvent ev;
+    while (w.next(ev)) {
+        if (ev.kind != EventKind::Writeback) {
+            continue;
+        }
+        auto it = shadow.find(ev.lineAddr);
+        CacheLine prev = (it != shadow.end())
+            ? it->second : w.initialContents(ev.lineAddr);
+        CacheLine diff = ev.data ^ prev;
+        for (unsigned b = 0; b < CacheLine::kBits; ++b) {
+            if (diff.bit(b)) {
+                ++flips[b];
+            }
+        }
+        shadow[ev.lineAddr] = ev.data;
+    }
+    return flips;
+}
+
+TEST(SyntheticFeatures, HotToggleConcentratesWear)
+{
+    BenchmarkProfile quiet = base();
+    quiet.hotToggleRate = 0.0;
+
+    BenchmarkProfile hot = base();
+    hot.hotToggleRate = 0.9;
+    hot.hotToggleDensity = 0.9;
+
+    auto ratio = [](const std::array<uint64_t, CacheLine::kBits> &f) {
+        uint64_t max = 0, total = 0;
+        for (uint64_t v : f) {
+            max = std::max(max, v);
+            total += v;
+        }
+        double mean = static_cast<double>(total) / CacheLine::kBits;
+        return static_cast<double>(max) / mean;
+    };
+    double quiet_ratio = ratio(bitFlipProfile(quiet, 20000));
+    double hot_ratio = ratio(bitFlipProfile(hot, 20000));
+    EXPECT_GT(hot_ratio, quiet_ratio * 2.0);
+    EXPECT_GT(hot_ratio, 8.0);
+}
+
+TEST(SyntheticFeatures, HotToggleTargetsASingleByte)
+{
+    BenchmarkProfile p = base();
+    p.hotToggleRate = 1.0;
+    p.meanClusters = 1.0;
+    p.footprintStability = 1.0;
+    auto flips = bitFlipProfile(p, 20000);
+
+    // The hottest 8 bit positions should form one aligned byte.
+    unsigned hottest = 0;
+    for (unsigned b = 1; b < CacheLine::kBits; ++b) {
+        if (flips[b] > flips[hottest]) {
+            hottest = b;
+        }
+    }
+    unsigned byte_base = (hottest / 8) * 8;
+    uint64_t in_byte = 0, elsewhere_max = 0;
+    for (unsigned b = 0; b < CacheLine::kBits; ++b) {
+        if (b >= byte_base && b < byte_base + 8) {
+            in_byte += flips[b];
+        } else {
+            elsewhere_max = std::max(elsewhere_max, flips[b]);
+        }
+    }
+    EXPECT_GT(in_byte / 8, elsewhere_max);
+}
+
+TEST(SyntheticFeatures, PositionMapIsLocalityPreservingPermutation)
+{
+    // Low popularity ranks must land close together (within a write-
+    // slot region), which is what keeps typical writebacks inside ~2
+    // of the 4 slot regions (Figure 15).
+    BenchmarkProfile p = base();
+    p.meanClusters = 2.0;
+    p.positionZipfAlpha = 1.2;
+    SyntheticWorkload w(p, 30000);
+
+    std::map<uint64_t, CacheLine> shadow;
+    std::array<uint64_t, 4> quarter_writes{};
+    uint64_t writebacks = 0;
+    uint64_t quarters_touched = 0;
+    TraceEvent ev;
+    while (w.next(ev)) {
+        if (ev.kind != EventKind::Writeback) {
+            continue;
+        }
+        auto it = shadow.find(ev.lineAddr);
+        CacheLine prev = (it != shadow.end())
+            ? it->second : w.initialContents(ev.lineAddr);
+        CacheLine diff = ev.data ^ prev;
+        ++writebacks;
+        for (unsigned q = 0; q < 4; ++q) {
+            if (hammingDistance(diff, CacheLine{}, q * 128, 128) > 0) {
+                ++quarter_writes[q];
+                ++quarters_touched;
+            }
+        }
+        shadow[ev.lineAddr] = ev.data;
+    }
+    double avg_quarters = static_cast<double>(quarters_touched) /
+                          static_cast<double>(writebacks);
+    EXPECT_LT(avg_quarters, 2.5)
+        << "sparse writebacks scatter across slot regions";
+}
+
+TEST(SyntheticFeatures, ClusterExtentIsStableAcrossReuse)
+{
+    // A reused field must cover the same bytes every time; if the
+    // extent were redrawn per write, the per-epoch footprint union
+    // would balloon (the bug this feature fixed).
+    BenchmarkProfile p = base();
+    p.workingSetLines = 2;
+    p.meanClusters = 1.0;
+    p.meanClusterBytes = 6.0;
+    p.footprintStability = 1.0;
+    p.hotSetSize = 1;
+    SyntheticWorkload w(p, 20000);
+
+    // Measure the union of touched bytes over consecutive windows of
+    // 32 writebacks per line (one DEUCE epoch). With extents fixed
+    // per field the union stays near the field size (~6 bytes, plus
+    // an occasional second field from the cluster-count jitter); if
+    // extents were redrawn per write, the union would approach the
+    // max of ~32 geometric draws (20+ bytes per field).
+    std::map<uint64_t, CacheLine> shadow;
+    std::map<uint64_t, std::set<unsigned>> window;
+    std::map<uint64_t, unsigned> window_fill;
+    RunningStat window_union;
+    TraceEvent ev;
+    while (w.next(ev)) {
+        if (ev.kind != EventKind::Writeback) {
+            continue;
+        }
+        auto it = shadow.find(ev.lineAddr);
+        CacheLine prev = (it != shadow.end())
+            ? it->second : w.initialContents(ev.lineAddr);
+        CacheLine diff = ev.data ^ prev;
+        for (unsigned byte = 0; byte < CacheLine::kBytes; ++byte) {
+            for (unsigned bit = 0; bit < 8; ++bit) {
+                if (diff.bit(byte * 8 + bit)) {
+                    window[ev.lineAddr].insert(byte);
+                    break;
+                }
+            }
+        }
+        shadow[ev.lineAddr] = ev.data;
+        if (++window_fill[ev.lineAddr] == 32) {
+            window_union.add(
+                static_cast<double>(window[ev.lineAddr].size()));
+            window[ev.lineAddr].clear();
+            window_fill[ev.lineAddr] = 0;
+        }
+    }
+    ASSERT_GT(window_union.count(), 20u);
+    EXPECT_LT(window_union.mean(), 18.0);
+    EXPECT_GT(window_union.mean(), 4.0);
+}
+
+TEST(SyntheticFeatures, DenseFractionInterpolatesCost)
+{
+    auto avg_flips = [&](double dense) {
+        BenchmarkProfile p = base();
+        p.denseFraction = dense;
+        auto flips = bitFlipProfile(p, 20000);
+        uint64_t total = 0;
+        for (uint64_t v : flips) {
+            total += v;
+        }
+        return static_cast<double>(total);
+    };
+    double none = avg_flips(0.0);
+    double half = avg_flips(0.5);
+    double full = avg_flips(1.0);
+    EXPECT_LT(none, half);
+    EXPECT_LT(half, full);
+}
+
+} // namespace
+} // namespace deuce

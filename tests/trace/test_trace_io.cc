@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the binary trace file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+
+namespace deuce
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIo, RoundTripsEvents)
+{
+    std::string path = tempPath("roundtrip.trc");
+    Rng rng(1);
+    std::vector<TraceEvent> events;
+    for (int i = 0; i < 200; ++i) {
+        TraceEvent ev;
+        ev.kind = rng.nextBool(0.4) ? EventKind::Writeback
+                                    : EventKind::ReadMiss;
+        ev.lineAddr = rng.next() >> 20;
+        ev.icount = static_cast<uint64_t>(i) * 37 + 1;
+        if (ev.kind == EventKind::Writeback) {
+            for (unsigned l = 0; l < CacheLine::kLimbs; ++l) {
+                ev.data.limb(l) = rng.next();
+            }
+        }
+        events.push_back(ev);
+    }
+    {
+        TraceWriter writer(path);
+        for (const TraceEvent &ev : events) {
+            writer.write(ev);
+        }
+        EXPECT_EQ(writer.count(), events.size());
+    }
+    TraceReader reader(path);
+    TraceEvent ev;
+    size_t i = 0;
+    while (reader.next(ev)) {
+        ASSERT_LT(i, events.size());
+        EXPECT_EQ(ev.kind, events[i].kind);
+        EXPECT_EQ(ev.lineAddr, events[i].lineAddr);
+        EXPECT_EQ(ev.icount, events[i].icount);
+        if (ev.kind == EventKind::Writeback) {
+            EXPECT_EQ(ev.data, events[i].data);
+        }
+        ++i;
+    }
+    EXPECT_EQ(i, events.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CapturedSyntheticStreamReplaysIdentically)
+{
+    std::string path = tempPath("synthetic.trc");
+    BenchmarkProfile p;
+    p.name = "io-test";
+    p.mpki = 4.0;
+    p.wbpki = 2.0;
+    p.workingSetLines = 64;
+    p.seed = 7;
+
+    {
+        SyntheticWorkload w(p, 1000);
+        TraceWriter writer(path);
+        TraceEvent ev;
+        while (w.next(ev)) {
+            writer.write(ev);
+        }
+    }
+    SyntheticWorkload w(p, 1000);
+    TraceReader reader(path);
+    TraceEvent from_file, from_gen;
+    while (reader.next(from_file)) {
+        ASSERT_TRUE(w.next(from_gen));
+        EXPECT_EQ(from_file.kind, from_gen.kind);
+        EXPECT_EQ(from_file.lineAddr, from_gen.lineAddr);
+        EXPECT_EQ(from_file.data, from_gen.data);
+    }
+    EXPECT_FALSE(w.next(from_gen));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/path/file.trc"),
+                 FatalError);
+}
+
+TEST(TraceIo, BadMagicIsFatal)
+{
+    std::string path = tempPath("badmagic.trc");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite("NOTATRACE", 1, 9, f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(TraceReader{path}, FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedRecordIsFatal)
+{
+    std::string path = tempPath("truncated.trc");
+    {
+        TraceWriter writer(path);
+        TraceEvent ev;
+        ev.kind = EventKind::Writeback;
+        ev.lineAddr = 1;
+        ev.icount = 2;
+        writer.write(ev);
+    }
+    // Chop the file mid-record.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        long size = std::ftell(f);
+        std::fclose(f);
+        ASSERT_EQ(truncate(path.c_str(), size - 10), 0);
+    }
+    TraceReader reader(path);
+    TraceEvent ev;
+    EXPECT_THROW(reader.next(ev), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceReadsCleanly)
+{
+    std::string path = tempPath("empty.trc");
+    {
+        TraceWriter writer(path);
+    }
+    TraceReader reader(path);
+    TraceEvent ev;
+    EXPECT_FALSE(reader.next(ev));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace deuce

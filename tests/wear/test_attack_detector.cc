@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the endurance-attack detector, including discrimination
+ * between benign calibrated workloads and a hammering attacker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "trace/synthetic.hh"
+#include "wear/attack_detector.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(AttackDetector, UniformTrafficNeverFlags)
+{
+    AttackDetector det(1000, 0.05);
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i) {
+        EXPECT_FALSE(det.onWrite(rng.nextBounded(4096)));
+    }
+    EXPECT_EQ(det.linesFlagged(), 0u);
+    EXPECT_LT(det.maxObservedShare(), 0.05);
+    EXPECT_EQ(det.windows(), 20u);
+}
+
+TEST(AttackDetector, HammeringOneLineFlagsQuickly)
+{
+    AttackDetector det(1000, 0.05);
+    Rng rng(2);
+    bool flagged = false;
+    uint64_t writes_until_flag = 0;
+    for (int i = 0; i < 1000; ++i) {
+        // 30% of traffic hammers line 7; rest is background noise.
+        uint64_t addr = rng.nextBool(0.3) ? 7 : rng.nextBounded(4096);
+        if (det.onWrite(addr)) {
+            flagged = true;
+            writes_until_flag = det.writes();
+            break;
+        }
+    }
+    EXPECT_TRUE(flagged);
+    EXPECT_TRUE(det.isFlagged(7));
+    // Detection latency: well within the first window.
+    EXPECT_LT(writes_until_flag, 400u);
+}
+
+TEST(AttackDetector, FlagClearsAtWindowBoundary)
+{
+    AttackDetector det(100, 0.1);
+    for (int i = 0; i < 15; ++i) {
+        det.onWrite(3);
+    }
+    EXPECT_TRUE(det.isFlagged(3));
+    // Fill out the window with benign traffic.
+    for (int i = 0; i < 85; ++i) {
+        det.onWrite(1000 + i);
+    }
+    EXPECT_EQ(det.windows(), 1u);
+    EXPECT_FALSE(det.isFlagged(3));
+    EXPECT_EQ(det.linesFlagged(), 1u); // history preserved
+}
+
+TEST(AttackDetector, FlagReportedOncePerWindow)
+{
+    AttackDetector det(1000, 0.01);
+    unsigned reports = 0;
+    for (int i = 0; i < 500; ++i) {
+        reports += det.onWrite(9) ? 1 : 0;
+    }
+    EXPECT_EQ(reports, 1u);
+}
+
+TEST(AttackDetector, MaxShareTracksTheHottestLine)
+{
+    AttackDetector det(100, 0.5);
+    for (int w = 0; w < 3; ++w) {
+        for (int i = 0; i < 25; ++i) {
+            det.onWrite(5);
+        }
+        for (int i = 0; i < 75; ++i) {
+            det.onWrite(1000 + i);
+        }
+    }
+    EXPECT_NEAR(det.maxObservedShare(), 0.25, 1e-9);
+}
+
+TEST(AttackDetector, BenignSpecProfilesStayUnderThreshold)
+{
+    // The calibrated workloads are Zipf-skewed but must not look like
+    // attacks at a 5% single-line threshold.
+    for (const char *bench : {"libq", "mcf", "Gems"}) {
+        BenchmarkProfile p = profileByName(bench);
+        SyntheticWorkload w(p, 40000);
+        AttackDetector det(4096, 0.05);
+        TraceEvent ev;
+        uint64_t flags = 0;
+        while (w.next(ev)) {
+            if (ev.kind == EventKind::Writeback) {
+                flags += det.onWrite(ev.lineAddr) ? 1 : 0;
+            }
+        }
+        EXPECT_EQ(flags, 0u) << bench;
+    }
+}
+
+TEST(AttackDetector, ParameterValidation)
+{
+    EXPECT_THROW(AttackDetector(1, 0.5), PanicError);
+    EXPECT_THROW(AttackDetector(100, 0.0), PanicError);
+    EXPECT_THROW(AttackDetector(100, 1.5), PanicError);
+}
+
+} // namespace
+} // namespace deuce

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the lifetime model, including the analytic relationships
+ * Figure 14 rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "wear/lifetime.hh"
+
+namespace deuce
+{
+namespace
+{
+
+/** Record `writes` line writes flipping each position with prob p. */
+void
+fillUniform(WearTracker &t, int writes, double p, uint64_t seed)
+{
+    Rng rng(seed);
+    for (int w = 0; w < writes; ++w) {
+        CacheLine diff;
+        for (unsigned b = 0; b < CacheLine::kBits; ++b) {
+            if (rng.nextBool(p)) {
+                diff.setBit(b, true);
+            }
+        }
+        t.recordWrite(diff, 0);
+    }
+}
+
+TEST(Lifetime, UniformTrafficHasUnitNonUniformity)
+{
+    WearTracker t;
+    fillUniform(t, 4000, 0.5, 1);
+    LifetimeEstimate est = estimateLifetime(t);
+    EXPECT_NEAR(est.meanFlipRate, 0.5, 0.01);
+    // Statistical max over 512 binomial positions is a few sigma up.
+    EXPECT_LT(est.nonUniformity, 1.1);
+    EXPECT_GT(est.nonUniformity, 1.0);
+}
+
+TEST(Lifetime, WritesToFailureScalesWithEndurance)
+{
+    WearTracker t;
+    fillUniform(t, 1000, 0.5, 2);
+    PcmConfig cfg;
+    cfg.cellEndurance = 1e6;
+    LifetimeEstimate est = estimateLifetime(t, cfg);
+    EXPECT_NEAR(est.writesToFailure, 1e6 / est.maxFlipRate, 1e-6);
+}
+
+TEST(Lifetime, NormalizedLifetimeIsRateRatio)
+{
+    // Baseline: uniform 50% flips (encrypted memory).
+    WearTracker encrypted;
+    fillUniform(encrypted, 3000, 0.5, 3);
+
+    // Scheme: uniform 25% flips -> exactly 2x lifetime.
+    WearTracker scheme;
+    fillUniform(scheme, 3000, 0.25, 4);
+
+    double norm = normalizedLifetime(scheme, encrypted);
+    EXPECT_NEAR(norm, 2.0, 0.1);
+}
+
+TEST(Lifetime, HotSpotDestroysLifetimeDespiteLowAverage)
+{
+    // The Figure 14 phenomenon: DEUCE halves average flips but a hot
+    // word keeps its lifetime gain at ~1.1x.
+    WearTracker encrypted;
+    fillUniform(encrypted, 3000, 0.5, 5);
+
+    WearTracker deuce_like;
+    Rng rng(6);
+    for (int w = 0; w < 3000; ++w) {
+        CacheLine diff;
+        // One hot word flips at ~50% each write ...
+        for (unsigned b = 144; b < 160; ++b) {
+            if (rng.nextBool(0.45)) {
+                diff.setBit(b, true);
+            }
+        }
+        // ... the rest of the line is mostly quiet.
+        for (unsigned b = 0; b < CacheLine::kBits; ++b) {
+            if (b >= 144 && b < 160) {
+                continue;
+            }
+            if (rng.nextBool(0.05)) {
+                diff.setBit(b, true);
+            }
+        }
+        deuce_like.recordWrite(diff, 0);
+    }
+    // Average flips dropped well below half the baseline...
+    EXPECT_LT(estimateLifetime(deuce_like).meanFlipRate, 0.10);
+    // ...but normalised lifetime stays near 1.1x, not 2x+.
+    double norm = normalizedLifetime(deuce_like, encrypted);
+    EXPECT_NEAR(norm, 1.1, 0.15);
+}
+
+TEST(Lifetime, RotationRestoresLifetimeOfHotTraffic)
+{
+    WearTracker encrypted;
+    fillUniform(encrypted, 3000, 0.5, 7);
+
+    // Same hot-word traffic as above, but the recording rotation
+    // cycles, spreading the hot word across the line (what HWL does
+    // over the device lifetime).
+    WearTracker leveled;
+    Rng rng(8);
+    for (int w = 0; w < 3000; ++w) {
+        CacheLine diff;
+        for (unsigned b = 144; b < 160; ++b) {
+            if (rng.nextBool(0.45)) {
+                diff.setBit(b, true);
+            }
+        }
+        for (unsigned b = 0; b < CacheLine::kBits; ++b) {
+            if (b >= 144 && b < 160) {
+                continue;
+            }
+            if (rng.nextBool(0.05)) {
+                diff.setBit(b, true);
+            }
+        }
+        leveled.recordWrite(diff, 0, (w * 17) % CacheLine::kBits);
+    }
+    double norm = normalizedLifetime(leveled, encrypted);
+    // Mean flip rate ~0.062 vs baseline 0.5: lifetime should approach
+    // the perfect-leveling bound of ~8x; allow slack for statistics.
+    EXPECT_GT(norm, 5.0);
+}
+
+TEST(Lifetime, PerfectLeveledBoundIsMeanBased)
+{
+    WearTracker t;
+    fillUniform(t, 2000, 0.25, 9);
+    PcmConfig cfg;
+    double perfect = perfectLeveledLifetime(t, cfg);
+    LifetimeEstimate est = estimateLifetime(t, cfg);
+    EXPECT_NEAR(perfect, cfg.cellEndurance / est.meanFlipRate, 1e-6);
+    EXPECT_GE(perfect, est.writesToFailure);
+}
+
+TEST(Lifetime, EcpZeroEqualsPlainLifetime)
+{
+    WearTracker t;
+    fillUniform(t, 2000, 0.3, 10);
+    PcmConfig cfg;
+    EXPECT_NEAR(ecpLifetime(t, 0, cfg),
+                estimateLifetime(t, cfg).writesToFailure, 1e-6);
+}
+
+TEST(Lifetime, EcpEntriesAbsorbHotCells)
+{
+    // One scorching cell plus a uniform background: a single ECP
+    // entry should restore nearly the background lifetime.
+    WearTracker t;
+    Rng rng(11);
+    for (int w = 0; w < 4000; ++w) {
+        CacheLine diff;
+        diff.setBit(100, true); // flips every write
+        for (unsigned b = 0; b < CacheLine::kBits; ++b) {
+            if (b != 100 && rng.nextBool(0.1)) {
+                diff.setBit(b, true);
+            }
+        }
+        t.recordWrite(diff, 0);
+    }
+    PcmConfig cfg;
+    double without = ecpLifetime(t, 0, cfg);
+    double with_one = ecpLifetime(t, 1, cfg);
+    EXPECT_NEAR(without, cfg.cellEndurance, cfg.cellEndurance * 0.01);
+    EXPECT_GT(with_one, without * 5.0);
+}
+
+TEST(Lifetime, EcpLifetimeMonotoneInEntries)
+{
+    WearTracker t;
+    fillUniform(t, 3000, 0.4, 12);
+    PcmConfig cfg;
+    double prev = 0.0;
+    for (unsigned k : {0u, 1u, 2u, 4u, 8u, 16u}) {
+        double life = ecpLifetime(t, k, cfg);
+        EXPECT_GE(life, prev);
+        prev = life;
+    }
+}
+
+TEST(Lifetime, RequiresRecordedWrites)
+{
+    WearTracker empty;
+    EXPECT_THROW(estimateLifetime(empty), PanicError);
+}
+
+} // namespace
+} // namespace deuce

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for Security Refresh: bijection through the sweep, key
+ * rotation, unpredictability vs Start-Gap, and HWL epoch derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "wear/rotation.hh"
+#include "wear/security_refresh.hh"
+
+namespace deuce
+{
+namespace
+{
+
+void
+expectBijection(const SecurityRefresh &sr)
+{
+    std::set<uint64_t> used;
+    for (uint64_t la = 0; la < sr.numLines(); ++la) {
+        uint64_t pa = sr.remap(la);
+        EXPECT_LT(pa, sr.numLines());
+        EXPECT_TRUE(used.insert(pa).second) << "collision at " << la;
+    }
+}
+
+TEST(SecurityRefresh, BootMappingIsIdentity)
+{
+    SecurityRefresh sr(16, 1);
+    for (uint64_t la = 0; la < 16; ++la) {
+        EXPECT_EQ(sr.remap(la), la);
+    }
+}
+
+TEST(SecurityRefresh, BijectionHoldsThroughoutTheSweep)
+{
+    SecurityRefresh sr(32, 1);
+    for (int w = 0; w < 32 * 5 + 7; ++w) {
+        sr.onWrite();
+        expectBijection(sr);
+    }
+    EXPECT_GE(sr.rounds(), 4u);
+}
+
+TEST(SecurityRefresh, SwappedPairsMapThroughTheNewKey)
+{
+    SecurityRefresh sr(64, 1);
+    // Advance partway through the first round.
+    for (int w = 0; w < 20; ++w) {
+        sr.onWrite();
+    }
+    uint64_t m = sr.keyOld() ^ sr.keyNew();
+    for (uint64_t la = 0; la < 64; ++la) {
+        uint64_t buddy = la ^ m;
+        bool processed = std::min(la, buddy) < sr.pointer();
+        EXPECT_EQ(sr.remap(la),
+                  la ^ (processed ? sr.keyNew() : sr.keyOld()));
+    }
+}
+
+TEST(SecurityRefresh, KeysRotateEachRound)
+{
+    SecurityRefresh sr(16, 1);
+    uint64_t first_new = sr.keyNew();
+    for (int w = 0; w < 16; ++w) {
+        sr.onWrite();
+    }
+    EXPECT_EQ(sr.rounds(), 1u);
+    EXPECT_EQ(sr.keyOld(), first_new);
+    EXPECT_NE(sr.keyNew(), sr.keyOld());
+}
+
+TEST(SecurityRefresh, RemapChurnsUnpredictably)
+{
+    // Over many rounds a given logical line should visit many
+    // physical slots (Start-Gap visits them in a fixed sequence; SR's
+    // random keys are the point of the algorithm).
+    SecurityRefresh sr(64, 1);
+    std::set<uint64_t> visited;
+    for (int w = 0; w < 64 * 40; ++w) {
+        sr.onWrite();
+        visited.insert(sr.remap(7));
+    }
+    EXPECT_GT(visited.size(), 20u);
+}
+
+TEST(SecurityRefresh, RefreshIntervalThrottlesSteps)
+{
+    SecurityRefresh sr(16, 10);
+    for (int w = 0; w < 9; ++w) {
+        EXPECT_FALSE(sr.onWrite());
+    }
+    EXPECT_TRUE(sr.onWrite());
+    EXPECT_EQ(sr.pointer(), 1u);
+}
+
+TEST(SecurityRefresh, HwlEpochAdvancesOncePerRound)
+{
+    SecurityRefresh sr(16, 1);
+    EXPECT_EQ(sr.hwlEpoch(3), 0u);
+    // Complete several rounds: the epoch tracks rounds +- the current
+    // sweep position.
+    for (int w = 0; w < 16 * 6; ++w) {
+        sr.onWrite();
+    }
+    uint64_t epoch = sr.hwlEpoch(3);
+    EXPECT_GE(epoch, sr.rounds());
+    EXPECT_LE(epoch, sr.rounds() + 1);
+}
+
+TEST(SecurityRefresh, DrivesHwlRotation)
+{
+    SecurityRefresh sr(16, 1);
+    HwlRotation hwl(sr);
+    std::set<unsigned> rotations;
+    for (int w = 0; w < 16 * 600; ++w) {
+        sr.onWrite();
+        rotations.insert(hwl.rotationFor(5));
+    }
+    // Hundreds of rounds -> the rotation sweeps many bit positions.
+    EXPECT_GT(rotations.size(), 100u);
+}
+
+TEST(SecurityRefresh, ParameterValidation)
+{
+    EXPECT_THROW(SecurityRefresh(12, 1), PanicError); // not pow2
+    EXPECT_THROW(SecurityRefresh(16, 0), PanicError);
+    SecurityRefresh sr(16, 1);
+    EXPECT_THROW(sr.remap(16), PanicError);
+}
+
+} // namespace
+} // namespace deuce

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for Start-Gap vertical wear leveling: the remap must stay a
+ * bijection at every point of the gap's journey, and the Start/Gap
+ * algebra must follow the MICRO-42 construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "wear/start_gap.hh"
+
+namespace deuce
+{
+namespace
+{
+
+/** Assert that remap() is injective into [0, N] minus the gap slot. */
+void
+expectBijection(const StartGap &sg)
+{
+    std::set<uint64_t> used;
+    for (uint64_t la = 0; la < sg.numLines(); ++la) {
+        uint64_t pa = sg.remap(la);
+        EXPECT_LE(pa, sg.numLines());
+        EXPECT_NE(pa, sg.gap()) << "line mapped onto the gap slot";
+        EXPECT_TRUE(used.insert(pa).second)
+            << "collision at la=" << la;
+    }
+}
+
+TEST(StartGap, IdentityBeforeAnyMovement)
+{
+    StartGap sg(8, 100);
+    EXPECT_EQ(sg.start(), 0u);
+    EXPECT_EQ(sg.gap(), 8u);
+    for (uint64_t la = 0; la < 8; ++la) {
+        EXPECT_EQ(sg.remap(la), la);
+    }
+    expectBijection(sg);
+}
+
+TEST(StartGap, GapMovesEveryInterval)
+{
+    StartGap sg(8, 4);
+    for (int w = 0; w < 3; ++w) {
+        EXPECT_FALSE(sg.onWrite());
+    }
+    EXPECT_TRUE(sg.onWrite()); // 4th write moves the gap
+    EXPECT_EQ(sg.gap(), 7u);
+    EXPECT_EQ(sg.gapMoves(), 1u);
+    expectBijection(sg);
+}
+
+TEST(StartGap, LinesShiftAsGapPasses)
+{
+    StartGap sg(8, 1); // gap moves every write
+    // After one move (gap 8 -> 7), logical 7 occupies slot 8.
+    sg.onWrite();
+    EXPECT_EQ(sg.remap(7), 8u);
+    EXPECT_EQ(sg.remap(6), 6u);
+    expectBijection(sg);
+
+    // March the gap to the top: every line now sits one slot lower.
+    for (int i = 0; i < 7; ++i) {
+        sg.onWrite();
+    }
+    EXPECT_EQ(sg.gap(), 0u);
+    for (uint64_t la = 0; la < 8; ++la) {
+        EXPECT_EQ(sg.remap(la), la + 1);
+    }
+    expectBijection(sg);
+}
+
+TEST(StartGap, StartIncrementsAfterFullRotation)
+{
+    StartGap sg(8, 1);
+    // N+1 = 9 moves bring the gap back to the bottom and bump Start.
+    for (int i = 0; i < 9; ++i) {
+        sg.onWrite();
+    }
+    EXPECT_EQ(sg.start(), 1u);
+    EXPECT_EQ(sg.gap(), 8u);
+    expectBijection(sg);
+    // With Start=1 and the gap at the bottom, logical 0 is at slot 1.
+    EXPECT_EQ(sg.remap(0), 1u);
+    EXPECT_EQ(sg.remap(7), 0u);
+}
+
+TEST(StartGap, BijectionHoldsThroughManyRotations)
+{
+    StartGap sg(16, 1);
+    const int writes = 16 * 17 * 3 + 5;
+    for (int w = 0; w < writes; ++w) {
+        sg.onWrite();
+        if (w % 7 == 0) {
+            expectBijection(sg);
+        }
+    }
+    EXPECT_EQ(sg.gapMoves(), static_cast<uint64_t>(writes));
+    // 17 gap moves per full rotation: the cumulative count never
+    // wraps while the remap Start cycles mod N.
+    EXPECT_EQ(sg.cumulativeStart(), static_cast<uint64_t>(writes) / 17);
+    EXPECT_EQ(sg.start(), sg.cumulativeStart() % 16);
+}
+
+TEST(StartGap, GapCrossedTracksMovedLines)
+{
+    StartGap sg(8, 1);
+    // Initially nothing has moved.
+    for (uint64_t la = 0; la < 8; ++la) {
+        EXPECT_FALSE(sg.gapCrossed(la));
+    }
+    sg.onWrite(); // gap 8 -> 7; logical 7 moved
+    EXPECT_TRUE(sg.gapCrossed(7));
+    for (uint64_t la = 0; la < 7; ++la) {
+        EXPECT_FALSE(sg.gapCrossed(la));
+    }
+    sg.onWrite(); // gap -> 6; logical 6 moved too
+    EXPECT_TRUE(sg.gapCrossed(6));
+    EXPECT_TRUE(sg.gapCrossed(7));
+}
+
+TEST(StartGap, StartPrimeReflectsCrossing)
+{
+    StartGap sg(8, 1);
+    sg.onWrite(); // logical 7 crossed
+    EXPECT_EQ(sg.startPrime(7), 1u);
+    EXPECT_EQ(sg.startPrime(0), 0u);
+}
+
+TEST(StartGap, StartWrapsAtN)
+{
+    StartGap sg(4, 1);
+    // 4 full rotations: start wraps back to 0.
+    for (int i = 0; i < 4 * 5; ++i) {
+        sg.onWrite();
+    }
+    EXPECT_EQ(sg.start(), 0u);
+    expectBijection(sg);
+}
+
+TEST(StartGap, SingleLineRegion)
+{
+    StartGap sg(1, 1);
+    for (int i = 0; i < 10; ++i) {
+        sg.onWrite();
+        EXPECT_EQ(sg.remap(0), sg.gap() == 0 ? 1u : 0u);
+    }
+}
+
+TEST(StartGap, InvalidParameters)
+{
+    EXPECT_THROW(StartGap(0, 1), PanicError);
+    EXPECT_THROW(StartGap(4, 0), PanicError);
+    StartGap sg(4, 1);
+    EXPECT_THROW(sg.remap(4), PanicError);
+}
+
+} // namespace
+} // namespace deuce
