@@ -28,20 +28,31 @@ regenerate()
 {
     printBanner(std::cout, "Ablation",
                 "FNW granularity: average flips (%) and overhead");
-    ExperimentOptions opt = benchutil::standardOptions();
-    opt.fastOtp = true;
+    SweepSpec spec = benchutil::standardSpec();
+    spec.options.fastOtp = true;
+    // Two scheme columns per region size, all 8 built through
+    // factories so every cell owns its scheme instance.
+    for (unsigned bits : {8u, 16u, 32u, 64u}) {
+        spec.schemes.push_back(SchemeSpec::custom(
+            "encr-fnw" + std::to_string(bits),
+            [bits](const OtpEngine &otp) {
+                return std::make_unique<CounterModeEncryption>(
+                    otp, true, bits);
+            }));
+        spec.schemes.push_back(SchemeSpec::custom(
+            "nofnw" + std::to_string(bits),
+            [bits](const OtpEngine &) {
+                return std::make_unique<NoEncryption>(true, bits);
+            }));
+    }
+    SweepResult all = runSweep(spec);
 
     Table t({"region", "flip bits/line", "Encr+FNW %", "NoEncr+FNW %"});
     for (unsigned bits : {8u, 16u, 32u, 64u}) {
-        auto otp = std::make_unique<FastOtpEngine>(opt.otpSeed);
-        CounterModeEncryption encr(*otp, true, bits);
-        NoEncryption plain(true, bits);
-
-        std::vector<ExperimentRow> encr_rows, plain_rows;
-        for (const BenchmarkProfile &p : spec2006Profiles()) {
-            encr_rows.push_back(runExperiment(p, encr, opt));
-            plain_rows.push_back(runExperiment(p, plain, opt));
-        }
+        const auto &encr_rows =
+            all["encr-fnw" + std::to_string(bits)];
+        const auto &plain_rows =
+            all["nofnw" + std::to_string(bits)];
         t.addRow({std::to_string(bits) + "-bit",
                   std::to_string(512 / bits),
                   fmt(averageOf(encr_rows, &ExperimentRow::flipPct), 1),

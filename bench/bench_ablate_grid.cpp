@@ -27,11 +27,26 @@ regenerate()
 {
     printBanner(std::cout, "Ablation",
                 "DEUCE average flips (%) over word-size x epoch grid");
-    ExperimentOptions opt = benchutil::standardOptions();
-    opt.fastOtp = true; // statistical grid; see file header
+    SweepSpec spec = benchutil::standardSpec();
+    spec.options.fastOtp = true; // statistical grid; see file header
 
     const unsigned word_sizes[4] = {1, 2, 4, 8};
     const unsigned epochs[4] = {8, 16, 32, 64};
+
+    // All 16 grid points as custom columns of one sweep: the full
+    // 16 x 12 cell grid load-balances across the worker pool.
+    for (unsigned w : word_sizes) {
+        for (unsigned e : epochs) {
+            std::ostringstream key;
+            key << w << "b-e" << e;
+            spec.schemes.push_back(SchemeSpec::custom(
+                key.str(), [w, e](const OtpEngine &otp) {
+                    return std::make_unique<Deuce>(
+                        otp, DeuceConfig{w, e, false, 16});
+                }));
+        }
+    }
+    SweepResult all = runSweep(spec);
 
     Table t({"word \\ epoch", "e8", "e16", "e32", "e64"});
     for (unsigned w : word_sizes) {
@@ -42,17 +57,11 @@ regenerate()
             row.push_back(os.str());
         }
         for (unsigned e : epochs) {
-            std::ostringstream id;
-            // Build via explicit config (factory ids cover only the
-            // paper's axes).
-            auto otp = std::make_unique<FastOtpEngine>(opt.otpSeed);
-            Deuce scheme(*otp, DeuceConfig{w, e, false, 16});
-            std::vector<ExperimentRow> rows;
-            for (const BenchmarkProfile &p : spec2006Profiles()) {
-                rows.push_back(runExperiment(p, scheme, opt));
-            }
-            row.push_back(
-                fmt(averageOf(rows, &ExperimentRow::flipPct), 1));
+            std::ostringstream key;
+            key << w << "b-e" << e;
+            row.push_back(fmt(
+                averageOf(all[key.str()], &ExperimentRow::flipPct),
+                1));
         }
         t.addRow(row);
     }

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench_common.hh"
+#include "common/thread_pool.hh"
 #include "crypto/otp_engine.hh"
 #include "enc/scheme_factory.hh"
 #include "sim/memory_system.hh"
@@ -30,45 +31,63 @@ struct PolicyResult
     unsigned storageBits = 0;
 };
 
+WearTracker
+runWear(BenchmarkProfile p, const char *scheme_id,
+        WearLevelingConfig::Rotation rot, uint64_t writebacks)
+{
+    // Concentrate writes so the per-line rotation register (which
+    // only advances with writes to its own line) also gets
+    // exercised within the simulation window.
+    p.workingSetLines = 256;
+    SyntheticWorkload workload(
+        p, static_cast<uint64_t>(
+               writebacks * (p.mpki + p.wbpki) / p.wbpki) + 1);
+    auto otp = std::make_unique<FastOtpEngine>(5);
+    auto scheme = makeScheme(scheme_id, *otp);
+    WearLevelingConfig wl;
+    wl.verticalEnabled = true;
+    wl.numLines = 16;
+    wl.gapWriteInterval = 1;
+    wl.rotation = rot;
+    MemorySystem memory(*scheme, wl, PcmConfig{},
+                        [&](uint64_t addr) {
+                            return workload.initialContents(addr);
+                        });
+    TraceEvent ev;
+    while (workload.next(ev)) {
+        if (ev.kind == EventKind::Writeback) {
+            memory.write(ev.lineAddr, ev.data);
+        }
+    }
+    return memory.wearTracker();
+}
+
 PolicyResult
 runPolicy(WearLevelingConfig::Rotation rotation, uint64_t writebacks)
 {
-    double lifetime_sum = 0.0;
     unsigned storage = 0;
     auto profiles = spec2006Profiles();
-    for (BenchmarkProfile &p : profiles) {
-        // Concentrate writes so the per-line rotation register (which
-        // only advances with writes to its own line) also gets
-        // exercised within the simulation window.
-        p.workingSetLines = 256;
-        auto run = [&](const char *scheme_id,
-                       WearLevelingConfig::Rotation rot) {
-            SyntheticWorkload workload(
-                p, static_cast<uint64_t>(
-                       writebacks * (p.mpki + p.wbpki) / p.wbpki) + 1);
-            auto otp = std::make_unique<FastOtpEngine>(5);
-            auto scheme = makeScheme(scheme_id, *otp);
-            WearLevelingConfig wl;
-            wl.verticalEnabled = true;
-            wl.numLines = 16;
-            wl.gapWriteInterval = 1;
-            wl.rotation = rot;
-            MemorySystem memory(
-                *scheme, wl, PcmConfig{}, [&](uint64_t addr) {
-                    return workload.initialContents(addr);
-                });
-            TraceEvent ev;
-            while (workload.next(ev)) {
-                if (ev.kind == EventKind::Writeback) {
-                    memory.write(ev.lineAddr, ev.data);
-                }
-            }
-            return memory.wearTracker();
-        };
-        WearTracker encr =
-            run("encr", WearLevelingConfig::Rotation::None);
-        WearTracker deuce = run("deuce", rotation);
-        lifetime_sum += normalizedLifetime(deuce, encr);
+
+    // Baseline and DEUCE wear runs for every benchmark are mutually
+    // independent: one parallel batch of 2 x benchmarks cells, each
+    // writing its pre-assigned slot.
+    std::vector<WearTracker> encr(profiles.size());
+    std::vector<WearTracker> deuce(profiles.size());
+    ThreadPool::parallelFor(profiles.size() * 2, [&](uint64_t cell) {
+        uint64_t b = cell / 2;
+        if (cell % 2 == 0) {
+            encr[b] = runWear(profiles[b], "encr",
+                              WearLevelingConfig::Rotation::None,
+                              writebacks);
+        } else {
+            deuce[b] = runWear(profiles[b], "deuce", rotation,
+                               writebacks);
+        }
+    });
+
+    double lifetime_sum = 0.0;
+    for (size_t b = 0; b < profiles.size(); ++b) {
+        lifetime_sum += normalizedLifetime(deuce[b], encr[b]);
     }
     switch (rotation) {
       case WearLevelingConfig::Rotation::PerLine:

@@ -48,10 +48,10 @@ regenerate()
         opt.timingCfg.scheduler = c.scheduler;
         opt.timingCfg.counterCacheBytes = c.counterCacheBytes;
 
-        std::map<std::string, std::vector<ExperimentRow>> all;
-        for (const char *id : {"encr", "deuce", "nofnw"}) {
-            all[id] = benchutil::runAllBenchmarks(id, opt);
-        }
+        SweepSpec spec;
+        spec.options = opt;
+        spec.add("encr").add("deuce").add("nofnw");
+        SweepResult all = runSweep(spec);
         double deuce_speedup = geomeanSpeedup(
             all["encr"], all["deuce"], &ExperimentRow::executionNs);
         double noencr_speedup = geomeanSpeedup(

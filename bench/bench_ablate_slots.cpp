@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <map>
 
 #include "bench_common.hh"
 #include "common/rng.hh"
@@ -32,10 +33,13 @@ regenerate()
         opt.pcm.slotBits = bits;
         opt.pcm.slotFlipBudget = bits / 2;
 
+        SweepSpec spec;
+        spec.options = opt;
+        spec.add("encr").add("deuce").add("nodcw");
+        SweepResult all = runSweep(spec);
         std::map<std::string, double> slots;
         for (const char *id : {"encr", "deuce", "nodcw"}) {
-            auto rows = benchutil::runAllBenchmarks(id, opt);
-            slots[id] = averageOf(rows, &ExperimentRow::avgSlots);
+            slots[id] = averageOf(all[id], &ExperimentRow::avgSlots);
         }
         t.addRow({std::to_string(bits) + "-bit",
                   std::to_string(512 / bits), fmt(slots["encr"], 2),

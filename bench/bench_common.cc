@@ -26,47 +26,37 @@ standardOptions()
     return opt;
 }
 
+SweepSpec
+standardSpec()
+{
+    SweepSpec spec;
+    spec.options = standardOptions();
+    return spec;
+}
+
 std::vector<ExperimentRow>
 runAllBenchmarks(const std::string &scheme_id,
                  const ExperimentOptions &options)
 {
-    std::vector<ExperimentRow> rows;
-    for (const BenchmarkProfile &p : spec2006Profiles()) {
-        rows.push_back(runExperiment(p, scheme_id, options));
-    }
-    return rows;
+    SweepSpec spec;
+    spec.options = options;
+    spec.add(scheme_id);
+    return runSweep(spec).rows(scheme_id);
 }
 
-std::map<std::string, std::vector<ExperimentRow>>
+SweepResult
 runAndPrintFlipTable(
     const std::vector<std::pair<std::string, std::string>> &schemes,
     const ExperimentOptions &options)
 {
-    std::map<std::string, std::vector<ExperimentRow>> all;
-    std::vector<std::string> headers = {"bench"};
+    SweepSpec spec;
+    spec.options = options;
     for (const auto &[id, label] : schemes) {
-        headers.push_back(label);
-        all[id] = runAllBenchmarks(id, options);
+        spec.add(id, label);
     }
-
-    Table table(headers);
-    auto profiles = spec2006Profiles();
-    for (size_t b = 0; b < profiles.size(); ++b) {
-        std::vector<std::string> row = {profiles[b].name};
-        for (const auto &[id, label] : schemes) {
-            row.push_back(fmt(all[id][b].flipPct, 1));
-        }
-        table.addRow(row);
-    }
-    table.addRule();
-    std::vector<std::string> avg = {"Avg"};
-    for (const auto &[id, label] : schemes) {
-        avg.push_back(
-            fmt(averageOf(all[id], &ExperimentRow::flipPct), 1));
-    }
-    table.addRow(avg);
-    table.print(std::cout);
-    return all;
+    SweepResult result = runSweep(spec);
+    printSweepTable(std::cout, result, &ExperimentRow::flipPct);
+    return result;
 }
 
 } // namespace benchutil

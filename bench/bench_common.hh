@@ -4,19 +4,22 @@
  *
  * Every bench binary regenerates one table or figure of the paper
  * (printed before the google-benchmark micro section runs). The
- * figure runs use the real AES engine; set DEUCE_BENCH_WB to change
- * the per-cell writeback budget (default 60000).
+ * figure runs use the real AES engine and execute their experiment
+ * grids through the sweep engine (sim/sweep.hh), so cells run in
+ * parallel across DEUCE_BENCH_THREADS workers. DEUCE_BENCH_WB
+ * changes the per-cell writeback budget (default 60000);
+ * DEUCE_BENCH_JSON appends every cell to a JSON Lines file.
  */
 
 #ifndef DEUCE_BENCH_BENCH_COMMON_HH
 #define DEUCE_BENCH_BENCH_COMMON_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 #include "trace/profile.hh"
 
 namespace deuce
@@ -27,15 +30,18 @@ namespace benchutil
 /** Standard options for figure regeneration (real AES). */
 ExperimentOptions standardOptions();
 
-/** One row per benchmark for a given scheme id. */
+/** A sweep spec pre-loaded with standardOptions(); add schemes. */
+SweepSpec standardSpec();
+
+/** One row per benchmark for a given scheme id (a 1-column sweep). */
 std::vector<ExperimentRow> runAllBenchmarks(
     const std::string &scheme_id, const ExperimentOptions &options);
 
 /**
- * Run several schemes over all benchmarks and print the per-benchmark
- * flip table with an Avg row. Returns rows keyed by scheme id.
+ * Run several scheme columns over all benchmarks as one parallel
+ * sweep and print the per-benchmark flip table with an Avg row.
  */
-std::map<std::string, std::vector<ExperimentRow>> runAndPrintFlipTable(
+SweepResult runAndPrintFlipTable(
     const std::vector<std::pair<std::string, std::string>>
         &schemes, // (id, column label)
     const ExperimentOptions &options);

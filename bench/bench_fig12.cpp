@@ -16,6 +16,7 @@
 
 #include "bench_common.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "pcm/wear_tracker.hh"
 #include "sim/memory_system.hh"
 #include "trace/synthetic.hh"
@@ -61,10 +62,20 @@ regenerate()
                 "writes per bit position, normalised to average");
     ExperimentOptions opt = benchutil::standardOptions();
 
-    for (const char *bench : {"mcf", "libq"}) {
-        double max_ratio = 0.0;
-        std::vector<double> profile =
-            positionProfile(bench, opt.writebacks, &max_ratio);
+    // Both curves are independent cells; run them in parallel and
+    // print from the pre-assigned slots.
+    const std::vector<std::string> benches = {"mcf", "libq"};
+    std::vector<double> max_ratios(benches.size(), 0.0);
+    std::vector<std::vector<double>> profiles(benches.size());
+    ThreadPool::parallelFor(benches.size(), [&](uint64_t i) {
+        profiles[i] = positionProfile(benches[i], opt.writebacks,
+                                      &max_ratios[i]);
+    });
+
+    for (size_t i = 0; i < benches.size(); ++i) {
+        const std::string &bench = benches[i];
+        double max_ratio = max_ratios[i];
+        const std::vector<double> &profile = profiles[i];
 
         // Summarise the 512-point curve as 32 word-sized buckets.
         std::cout << "\n" << bench

@@ -20,10 +20,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <iostream>
 
 #include "bench_common.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "crypto/otp_engine.hh"
 #include "enc/scheme_factory.hh"
 #include "sim/memory_system.hh"
@@ -79,19 +81,34 @@ regenerate()
     Table t({"bench", "FNW", "DEUCE", "DEUCE-HWL", "HWL vs perfect"});
     double sum_fnw = 0.0, sum_deuce = 0.0, sum_hwl = 0.0;
     auto profiles = spec2006Profiles();
-    for (const BenchmarkProfile &p : profiles) {
-        WearTracker encr = runWear(
-            p, "encr", WearLevelingConfig::Rotation::None,
-            opt.writebacks);
-        WearTracker fnw = runWear(
-            p, "encr-fnw", WearLevelingConfig::Rotation::None,
-            opt.writebacks);
-        WearTracker deuce = runWear(
-            p, "deuce", WearLevelingConfig::Rotation::None,
-            opt.writebacks);
-        WearTracker hwl = runWear(
-            p, "deuce", WearLevelingConfig::Rotation::Hwl,
-            opt.writebacks);
+
+    // Four wear runs per benchmark, all independent: flatten the
+    // (bench x variant) grid into one parallel batch with each cell
+    // writing to its pre-assigned slot.
+    struct Variant
+    {
+        const char *id;
+        WearLevelingConfig::Rotation rotation;
+    };
+    const Variant variants[4] = {
+        {"encr", WearLevelingConfig::Rotation::None},
+        {"encr-fnw", WearLevelingConfig::Rotation::None},
+        {"deuce", WearLevelingConfig::Rotation::None},
+        {"deuce", WearLevelingConfig::Rotation::Hwl}};
+    std::vector<std::array<WearTracker, 4>> wear(profiles.size());
+    ThreadPool::parallelFor(profiles.size() * 4, [&](uint64_t cell) {
+        uint64_t b = cell / 4;
+        uint64_t v = cell % 4;
+        wear[b][v] = runWear(profiles[b], variants[v].id,
+                             variants[v].rotation, opt.writebacks);
+    });
+
+    for (size_t b = 0; b < profiles.size(); ++b) {
+        const BenchmarkProfile &p = profiles[b];
+        const WearTracker &encr = wear[b][0];
+        const WearTracker &fnw = wear[b][1];
+        const WearTracker &deuce = wear[b][2];
+        const WearTracker &hwl = wear[b][3];
 
         double life_fnw = normalizedLifetime(fnw, encr);
         double life_deuce = normalizedLifetime(deuce, encr);

@@ -28,38 +28,13 @@ regenerate()
 {
     printBanner(std::cout, "Figure 15",
                 "average write slots per write request");
-    ExperimentOptions opt = benchutil::standardOptions();
-
-    std::vector<std::pair<std::string, std::string>> schemes = {
-        {"encr", "Encr"},
-        {"encr-fnw", "Encr+FNW"},
-        {"deuce", "DEUCE"},
-        {"nodcw", "NoEncr"},
-    };
-
-    std::map<std::string, std::vector<ExperimentRow>> all;
-    std::vector<std::string> headers = {"bench"};
-    for (const auto &[id, label] : schemes) {
-        headers.push_back(label);
-        all[id] = benchutil::runAllBenchmarks(id, opt);
-    }
-    Table t(headers);
-    auto profiles = spec2006Profiles();
-    for (size_t b = 0; b < profiles.size(); ++b) {
-        std::vector<std::string> row = {profiles[b].name};
-        for (const auto &[id, label] : schemes) {
-            row.push_back(fmt(all[id][b].avgSlots, 2));
-        }
-        t.addRow(row);
-    }
-    t.addRule();
-    std::vector<std::string> avg = {"Avg"};
-    for (const auto &[id, label] : schemes) {
-        avg.push_back(
-            fmt(averageOf(all[id], &ExperimentRow::avgSlots), 2));
-    }
-    t.addRow(avg);
-    t.print(std::cout);
+    SweepSpec spec = benchutil::standardSpec();
+    spec.add("encr", "Encr")
+        .add("encr-fnw", "Encr+FNW")
+        .add("deuce", "DEUCE")
+        .add("nodcw", "NoEncr");
+    SweepResult all = runSweep(spec);
+    printSweepTable(std::cout, all, &ExperimentRow::avgSlots, 2);
 
     std::cout << '\n';
     printPaperVsMeasured(

@@ -30,22 +30,16 @@ regenerate()
 {
     printBanner(std::cout, "Figure 16",
                 "speedup vs encrypted memory (timing model)");
-    ExperimentOptions opt = benchutil::standardOptions();
-    opt.timing = true;
-
-    std::vector<std::pair<std::string, std::string>> schemes = {
-        {"encr", "Encr"},
-        {"encr-fnw", "Encr+FNW"},
-        {"deuce", "DEUCE"},
-        {"nofnw", "NoEncr+FNW"},
-    };
-    std::map<std::string, std::vector<ExperimentRow>> all;
-    for (const auto &[id, label] : schemes) {
-        all[id] = benchutil::runAllBenchmarks(id, opt);
-    }
+    SweepSpec spec = benchutil::standardSpec();
+    spec.options.timing = true;
+    spec.add("encr", "Encr")
+        .add("encr-fnw", "Encr+FNW")
+        .add("deuce", "DEUCE")
+        .add("nofnw", "NoEncr+FNW");
+    SweepResult all = runSweep(spec);
 
     Table t({"bench", "Encr+FNW", "DEUCE", "NoEncr+FNW"});
-    auto profiles = spec2006Profiles();
+    const auto &profiles = all.benchmarks();
     for (size_t b = 0; b < profiles.size(); ++b) {
         double base = all["encr"][b].executionNs;
         t.addRow({profiles[b].name,

@@ -28,22 +28,18 @@ regenerate()
 {
     printBanner(std::cout, "Figure 17",
                 "speedup / energy / power / EDP vs encrypted memory");
-    ExperimentOptions opt = benchutil::standardOptions();
-    opt.timing = true;
-
-    std::vector<std::pair<std::string, std::string>> schemes = {
-        {"encr", "Encr"},
-        {"encr-fnw", "FNW"},
-        {"deuce", "DEUCE"},
-        {"nofnw", "NoEncr+FNW"},
-    };
-    std::map<std::string, std::vector<ExperimentRow>> all;
-    for (const auto &[id, label] : schemes) {
-        all[id] = benchutil::runAllBenchmarks(id, opt);
-    }
+    SweepSpec spec = benchutil::standardSpec();
+    spec.options.timing = true;
+    spec.add("encr", "Encr")
+        .add("encr-fnw", "FNW")
+        .add("deuce", "DEUCE")
+        .add("nofnw", "NoEncr+FNW");
+    SweepResult all = runSweep(spec);
 
     Table t({"scheme", "speedup", "energy", "power", "EDP"});
-    for (const auto &[id, label] : schemes) {
+    for (size_t s = 0; s < spec.schemes.size(); ++s) {
+        const std::string &id = spec.schemes[s].id;
+        const std::string &label = spec.schemes[s].key();
         double speedup = geomeanSpeedup(all["encr"], all[id],
                                         &ExperimentRow::executionNs);
         double energy = 1.0 / geomeanSpeedup(all["encr"], all[id],

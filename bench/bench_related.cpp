@@ -26,31 +26,37 @@ regenerate()
 {
     printBanner(std::cout, "Related work",
                 "flips, storage and exposure across designs");
-    ExperimentOptions opt = benchutil::standardOptions();
-    opt.fastOtp = true;
-
     struct Entry
     {
         const char *id;
         const char *label;
         const char *security;
     };
+    const std::vector<Entry> entries = {
+        {"encr", "counter mode (line)", "yes"},
+        {"ble", "BLE (16B blocks)", "yes"},
+        {"perword", "per-word counters", "yes"},
+        {"addrpad", "address pad (no ctr)", "NO (pad reuse)"},
+        {"deuce", "DEUCE", "yes"},
+        {"dyndeuce", "DynDEUCE", "yes"},
+        {"invmm", "i-NVMM (hot plaintext)", "NO"}};
+
+    // All seven designs as one 7 x 12 parallel sweep.
+    SweepSpec spec = benchutil::standardSpec();
+    spec.options.fastOtp = true;
+    for (const Entry &e : entries) {
+        spec.add(e.id);
+    }
+    SweepResult all = runSweep(spec);
+
     Table t({"design", "flips %", "metadata bits/line",
              "bus-snooping safe?"});
-    for (const Entry &e :
-         {Entry{"encr", "counter mode (line)", "yes"},
-          Entry{"ble", "BLE (16B blocks)", "yes"},
-          Entry{"perword", "per-word counters", "yes"},
-          Entry{"addrpad", "address pad (no ctr)", "NO (pad reuse)"},
-          Entry{"deuce", "DEUCE", "yes"},
-          Entry{"dyndeuce", "DynDEUCE", "yes"},
-          Entry{"invmm", "i-NVMM (hot plaintext)", "NO"}}) {
-        auto rows = benchutil::runAllBenchmarks(e.id, opt);
+    for (const Entry &e : entries) {
         auto otp = std::make_unique<FastOtpEngine>(1);
         auto scheme = makeScheme(e.id, *otp);
         unsigned bits = scheme->trackingBitsPerLine();
         t.addRow({e.label,
-                  fmt(averageOf(rows, &ExperimentRow::flipPct), 1),
+                  fmt(averageOf(all[e.id], &ExperimentRow::flipPct), 1),
                   std::to_string(bits), e.security});
     }
     t.print(std::cout);

@@ -10,6 +10,7 @@
  *   BLE 33%                 BLE+DEUCE 19.9%
  *
  * Not part of the reproduced figures itself; see bench/ for those.
+ * Each grid is one parallel sweep (sim/sweep.hh).
  */
 
 #include <cstdlib>
@@ -17,6 +18,7 @@
 
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 #include "trace/profile.hh"
 
 using namespace deuce;
@@ -34,79 +36,40 @@ main(int argc, char **argv)
     opt.fastOtp = true;
     opt.wl.verticalEnabled = false;
 
-    std::vector<std::string> schemes = {
-        "nodcw", "nofnw", "encr", "encr-fnw", "deuce",
-        "dyndeuce", "deuce-fnw", "ble", "ble-deuce",
-    };
-
-    std::vector<std::string> headers = {"bench"};
-    for (const auto &s : schemes) {
-        headers.push_back(s);
+    // Full scheme panel.
+    SweepSpec panel;
+    panel.benchmarks = spec2006Profiles();
+    panel.options = opt;
+    for (const char *id : {"nodcw", "nofnw", "encr", "encr-fnw",
+                           "deuce", "dyndeuce", "deuce-fnw", "ble",
+                           "ble-deuce"}) {
+        panel.add(id);
     }
-    Table table(headers);
-
-    std::vector<std::vector<ExperimentRow>> all(schemes.size());
-    for (const BenchmarkProfile &p : spec2006Profiles()) {
-        std::vector<std::string> row = {p.name};
-        for (size_t s = 0; s < schemes.size(); ++s) {
-            ExperimentRow r = runExperiment(p, schemes[s], opt);
-            all[s].push_back(r);
-            row.push_back(fmt(r.flipPct, 1));
-        }
-        table.addRow(row);
-    }
-    table.addRule();
-    std::vector<std::string> avg = {"Avg"};
-    for (size_t s = 0; s < schemes.size(); ++s) {
-        avg.push_back(fmt(averageOf(all[s], &ExperimentRow::flipPct), 1));
-    }
-    table.addRow(avg);
-    table.print(std::cout);
+    printSweepTable(std::cout, runSweep(panel),
+                    &ExperimentRow::flipPct);
 
     // Epoch sweep for DEUCE (Figure 9 anchors: 24.8 / 24.0 / 23.7).
     std::cout << "\nDEUCE epoch sweep (2B words):\n";
-    Table sweep({"bench", "e8", "e16", "e32"});
-    std::vector<std::vector<ExperimentRow>> es(3);
-    for (const BenchmarkProfile &p : spec2006Profiles()) {
-        std::vector<std::string> row = {p.name};
-        const char *ids[3] = {"deuce-e8", "deuce-e16", "deuce-e32"};
-        for (int i = 0; i < 3; ++i) {
-            ExperimentRow r = runExperiment(p, ids[i], opt);
-            es[i].push_back(r);
-            row.push_back(fmt(r.flipPct, 1));
-        }
-        sweep.addRow(row);
-    }
-    sweep.addRule();
-    std::vector<std::string> avg2 = {"Avg"};
-    for (int i = 0; i < 3; ++i) {
-        avg2.push_back(fmt(averageOf(es[i], &ExperimentRow::flipPct), 1));
-    }
-    sweep.addRow(avg2);
-    sweep.print(std::cout);
+    SweepSpec epochs;
+    epochs.benchmarks = spec2006Profiles();
+    epochs.options = opt;
+    epochs.add("deuce-e8", "e8")
+        .add("deuce-e16", "e16")
+        .add("deuce-e32", "e32");
+    printSweepTable(std::cout, runSweep(epochs),
+                    &ExperimentRow::flipPct);
 
     // Word-size sweep (Figure 8 anchors: 21.4 / 23.7 / 26.8 / 32.2).
     std::cout << "\nDEUCE word-size sweep (epoch 32):\n";
-    Table ws({"bench", "1B", "2B", "4B", "8B"});
-    std::vector<std::vector<ExperimentRow>> wsr(4);
-    for (const BenchmarkProfile &p : spec2006Profiles()) {
-        std::vector<std::string> row = {p.name};
-        const char *ids[4] = {"deuce-1b", "deuce-2b", "deuce-4b",
-                              "deuce-8b"};
-        for (int i = 0; i < 4; ++i) {
-            ExperimentRow r = runExperiment(p, ids[i], opt);
-            wsr[i].push_back(r);
-            row.push_back(fmt(r.flipPct, 1));
-        }
-        ws.addRow(row);
-    }
-    ws.addRule();
-    std::vector<std::string> avg3 = {"Avg"};
-    for (int i = 0; i < 4; ++i) {
-        avg3.push_back(fmt(averageOf(wsr[i], &ExperimentRow::flipPct), 1));
-    }
-    ws.addRow(avg3);
-    ws.print(std::cout);
+    SweepSpec words;
+    words.benchmarks = spec2006Profiles();
+    words.options = opt;
+    words.add("deuce-1b", "1B")
+        .add("deuce-2b", "2B")
+        .add("deuce-4b", "4B")
+        .add("deuce-8b", "8B");
+    printSweepTable(std::cout, runSweep(words),
+                    &ExperimentRow::flipPct);
 
     return 0;
 }

@@ -1,27 +1,34 @@
 /**
  * @file
- * deuce-sim: a command-line front-end for running any single
- * experiment cell — the entry point a downstream user scripts against.
+ * deuce-sim: a command-line front-end for running experiment cells —
+ * the entry point a downstream user scripts against. Cells are
+ * described as a sweep (benchmarks x schemes) and execute in parallel
+ * on the shared worker pool.
  *
  *   $ ./simulate --bench mcf --scheme deuce --writebacks 100000
- *   $ ./simulate --bench all --scheme dyndeuce --csv
+ *   $ ./simulate --bench all --scheme encr,deuce,dyndeuce --csv
  *   $ ./simulate --bench libq --scheme deuce --timing --mlp 8
+ *   $ ./simulate --bench all --scheme deuce --threads 8 --json out.jsonl
  *
  * Options:
  *   --bench <name|all>      benchmark profile (Table 2 names)
- *   --scheme <id>           scheme id (see enc/scheme_factory.hh)
+ *   --scheme <id[,id...]>   scheme ids (see enc/scheme_factory.hh)
  *   --writebacks <n>        writebacks to simulate (default 60000)
  *   --timing                run the bank-contention timing model
  *   --hwl                   enable horizontal wear leveling
  *   --vwl <startgap|sr>     vertical wear-leveling engine
  *   --fast-otp              hash-based pads instead of AES
  *   --seed <n>              pad key seed
+ *   --threads <n>           worker threads (default DEUCE_BENCH_THREADS
+ *                           or hardware concurrency)
  *   --csv                   machine-readable one-line-per-cell output
+ *   --json <path>           write every cell as JSON Lines to <path>
  *   --stats                 append a gem5-style stats dump per cell
  */
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -29,6 +36,7 @@
 #include "sim/experiment.hh"
 #include "enc/scheme_factory.hh"
 #include "sim/stats_dump.hh"
+#include "sim/sweep.hh"
 #include "trace/synthetic.hh"
 #include "sim/report.hh"
 #include "trace/profile.hh"
@@ -41,8 +49,10 @@ using namespace deuce;
 struct CliOptions
 {
     std::string bench = "all";
-    std::string scheme = "deuce";
+    std::vector<std::string> schemes = {"deuce"};
     ExperimentOptions experiment;
+    unsigned threads = 0; ///< 0 = DEUCE_BENCH_THREADS / hardware
+    std::string jsonPath;
     bool csv = false;
     bool stats = false;
 };
@@ -51,10 +61,29 @@ struct CliOptions
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
-              << " [--bench <name|all>] [--scheme <id>]"
+              << " [--bench <name|all>] [--scheme <id[,id...]>]"
                  " [--writebacks <n>] [--timing] [--hwl] [--vwl startgap|sr]"
-                 " [--fast-otp] [--seed <n>] [--mlp <x>] [--csv]\n";
+                 " [--fast-otp] [--seed <n>] [--mlp <x>] [--threads <n>]"
+                 " [--csv] [--json <path>] [--stats]\n";
     std::exit(2);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) {
+            comma = list.size();
+        }
+        if (comma > start) {
+            out.push_back(list.substr(start, comma - start));
+        }
+        start = comma + 1;
+    }
+    return out;
 }
 
 CliOptions
@@ -76,7 +105,10 @@ parseArgs(int argc, char **argv)
         if (arg == "--bench") {
             cli.bench = value();
         } else if (arg == "--scheme") {
-            cli.scheme = value();
+            cli.schemes = splitCommas(value());
+            if (cli.schemes.empty()) {
+                usage(argv[0]);
+            }
         } else if (arg == "--writebacks") {
             cli.experiment.writebacks =
                 std::strtoull(value(), nullptr, 10);
@@ -104,8 +136,13 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--mlp") {
             cli.experiment.timingCfg.mlp =
                 std::strtod(value(), nullptr);
+        } else if (arg == "--threads") {
+            cli.threads = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
         } else if (arg == "--csv") {
             cli.csv = true;
+        } else if (arg == "--json") {
+            cli.jsonPath = value();
         } else if (arg == "--stats") {
             cli.stats = true;
         } else {
@@ -134,6 +171,38 @@ printCsvRow(const ExperimentRow &r)
               << r.wearNonUniformity << '\n';
 }
 
+/**
+ * Re-run one cell with a visible MemorySystem to dump its counters
+ * (the experiment runner owns its own instance). Serial by design:
+ * dumps interleave with stdout.
+ */
+void
+dumpCellStats(const BenchmarkProfile &p, const std::string &scheme_id,
+              const ExperimentOptions &opt)
+{
+    std::unique_ptr<OtpEngine> otp;
+    if (opt.fastOtp) {
+        otp = std::make_unique<FastOtpEngine>(opt.otpSeed);
+    } else {
+        otp = makeAesOtpEngine(opt.otpSeed);
+    }
+    auto scheme = makeScheme(scheme_id, *otp);
+    SyntheticWorkload workload(
+        p, static_cast<uint64_t>(
+               opt.writebacks * (p.mpki + p.wbpki) / p.wbpki) + 1);
+    MemorySystem memory(*scheme, opt.wl, opt.pcm,
+                        [&](uint64_t addr) {
+                            return workload.initialContents(addr);
+                        });
+    TraceEvent ev;
+    while (workload.next(ev)) {
+        if (ev.kind == EventKind::Writeback) {
+            memory.write(ev.lineAddr, ev.data);
+        }
+    }
+    dumpStats(std::cout, memory, "deuce." + p.name);
+}
+
 } // namespace
 
 int
@@ -141,74 +210,77 @@ main(int argc, char **argv)
 {
     CliOptions cli = parseArgs(argc, argv);
 
-    std::vector<BenchmarkProfile> profiles;
+    SweepSpec spec;
     if (cli.bench == "all") {
-        profiles = spec2006Profiles();
+        spec.benchmarks = spec2006Profiles();
     } else {
-        profiles.push_back(profileByName(cli.bench));
+        spec.benchmarks.push_back(profileByName(cli.bench));
+    }
+    for (const std::string &id : cli.schemes) {
+        spec.add(id);
+    }
+    spec.options = cli.experiment;
+    spec.threads = cli.threads;
+    // The CLI takes one explicit seed: every cell uses it verbatim so
+    // --seed reproduces the exact pads of older single-cell runs.
+    spec.deriveCellSeeds = false;
+
+    SweepResult all = runSweep(spec);
+
+    if (cli.stats) {
+        for (const std::string &id : cli.schemes) {
+            for (const BenchmarkProfile &p : spec.benchmarks) {
+                dumpCellStats(p, id, cli.experiment);
+            }
+        }
     }
 
-    std::vector<ExperimentRow> rows;
-    for (const BenchmarkProfile &p : profiles) {
-        rows.push_back(runExperiment(p, cli.scheme, cli.experiment));
-        if (cli.stats) {
-            // Re-run the cell with a visible MemorySystem to dump its
-            // counters (the experiment runner owns its own instance).
-            std::unique_ptr<OtpEngine> otp;
-            if (cli.experiment.fastOtp) {
-                otp = std::make_unique<FastOtpEngine>(
-                    cli.experiment.otpSeed);
-            } else {
-                otp = makeAesOtpEngine(cli.experiment.otpSeed);
-            }
-            auto scheme = makeScheme(cli.scheme, *otp);
-            SyntheticWorkload workload(
-                p, static_cast<uint64_t>(
-                       cli.experiment.writebacks *
-                       (p.mpki + p.wbpki) / p.wbpki) + 1);
-            MemorySystem memory(*scheme, cli.experiment.wl,
-                                cli.experiment.pcm,
-                                [&](uint64_t addr) {
-                                    return workload.initialContents(
-                                        addr);
-                                });
-            TraceEvent ev;
-            while (workload.next(ev)) {
-                if (ev.kind == EventKind::Writeback) {
-                    memory.write(ev.lineAddr, ev.data);
-                }
-            }
-            dumpStats(std::cout, memory, "deuce." + p.name);
+    if (!cli.jsonPath.empty()) {
+        std::ofstream json(cli.jsonPath,
+                           std::ios::out | std::ios::trunc);
+        if (!json) {
+            std::cerr << "cannot open " << cli.jsonPath
+                      << " for writing\n";
+            return 1;
         }
+        writeJsonRows(json, all.flatRows());
     }
 
     if (cli.csv) {
         printCsvHeader();
-        for (const ExperimentRow &r : rows) {
+        for (const ExperimentRow &r : all.flatRows()) {
             printCsvRow(r);
         }
         return 0;
     }
 
-    Table t({"bench", "flips %", "slots", "exec (us)", "energy (uJ)",
-             "wear max/avg"});
-    for (const ExperimentRow &r : rows) {
-        t.addRow({r.bench, fmt(r.flipPct, 1), fmt(r.avgSlots, 2),
-                  cli.experiment.timing ? fmt(r.executionNs / 1e3, 1)
-                                        : std::string("-"),
-                  cli.experiment.timing ? fmt(r.energyPj / 1e6, 1)
-                                        : std::string("-"),
-                  fmt(r.wearNonUniformity, 1)});
+    for (const std::string &id : cli.schemes) {
+        const std::vector<ExperimentRow> &rows = all[id];
+        Table t({"bench", "flips %", "slots", "exec (us)",
+                 "energy (uJ)", "wear max/avg"});
+        for (const ExperimentRow &r : rows) {
+            t.addRow({r.bench, fmt(r.flipPct, 1), fmt(r.avgSlots, 2),
+                      cli.experiment.timing
+                          ? fmt(r.executionNs / 1e3, 1)
+                          : std::string("-"),
+                      cli.experiment.timing ? fmt(r.energyPj / 1e6, 1)
+                                            : std::string("-"),
+                      fmt(r.wearNonUniformity, 1)});
+        }
+        if (rows.size() > 1) {
+            t.addRule();
+            t.addRow(
+                {"Avg", fmt(averageOf(rows, &ExperimentRow::flipPct), 1),
+                 fmt(averageOf(rows, &ExperimentRow::avgSlots), 2),
+                 "-", "-", "-"});
+        }
+        std::cout << "scheme: " << rows.front().scheme << "  ("
+                  << rows.front().trackingBits
+                  << " tracking bits/line)\n\n";
+        t.print(std::cout);
+        if (&id != &cli.schemes.back()) {
+            std::cout << '\n';
+        }
     }
-    if (rows.size() > 1) {
-        t.addRule();
-        t.addRow({"Avg", fmt(averageOf(rows, &ExperimentRow::flipPct), 1),
-                  fmt(averageOf(rows, &ExperimentRow::avgSlots), 2),
-                  "-", "-", "-"});
-    }
-    std::cout << "scheme: " << rows.front().scheme << "  ("
-              << rows.front().trackingBits
-              << " tracking bits/line)\n\n";
-    t.print(std::cout);
     return 0;
 }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 gate: Release build, full test suite, and one fast full-grid
+# sweep whose per-cell rows land in bench_results.json.
+#
+# Usage: scripts/run_tier1.sh [build-dir]
+#
+# Environment:
+#   DEUCE_BENCH_THREADS  worker count for the sweep (default: all)
+#   DEUCE_TSAN=1         additionally build with ThreadSanitizer and
+#                        run the concurrency tests under it
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-tier1}"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j "$(nproc)"
+
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+# Full-grid smoke sweep: every Table 2 benchmark x the three headline
+# schemes, fast pads, rows emitted as JSON Lines.
+"$build/examples/simulate" \
+    --bench all --scheme encr,encr-fnw,deuce \
+    --fast-otp --writebacks 10000 \
+    --json "$build/bench_results.json" \
+    > /dev/null
+rows=$(wc -l < "$build/bench_results.json")
+echo "tier1: sweep wrote $rows rows to $build/bench_results.json"
+
+if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
+    tsan="$build-tsan"
+    cmake -B "$tsan" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDEUCE_TSAN=ON
+    cmake --build "$tsan" -j "$(nproc)" \
+        --target test_thread_pool test_sweep
+    "$tsan/tests/test_thread_pool"
+    "$tsan/tests/test_sweep"
+    echo "tier1: TSan concurrency tests passed"
+fi
+
+echo "tier1: OK"

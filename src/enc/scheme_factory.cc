@@ -85,4 +85,49 @@ allSchemeIds()
             "deuce", "dyndeuce", "deuce-fnw", "ble-deuce"};
 }
 
+SchemeFactory
+schemeFactoryFor(const std::string &id)
+{
+    // Resolve eagerly so an unknown id fails at spec-construction
+    // time on the caller's thread, not inside a worker.
+    makeScheme(id, FastOtpEngine(0));
+    return [id](const OtpEngine &otp) { return makeScheme(id, otp); };
+}
+
+namespace
+{
+
+/** SplitMix64 finalizer: full-avalanche 64-bit mix. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a, folded through the avalanche mixer. */
+uint64_t
+hashString(uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h = (h ^ c) * 0x100000001b3ull;
+    }
+    return mix64(h);
+}
+
+} // namespace
+
+uint64_t
+deriveCellSeed(uint64_t base_seed, const std::string &bench,
+               const std::string &scheme)
+{
+    uint64_t h = mix64(base_seed);
+    h = hashString(h, bench);
+    h = hashString(h, scheme);
+    // Keep 0 out of the range: some engines treat 0 as "unkeyed".
+    return h != 0 ? h : 0x5ec2e7;
+}
+
 } // namespace deuce

@@ -7,6 +7,8 @@
 #ifndef DEUCE_ENC_SCHEME_FACTORY_HH
 #define DEUCE_ENC_SCHEME_FACTORY_HH
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +18,18 @@
 
 namespace deuce
 {
+
+/**
+ * Builds a fresh scheme instance around a caller-supplied pad engine.
+ *
+ * This is the unit of work the sweep engine hands to each worker:
+ * every experiment cell constructs its own OtpEngine and its own
+ * EncryptionScheme through a factory, so no scheme or engine instance
+ * is ever shared across threads (and no cell's lifetime depends on a
+ * caller-owned `const EncryptionScheme &`).
+ */
+using SchemeFactory = std::function<std::unique_ptr<EncryptionScheme>(
+    const OtpEngine &otp)>;
 
 /**
  * Symbolic scheme identifiers understood by makeScheme():
@@ -42,6 +56,24 @@ std::unique_ptr<EncryptionScheme> makeScheme(const std::string &id,
 
 /** All scheme identifiers, in the order Figure 10 presents them. */
 std::vector<std::string> allSchemeIds();
+
+/** A SchemeFactory that resolves @p id through makeScheme(). */
+SchemeFactory schemeFactoryFor(const std::string &id);
+
+/**
+ * Effective pad-key seed of one (benchmark, scheme) sweep cell.
+ *
+ * ExperimentOptions::otpSeed is a single base value; handing it to
+ * every cell of a sweep unchanged would silently key all cells'
+ * pads identically. The sweep engine instead mixes the base seed
+ * with the benchmark name and the scheme label through a
+ * SplitMix64-style finalizer. The derivation depends only on the
+ * cell's coordinates — never on which worker runs the cell or in
+ * what order — so a sweep's results are reproducible for any thread
+ * count, and bit-identical between serial and parallel execution.
+ */
+uint64_t deriveCellSeed(uint64_t base_seed, const std::string &bench,
+                        const std::string &scheme);
 
 } // namespace deuce
 

@@ -120,7 +120,7 @@ runExperiment(const BenchmarkProfile &profile,
 
 ExperimentRow
 runExperiment(const BenchmarkProfile &profile,
-              const std::string &scheme_id,
+              const SchemeFactory &factory,
               const ExperimentOptions &options)
 {
     std::unique_ptr<OtpEngine> otp;
@@ -129,9 +129,21 @@ runExperiment(const BenchmarkProfile &profile,
     } else {
         otp = makeAesOtpEngine(options.otpSeed);
     }
-    std::unique_ptr<EncryptionScheme> scheme =
-        makeScheme(scheme_id, *otp);
+    std::unique_ptr<EncryptionScheme> scheme = factory(*otp);
     return runExperiment(profile, *scheme, options);
+}
+
+ExperimentRow
+runExperiment(const BenchmarkProfile &profile,
+              const std::string &scheme_id,
+              const ExperimentOptions &options)
+{
+    return runExperiment(
+        profile,
+        [&scheme_id](const OtpEngine &otp) {
+            return makeScheme(scheme_id, otp);
+        },
+        options);
 }
 
 double

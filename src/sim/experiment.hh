@@ -13,6 +13,7 @@
 
 #include "crypto/otp_engine.hh"
 #include "enc/scheme.hh"
+#include "enc/scheme_factory.hh"
 #include "sim/memory_system.hh"
 #include "sim/timing.hh"
 #include "trace/profile.hh"
@@ -97,8 +98,20 @@ ExperimentRow runExperiment(const BenchmarkProfile &profile,
                             const ExperimentOptions &options);
 
 /**
+ * Run one cell, constructing the scheme (and its pad engine, per
+ * options.fastOtp/otpSeed) through @p factory. This is the overload
+ * parallel sweeps use: the cell owns everything it touches, so no
+ * scheme instance is shared across worker threads.
+ */
+ExperimentRow runExperiment(const BenchmarkProfile &profile,
+                            const SchemeFactory &factory,
+                            const ExperimentOptions &options);
+
+/**
  * Run one cell with an externally constructed scheme (for custom
- * configurations not expressible as a factory id).
+ * configurations not expressible as a factory id). The scheme is
+ * borrowed for the duration of the call; prefer the SchemeFactory
+ * overload anywhere cells may run concurrently.
  */
 ExperimentRow runExperiment(const BenchmarkProfile &profile,
                             const EncryptionScheme &scheme,

@@ -115,12 +115,19 @@ class MemorySystem
     /** The VWL engine (null when vertical WL is disabled). */
     const VerticalWearLeveler *vwl() const { return vwl_.get(); }
 
+    /** The wear-leveling configuration this system was built with. */
+    const WearLevelingConfig &wlConfig() const { return wlCfg_; }
+
     /** The engine as a Start-Gap (null if disabled or a different
-     *  algorithm is configured). */
+     *  algorithm is configured). The engine advertises its kind, so
+     *  the downcast is checked without RTTI. */
     const StartGap *
     startGap() const
     {
-        return dynamic_cast<const StartGap *>(vwl_.get());
+        if (vwl_ && vwl_->kind() == VwlKind::StartGap) {
+            return static_cast<const StartGap *>(vwl_.get());
+        }
+        return nullptr;
     }
 
   private:

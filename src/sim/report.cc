@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "sim/experiment.hh"
 
 namespace deuce
 {
@@ -101,6 +103,72 @@ printPaperVsMeasured(std::ostream &os, const std::string &label,
 {
     os << "  " << label << ": paper " << fmt(paper, precision)
        << "  |  measured " << fmt(measured, precision) << '\n';
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Shortest float form that round-trips (JSON has no NaN/inf). */
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+experimentRowJson(const ExperimentRow &row)
+{
+    std::ostringstream os;
+    os << '{' << "\"bench\":\"" << jsonEscape(row.bench) << "\","
+       << "\"scheme\":\"" << jsonEscape(row.scheme) << "\","
+       << "\"flip_pct\":" << jsonNumber(row.flipPct) << ','
+       << "\"avg_slots\":" << jsonNumber(row.avgSlots) << ','
+       << "\"tracking_bits\":" << row.trackingBits << ','
+       << "\"writebacks\":" << row.writebacks << ','
+       << "\"reads\":" << row.reads << ','
+       << "\"execution_ns\":" << jsonNumber(row.executionNs) << ','
+       << "\"energy_pj\":" << jsonNumber(row.energyPj) << ','
+       << "\"power_mw\":" << jsonNumber(row.powerMw) << ','
+       << "\"edp\":" << jsonNumber(row.edp) << ','
+       << "\"max_flip_rate\":" << jsonNumber(row.maxFlipRate) << ','
+       << "\"wear_nonuniformity\":"
+       << jsonNumber(row.wearNonUniformity) << ','
+       << "\"counter_cache_miss_rate\":"
+       << jsonNumber(row.counterCacheMissRate) << '}';
+    return os.str();
+}
+
+void
+writeJsonRows(std::ostream &os,
+              const std::vector<ExperimentRow> &rows)
+{
+    for (const ExperimentRow &row : rows) {
+        os << experimentRowJson(row) << '\n';
+    }
 }
 
 } // namespace deuce

@@ -14,6 +14,8 @@
 namespace deuce
 {
 
+struct ExperimentRow;
+
 /** Simple right-aligned text table (first column left-aligned). */
 class Table
 {
@@ -48,6 +50,21 @@ void printBanner(std::ostream &os, const std::string &experiment_id,
 void printPaperVsMeasured(std::ostream &os, const std::string &label,
                           double paper, double measured,
                           int precision = 1);
+
+/**
+ * One experiment cell as a single-line JSON object, e.g.
+ *   {"bench":"mcf","scheme":"DEUCE-2B-e32","flip_pct":24.1,...}
+ * Field names match simulate's CSV header.
+ */
+std::string experimentRowJson(const ExperimentRow &row);
+
+/**
+ * Append @p rows in JSON Lines form (one object per line). This is
+ * the machine-readable record the sweep engine emits so CI can track
+ * the perf/accuracy trajectory across commits.
+ */
+void writeJsonRows(std::ostream &os,
+                   const std::vector<ExperimentRow> &rows);
 
 } // namespace deuce
 

@@ -39,6 +39,8 @@ class SecurityRefresh : public VerticalWearLeveler
     SecurityRefresh(uint64_t num_lines, uint64_t refresh_interval = 100,
                     uint64_t seed = 0x5ec4ef);
 
+    VwlKind kind() const override { return VwlKind::SecurityRefresh; }
+
     uint64_t remap(uint64_t la) const override;
     bool onWrite() override;
     uint64_t hwlEpoch(uint64_t la) const override;

@@ -35,6 +35,8 @@ class StartGap : public VerticalWearLeveler
      */
     explicit StartGap(uint64_t num_lines, uint64_t gap_interval = 100);
 
+    VwlKind kind() const override { return VwlKind::StartGap; }
+
     /** Physical slot (in [0, N]) currently holding logical line @p la. */
     uint64_t remap(uint64_t la) const override;
 

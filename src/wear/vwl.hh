@@ -18,11 +18,25 @@
 namespace deuce
 {
 
+/** The concrete algorithm behind a VerticalWearLeveler. */
+enum class VwlKind
+{
+    StartGap,
+    SecurityRefresh,
+};
+
 /** A vertical wear-leveling engine. */
 class VerticalWearLeveler
 {
   public:
     virtual ~VerticalWearLeveler() = default;
+
+    /**
+     * Which algorithm this engine implements. Lets owners recover the
+     * concrete type (e.g. MemorySystem::startGap()) with a checked
+     * static_cast instead of RTTI.
+     */
+    virtual VwlKind kind() const = 0;
 
     /** Physical slot currently holding logical line @p la. */
     virtual uint64_t remap(uint64_t la) const = 0;

@@ -101,6 +101,22 @@ TEST(Experiment, ExternalSchemeOverload)
     EXPECT_EQ(row.trackingBits, 33u);
 }
 
+TEST(Experiment, SchemeFactoryOverloadMatchesStringId)
+{
+    ExperimentRow by_id =
+        runExperiment(quickProfile(), "deuce", quickOptions());
+    ExperimentRow by_factory = runExperiment(
+        quickProfile(), schemeFactoryFor("deuce"), quickOptions());
+    EXPECT_EQ(by_factory.scheme, by_id.scheme);
+    EXPECT_DOUBLE_EQ(by_factory.flipPct, by_id.flipPct);
+    EXPECT_DOUBLE_EQ(by_factory.avgSlots, by_id.avgSlots);
+}
+
+TEST(Experiment, SchemeFactoryRejectsUnknownIdEagerly)
+{
+    EXPECT_THROW(schemeFactoryFor("no-such-scheme"), FatalError);
+}
+
 TEST(Experiment, AverageOf)
 {
     std::vector<ExperimentRow> rows(3);
@@ -108,6 +124,12 @@ TEST(Experiment, AverageOf)
     rows[1].flipPct = 20.0;
     rows[2].flipPct = 60.0;
     EXPECT_DOUBLE_EQ(averageOf(rows, &ExperimentRow::flipPct), 30.0);
+}
+
+TEST(Experiment, AverageOfEmptySetThrows)
+{
+    std::vector<ExperimentRow> rows;
+    EXPECT_THROW(averageOf(rows, &ExperimentRow::flipPct), PanicError);
 }
 
 TEST(Experiment, GeomeanSpeedup)
@@ -127,6 +149,34 @@ TEST(Experiment, GeomeanRequiresMatchedRows)
     std::vector<ExperimentRow> base(2), fast(1);
     base[0].executionNs = base[1].executionNs = 1.0;
     fast[0].executionNs = 1.0;
+    EXPECT_THROW(
+        geomeanSpeedup(base, fast, &ExperimentRow::executionNs),
+        PanicError);
+}
+
+TEST(Experiment, GeomeanEmptySetsThrow)
+{
+    std::vector<ExperimentRow> base, fast;
+    EXPECT_THROW(
+        geomeanSpeedup(base, fast, &ExperimentRow::executionNs),
+        PanicError);
+}
+
+TEST(Experiment, GeomeanZeroBaselineThrows)
+{
+    std::vector<ExperimentRow> base(1), fast(1);
+    base[0].executionNs = 0.0;
+    fast[0].executionNs = 1.0;
+    EXPECT_THROW(
+        geomeanSpeedup(base, fast, &ExperimentRow::executionNs),
+        PanicError);
+}
+
+TEST(Experiment, GeomeanZeroSchemeValueThrows)
+{
+    std::vector<ExperimentRow> base(1), fast(1);
+    base[0].executionNs = 1.0;
+    fast[0].executionNs = 0.0;
     EXPECT_THROW(
         geomeanSpeedup(base, fast, &ExperimentRow::executionNs),
         PanicError);

@@ -151,6 +151,27 @@ TEST_F(MemorySystemTest, StoredStateAccessibleAndGuarded)
     EXPECT_THROW(mem.storedState(22), PanicError);
 }
 
+TEST_F(MemorySystemTest, StartGapAccessorReflectsEngineKind)
+{
+    WearLevelingConfig sg;
+    sg.verticalEnabled = true;
+    sg.numLines = 8;
+    sg.gapWriteInterval = 1;
+    sg.engine = WearLevelingConfig::Engine::StartGap;
+    MemorySystem with_sg(*scheme_, sg);
+    ASSERT_NE(with_sg.startGap(), nullptr);
+    EXPECT_EQ(with_sg.startGap()->kind(), VwlKind::StartGap);
+    EXPECT_EQ(with_sg.wlConfig().numLines, 8u);
+
+    WearLevelingConfig sr = sg;
+    sr.engine = WearLevelingConfig::Engine::SecurityRefresh;
+    MemorySystem with_sr(*scheme_, sr);
+    EXPECT_EQ(with_sr.startGap(), nullptr);
+
+    MemorySystem without(*scheme_, noWl());
+    EXPECT_EQ(without.startGap(), nullptr);
+}
+
 TEST_F(MemorySystemTest, EnergyAccumulates)
 {
     Rng rng(7);
