@@ -19,6 +19,10 @@
  *   --vwl <startgap|sr>     vertical wear-leveling engine
  *   --fast-otp              hash-based pads instead of AES
  *   --seed <n>              pad key seed
+ *   --fault                 enable the end-of-life fault model
+ *   --ecp <n>               ECP entries per line (with --fault)
+ *   --endurance <flips>     mean cell endurance (with --fault;
+ *                           scaled down from 1e8 for tractable runs)
  *   --threads <n>           worker threads (default DEUCE_BENCH_THREADS
  *                           or hardware concurrency)
  *   --csv                   machine-readable one-line-per-cell output
@@ -64,6 +68,7 @@ usage(const char *argv0)
               << " [--bench <name|all>] [--scheme <id[,id...]>]"
                  " [--writebacks <n>] [--timing] [--hwl] [--vwl startgap|sr]"
                  " [--fast-otp] [--seed <n>] [--mlp <x>] [--threads <n>]"
+                 " [--fault] [--ecp <n>] [--endurance <flips>]"
                  " [--csv] [--json <path>] [--stats]\n";
     std::exit(2);
 }
@@ -133,6 +138,14 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--seed") {
             cli.experiment.otpSeed =
                 std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--fault") {
+            cli.experiment.fault.enabled = true;
+        } else if (arg == "--ecp") {
+            cli.experiment.fault.ecpEntries = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--endurance") {
+            cli.experiment.fault.meanEndurance =
+                std::strtod(value(), nullptr);
         } else if (arg == "--mlp") {
             cli.experiment.timingCfg.mlp =
                 std::strtod(value(), nullptr);

@@ -8,6 +8,8 @@
 #   DEUCE_BENCH_THREADS  worker count for the sweep (default: all)
 #   DEUCE_TSAN=1         additionally build with ThreadSanitizer and
 #                        run the concurrency tests under it
+#   DEUCE_ASAN=1         additionally build with ASan+UBSan and run
+#                        the fault and sweep tests under it
 
 set -euo pipefail
 
@@ -29,6 +31,17 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 rows=$(wc -l < "$build/bench_results.json")
 echo "tier1: sweep wrote $rows rows to $build/bench_results.json"
 
+# One fast end-of-life cell: the fault model enabled at a scaled-down
+# endurance so cells actually wear out. DEUCE_BENCH_JSON appends, so
+# its row lands after the grid rows above.
+DEUCE_BENCH_JSON="$build/bench_results.json" "$build/examples/simulate" \
+    --bench mcf --scheme deuce \
+    --fault --ecp 4 --endurance 200 \
+    --fast-otp --writebacks 10000 \
+    > /dev/null
+rows=$(wc -l < "$build/bench_results.json")
+echo "tier1: fault cell appended (now $rows rows)"
+
 if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
     tsan="$build-tsan"
     cmake -B "$tsan" -S "$repo" \
@@ -38,6 +51,18 @@ if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
     "$tsan/tests/test_thread_pool"
     "$tsan/tests/test_sweep"
     echo "tier1: TSan concurrency tests passed"
+fi
+
+if [[ "${DEUCE_ASAN:-0}" == "1" ]]; then
+    asan="$build-asan"
+    cmake -B "$asan" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDEUCE_ASAN=ON
+    cmake --build "$asan" -j "$(nproc)" \
+        --target test_fault test_fault_sweep test_sweep
+    "$asan/tests/test_fault"
+    "$asan/tests/test_fault_sweep"
+    "$asan/tests/test_sweep"
+    echo "tier1: ASan fault/sweep tests passed"
 fi
 
 echo "tier1: OK"

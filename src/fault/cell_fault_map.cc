@@ -1,0 +1,158 @@
+/**
+ * @file
+ * CellFaultMap implementation.
+ */
+
+#include "fault/cell_fault_map.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace deuce
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer: full-avalanche 64-bit mix. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Endurance of one cell as a pure function of its coordinates: a
+ * lognormal sample whose underlying normal is drawn (Box-Muller) from
+ * an Rng keyed by (seed, line, cell). No shared stream, so samples
+ * never depend on touch order or thread count.
+ */
+double
+sampleEndurance(uint64_t seed, uint64_t line, unsigned cell,
+                double mu_log, double sigma)
+{
+    if (sigma <= 0.0) {
+        return std::exp(mu_log);
+    }
+    Rng rng(mix64(mix64(seed ^ line) ^ cell));
+    // nextDouble() is [0,1); reflect to (0,1] so log() stays finite.
+    double u1 = 1.0 - rng.nextDouble();
+    double u2 = rng.nextDouble();
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return std::max(1.0, std::exp(mu_log + sigma * z));
+}
+
+} // namespace
+
+CellFaultMap::CellFaultMap(const FaultConfig &cfg) : cfg_(cfg)
+{
+    deuce_assert(cfg_.meanEndurance >= 1.0);
+    // Mean-preserving lognormal: E[exp(mu + sigma Z)] = meanEndurance.
+    muLog_ = std::log(cfg_.meanEndurance) -
+             0.5 * cfg_.enduranceSigma * cfg_.enduranceSigma;
+}
+
+CellFaultMap::LineState &
+CellFaultMap::stateFor(uint64_t line)
+{
+    auto it = lines_.find(line);
+    if (it != lines_.end()) {
+        return *it->second;
+    }
+    auto state = std::make_unique<LineState>();
+    sampleBudgets(line, *state);
+    return *lines_.emplace(line, std::move(state)).first->second;
+}
+
+void
+CellFaultMap::sampleBudgets(uint64_t line, LineState &state) const
+{
+    for (unsigned cell = 0; cell < CacheLine::kBits; ++cell) {
+        state.budget[cell] = static_cast<float>(sampleEndurance(
+            cfg_.seed, line, cell, muLog_, cfg_.enduranceSigma));
+    }
+}
+
+CellFaultMap::WriteEffect
+CellFaultMap::recordWrite(uint64_t line, const CacheLine &flips,
+                          const CacheLine &image)
+{
+    LineState &state = stateFor(line);
+    WriteEffect effect;
+
+    // Conflicts are judged against the cells that were stuck *before*
+    // this write: a cell dying on this very write freezes at the value
+    // the write leaves behind, so it cannot conflict yet.
+    for (unsigned limb = 0; limb < CacheLine::kLimbs; ++limb) {
+        effect.conflicts.limb(limb) =
+            (image.limb(limb) ^ state.stuckValue.limb(limb)) &
+            state.stuck.limb(limb);
+    }
+
+    for (unsigned limb = 0; limb < CacheLine::kLimbs; ++limb) {
+        // Stuck cells no longer flip; their wear is complete.
+        uint64_t bits = flips.limb(limb) & ~state.stuck.limb(limb);
+        while (bits) {
+            unsigned bit = static_cast<unsigned>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            unsigned cell = limb * 64 + bit;
+            if (static_cast<float>(++state.flips[cell]) <
+                state.budget[cell]) {
+                continue;
+            }
+            state.stuck.setBit(cell, true);
+            state.stuckValue.setBit(cell, image.bit(cell));
+            effect.newlyStuck.setBit(cell, true);
+            ++stuckCells_;
+        }
+    }
+    return effect;
+}
+
+CacheLine
+CellFaultMap::stuckMask(uint64_t line) const
+{
+    auto it = lines_.find(line);
+    return it != lines_.end() ? it->second->stuck : CacheLine{};
+}
+
+CacheLine
+CellFaultMap::stuckValues(uint64_t line) const
+{
+    auto it = lines_.find(line);
+    return it != lines_.end() ? it->second->stuckValue : CacheLine{};
+}
+
+void
+CellFaultMap::retire(uint64_t line)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end()) {
+        return;
+    }
+    stuckCells_ -= it->second->stuck.popcount();
+    lines_.erase(it);
+}
+
+double
+CellFaultMap::enduranceOf(uint64_t line, unsigned cell) const
+{
+    deuce_assert(cell < CacheLine::kBits);
+    auto it = lines_.find(line);
+    if (it != lines_.end()) {
+        return it->second->budget[cell];
+    }
+    // Round through float so the answer matches the stored budget a
+    // later touch of the line would sample.
+    return static_cast<float>(sampleEndurance(cfg_.seed, line, cell,
+                                              muLog_,
+                                              cfg_.enduranceSigma));
+}
+
+} // namespace deuce

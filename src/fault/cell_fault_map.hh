@@ -1,0 +1,111 @@
+/**
+ * @file
+ * CellFaultMap: per-cell endurance budgets and stuck-at transitions.
+ *
+ * Each data cell of each tracked line samples its endurance (total
+ * flips it survives) from a lognormal distribution; the sample is a
+ * pure function of (config seed, line, cell position), so the map is
+ * reproducible for any execution order. A cell that spends its budget
+ * becomes stuck-at the value the killing write left in it — the write
+ * that wears a cell out still completes; the fault surfaces on the
+ * next write that needs the cell to hold the *other* value
+ * (write-verify semantics, as in the ECP paper).
+ *
+ * Only the 512 data cells are modeled; counter/tracking metadata cells
+ * are assumed to sit in a separately provisioned (and ECC'd) region,
+ * as the hard-error literature does.
+ */
+
+#ifndef DEUCE_FAULT_CELL_FAULT_MAP_HH
+#define DEUCE_FAULT_CELL_FAULT_MAP_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/cache_line.hh"
+#include "fault/fault_config.hh"
+
+namespace deuce
+{
+
+/** Tracks per-cell wear budgets and stuck-at faults per line. */
+class CellFaultMap
+{
+  public:
+    explicit CellFaultMap(const FaultConfig &cfg);
+
+    /** What one write did to a line's cells. */
+    struct WriteEffect
+    {
+        /** Cells that crossed their endurance budget on this write. */
+        CacheLine newlyStuck;
+
+        /**
+         * Previously stuck cells whose stuck value differs from the
+         * target image — the cells this write *fails* on unless ECP
+         * covers them.
+         */
+        CacheLine conflicts;
+    };
+
+    /**
+     * Charge the cell flips of one write to physical line @p line and
+     * evaluate the post-write image against the line's stuck cells.
+     *
+     * @param line  physical line identity (post-decommission remap)
+     * @param flips cell-flip mask in physical bit positions
+     * @param image stored image after the write, in physical positions
+     */
+    WriteEffect recordWrite(uint64_t line, const CacheLine &flips,
+                            const CacheLine &image);
+
+    /** Mask of stuck cells of @p line (all-zero if none / untracked). */
+    CacheLine stuckMask(uint64_t line) const;
+
+    /** Values the stuck cells of @p line are frozen at. */
+    CacheLine stuckValues(uint64_t line) const;
+
+    /** Cells currently stuck across all tracked lines. */
+    uint64_t stuckCells() const { return stuckCells_; }
+
+    /** Lines with at least one charged flip. */
+    uint64_t trackedLines() const { return lines_.size(); }
+
+    /** Drop a decommissioned line's state (its cells are retired). */
+    void retire(uint64_t line);
+
+    /**
+     * The deterministic endurance sample of one cell, in flips.
+     * Exposed so tests and capacity planners can inspect the
+     * variation model without wearing anything out.
+     */
+    double enduranceOf(uint64_t line, unsigned cell) const;
+
+  private:
+    /** Lazily allocated wear state of one line. */
+    struct LineState
+    {
+        /** Flips charged so far, per cell. */
+        std::array<uint32_t, CacheLine::kBits> flips{};
+
+        /** Endurance budgets sampled at first touch, per cell. */
+        std::array<float, CacheLine::kBits> budget{};
+
+        CacheLine stuck;
+        CacheLine stuckValue;
+    };
+
+    LineState &stateFor(uint64_t line);
+    void sampleBudgets(uint64_t line, LineState &state) const;
+
+    FaultConfig cfg_;
+    double muLog_; ///< mean of the underlying normal (mean-preserving)
+    std::unordered_map<uint64_t, std::unique_ptr<LineState>> lines_;
+    uint64_t stuckCells_ = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_FAULT_CELL_FAULT_MAP_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Configuration and counters of the end-of-life fault model.
+ *
+ * The fault subsystem turns the library's wear *accounting* into wear
+ * *outcomes*: cells sample a finite endurance from a lognormal
+ * process-variation distribution, accumulate flips, and become
+ * stuck-at once the budget is spent; Error-Correcting Pointers
+ * (Schechter et al., ISCA-2010) absorb the first failed cells of a
+ * line; lines past ECP capacity are decommissioned into a remap
+ * table. Everything is off by default (FaultConfig::enabled), so a
+ * fault-disabled system behaves bit-identically to one built without
+ * the subsystem at all.
+ */
+
+#ifndef DEUCE_FAULT_FAULT_CONFIG_HH
+#define DEUCE_FAULT_FAULT_CONFIG_HH
+
+#include <cstdint>
+
+namespace deuce
+{
+
+/** Knobs of the end-of-life fault model. */
+struct FaultConfig
+{
+    /** Master switch; when false the write path is untouched. */
+    bool enabled = false;
+
+    /**
+     * Mean per-cell endurance in flips. The device default (1e8,
+     * PcmConfig::cellEndurance) is impractical to wear through in
+     * simulation; lifetime benches scale it down, which preserves the
+     * *ratios* between schemes exactly as the paper's lifetime
+     * projection does.
+     */
+    double meanEndurance = 1e8;
+
+    /**
+     * Sigma of the underlying normal of the lognormal endurance
+     * distribution (process variation). 0 makes every cell identical
+     * (useful for tests); ~0.2-0.3 matches published PCM variation
+     * models.
+     */
+    double enduranceSigma = 0.25;
+
+    /**
+     * Seed of the endurance sampler. Samples are derived from
+     * (seed, line, cell) coordinates alone — never from execution
+     * order — so fault injection is bit-identical at any thread
+     * count, matching the sweep engine's determinism invariant.
+     */
+    uint64_t seed = 0xfa117;
+
+    /** Error-Correcting Pointers per line (0 = no correction). */
+    unsigned ecpEntries = 6;
+
+    /**
+     * Address base of the spare-line pool decommissioned lines remap
+     * into; must not collide with workload addresses.
+     */
+    uint64_t spareLineBase = uint64_t{1} << 48;
+};
+
+/** Running counters of the fault domain. */
+struct FaultStats
+{
+    /** Line writes observed by the fault domain. */
+    uint64_t writes = 0;
+
+    /** Cells currently stuck-at (across live, non-retired lines). */
+    uint64_t stuckCells = 0;
+
+    /** Writes that needed at least one new ECP entry. */
+    uint64_t correctedWrites = 0;
+
+    /** ECP entries allocated in total (= cells corrected). */
+    uint64_t correctedCells = 0;
+
+    /** Writes that exceeded ECP capacity. */
+    uint64_t uncorrectableErrors = 0;
+
+    /** Lines retired into the spare pool. */
+    uint64_t decommissionedLines = 0;
+
+    /**
+     * 1-based index of the first write that was uncorrectable
+     * (0 = none yet) — the "writes to first uncorrectable error"
+     * figure of merit.
+     */
+    uint64_t firstUncorrectableWrite = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_FAULT_FAULT_CONFIG_HH

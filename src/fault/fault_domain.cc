@@ -1,0 +1,63 @@
+/**
+ * @file
+ * FaultDomain implementation.
+ */
+
+#include "fault/fault_domain.hh"
+
+namespace deuce
+{
+
+FaultDomain::FaultDomain(const FaultConfig &cfg)
+    : cfg_(cfg), map_(cfg), ecp_(cfg.ecpEntries),
+      decom_(cfg.spareLineBase)
+{}
+
+FaultDomain::Outcome
+FaultDomain::onWrite(uint64_t logical, const CacheLine &flips,
+                     const CacheLine &image)
+{
+    ++stats_.writes;
+    Outcome outcome;
+
+    uint64_t phys = decom_.physicalFor(logical);
+    CellFaultMap::WriteEffect effect =
+        map_.recordWrite(phys, flips, image);
+
+    // Conflicting cells ECP already steers into replacement cells are
+    // absorbed silently; the rest need fresh entries.
+    CacheLine pending = effect.conflicts;
+    CacheLine covered = ecp_.remapped(phys);
+    for (unsigned limb = 0; limb < CacheLine::kLimbs; ++limb) {
+        pending.limb(limb) &= ~covered.limb(limb);
+    }
+    unsigned wanted = pending.popcount();
+    if (wanted == 0) {
+        stats_.stuckCells = map_.stuckCells();
+        return outcome;
+    }
+
+    if (ecp_.allocate(phys, pending)) {
+        outcome.correctedCells = wanted;
+        ++stats_.correctedWrites;
+        stats_.correctedCells += wanted;
+    } else {
+        outcome.uncorrectable = true;
+        ++stats_.uncorrectableErrors;
+        if (stats_.firstUncorrectableWrite == 0) {
+            stats_.firstUncorrectableWrite = stats_.writes;
+        }
+        // Graceful degradation: retire the line and move the logical
+        // address to a spare. The controller re-issues the write
+        // there; the spare starts with the image freshly installed
+        // (an install, like page-in, charges no flips).
+        decom_.decommission(logical);
+        map_.retire(phys);
+        ecp_.retire(phys);
+        stats_.decommissionedLines = decom_.decommissionedLines();
+    }
+    stats_.stuckCells = map_.stuckCells();
+    return outcome;
+}
+
+} // namespace deuce

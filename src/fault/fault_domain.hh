@@ -1,0 +1,79 @@
+/**
+ * @file
+ * FaultDomain: the façade the memory system drives.
+ *
+ * Composes the three fault mechanisms — CellFaultMap (wear-out),
+ * EcpCorrector (correction) and LineDecommissioner (retirement) —
+ * into one per-write pipeline:
+ *
+ *   1. resolve the physical line backing the logical address
+ *   2. charge the write's cell flips; cells past budget become stuck
+ *   3. stuck cells the write conflicts with, minus those ECP already
+ *      steers into replacement cells, need new ECP entries
+ *   4. if capacity suffices the write is *corrected*; otherwise it is
+ *      *uncorrectable* and the line is decommissioned to a spare
+ *
+ * All state is keyed by physical line and all randomness is derived
+ * from (seed, line, cell) coordinates, so a fault-enabled sweep stays
+ * bit-identical at any thread count.
+ */
+
+#ifndef DEUCE_FAULT_FAULT_DOMAIN_HH
+#define DEUCE_FAULT_FAULT_DOMAIN_HH
+
+#include <cstdint>
+
+#include "common/cache_line.hh"
+#include "fault/cell_fault_map.hh"
+#include "fault/ecp_corrector.hh"
+#include "fault/fault_config.hh"
+#include "fault/line_decommissioner.hh"
+
+namespace deuce
+{
+
+/** End-of-life fault pipeline for one memory system. */
+class FaultDomain
+{
+  public:
+    explicit FaultDomain(const FaultConfig &cfg);
+
+    /** Fault classification of one write. */
+    struct Outcome
+    {
+        /** Cells newly covered by ECP entries on this write. */
+        unsigned correctedCells = 0;
+
+        /** The write exceeded ECP capacity (line was decommissioned). */
+        bool uncorrectable = false;
+    };
+
+    /**
+     * Run one write through the fault pipeline.
+     *
+     * @param logical line address as the scheme sees it
+     * @param flips   cell-flip mask in *physical* bit positions (the
+     *                caller applies the HWL rotation, exactly as it
+     *                does for WearTracker)
+     * @param image   post-write stored image, physical positions
+     */
+    Outcome onWrite(uint64_t logical, const CacheLine &flips,
+                    const CacheLine &image);
+
+    const FaultStats &stats() const { return stats_; }
+    const FaultConfig &config() const { return cfg_; }
+    const CellFaultMap &faultMap() const { return map_; }
+    const EcpCorrector &ecp() const { return ecp_; }
+    const LineDecommissioner &decommissioner() const { return decom_; }
+
+  private:
+    FaultConfig cfg_;
+    CellFaultMap map_;
+    EcpCorrector ecp_;
+    LineDecommissioner decom_;
+    FaultStats stats_;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_FAULT_FAULT_DOMAIN_HH

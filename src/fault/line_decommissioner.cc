@@ -1,0 +1,36 @@
+/**
+ * @file
+ * LineDecommissioner implementation.
+ */
+
+#include "fault/line_decommissioner.hh"
+
+namespace deuce
+{
+
+LineDecommissioner::LineDecommissioner(uint64_t spare_base)
+    : spareBase_(spare_base)
+{}
+
+uint64_t
+LineDecommissioner::physicalFor(uint64_t logical) const
+{
+    auto it = remap_.find(logical);
+    return it != remap_.end() ? it->second : logical;
+}
+
+uint64_t
+LineDecommissioner::decommission(uint64_t logical)
+{
+    uint64_t spare = spareBase_ + sparesIssued_++;
+    remap_[logical] = spare;
+    return spare;
+}
+
+bool
+LineDecommissioner::isRemapped(uint64_t logical) const
+{
+    return remap_.find(logical) != remap_.end();
+}
+
+} // namespace deuce

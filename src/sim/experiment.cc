@@ -70,7 +70,8 @@ runExperiment(const BenchmarkProfile &profile,
         scheme, options.wl, options.pcm,
         [&workload](uint64_t addr) {
             return workload.initialContents(addr);
-        });
+        },
+        options.fault);
 
     ExperimentRow row;
     row.bench = profile.name;
@@ -114,6 +115,15 @@ runExperiment(const BenchmarkProfile &profile,
                                                 options.pcm);
         row.maxFlipRate = est.maxFlipRate;
         row.wearNonUniformity = est.nonUniformity;
+    }
+    if (const FaultDomain *fault = memory.fault()) {
+        const FaultStats &fs = fault->stats();
+        row.faultEnabled = true;
+        row.stuckCells = fs.stuckCells;
+        row.correctedWrites = fs.correctedWrites;
+        row.uncorrectableErrors = fs.uncorrectableErrors;
+        row.decommissionedLines = fs.decommissionedLines;
+        row.writesToFirstUncorrectable = fs.firstUncorrectableWrite;
     }
     return row;
 }

@@ -14,6 +14,7 @@
 #include "crypto/otp_engine.hh"
 #include "enc/scheme.hh"
 #include "enc/scheme_factory.hh"
+#include "fault/fault_config.hh"
 #include "sim/memory_system.hh"
 #include "sim/timing.hh"
 #include "trace/profile.hh"
@@ -41,6 +42,9 @@ struct ExperimentOptions
 
     /** PCM device parameters. */
     PcmConfig pcm;
+
+    /** End-of-life fault model (off by default). */
+    FaultConfig fault;
 
     /**
      * Use the fast hash-based pad generator instead of real AES
@@ -90,6 +94,24 @@ struct ExperimentRow
 
     uint64_t writebacks = 0;
     uint64_t reads = 0;
+
+    /** Fault counters (populated only when the fault model ran). */
+    bool faultEnabled = false;
+
+    /** Cells stuck-at by the end of the run (live lines). */
+    uint64_t stuckCells = 0;
+
+    /** Writes that needed at least one new ECP entry. */
+    uint64_t correctedWrites = 0;
+
+    /** Writes past ECP capacity. */
+    uint64_t uncorrectableErrors = 0;
+
+    /** Lines retired into the spare pool. */
+    uint64_t decommissionedLines = 0;
+
+    /** 1-based write index of the first uncorrectable error (0=none). */
+    uint64_t writesToFirstUncorrectable = 0;
 };
 
 /** Run one (benchmark, scheme) cell. */

@@ -13,10 +13,14 @@ namespace deuce
 MemorySystem::MemorySystem(const EncryptionScheme &scheme,
                            const WearLevelingConfig &wl,
                            const PcmConfig &pcm,
-                           std::function<CacheLine(uint64_t)> initial)
+                           std::function<CacheLine(uint64_t)> initial,
+                           const FaultConfig &fault)
     : scheme_(scheme), wlCfg_(wl), pcm_(pcm),
       initial_(std::move(initial)), energy_(pcm)
 {
+    if (fault.enabled) {
+        fault_ = std::make_unique<FaultDomain>(fault);
+    }
     if (wlCfg_.verticalEnabled) {
         if (wlCfg_.engine == WearLevelingConfig::Engine::StartGap) {
             vwl_ = std::make_unique<StartGap>(wlCfg_.numLines,
@@ -84,6 +88,20 @@ MemorySystem::write(uint64_t line_addr, const CacheLine &plaintext)
                           outcome.result.flipDiff,
                       rotation);
     rotation_->onWrite(line_addr);
+
+    // The fault domain sees the same physical view as the wear
+    // tracker: the HWL rotation decides which cells the flips land on
+    // and which cells the image occupies.
+    if (fault_) {
+        unsigned rot = rotation % CacheLine::kBits;
+        FaultDomain::Outcome f = fault_->onWrite(
+            line_addr,
+            rot ? outcome.result.dataDiff.rotl(rot)
+                : outcome.result.dataDiff,
+            rot ? state.data.rotl(rot) : state.data);
+        outcome.faultCorrectedCells = f.correctedCells;
+        outcome.faultUncorrectable = f.uncorrectable;
+    }
 
     outcome.slots = slotsForWrite(outcome.result.dataDiff,
                                   outcome.result.metaFlips, pcm_);

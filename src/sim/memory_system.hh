@@ -26,6 +26,7 @@
 #include "common/cache_line.hh"
 #include "common/stats.hh"
 #include "enc/scheme.hh"
+#include "fault/fault_domain.hh"
 #include "pcm/config.hh"
 #include "pcm/energy.hh"
 #include "pcm/wear_tracker.hh"
@@ -71,6 +72,12 @@ struct WriteOutcome
 
     /** Fraction of the 512 line bits flipped (incl. metadata). */
     double flipFraction = 0.0;
+
+    /** Cells newly covered by ECP on this write (faults enabled). */
+    unsigned faultCorrectedCells = 0;
+
+    /** This write exceeded ECP capacity; the line was retired. */
+    bool faultUncorrectable = false;
 };
 
 /** A secure PCM main memory for one scheme + wear-leveling combo. */
@@ -83,11 +90,15 @@ class MemorySystem
      * @param pcm      device parameters
      * @param initial  callback providing a line's plaintext contents
      *                 at install time
+     * @param fault    end-of-life fault model (disabled by default;
+     *                 a disabled system is bit-identical to one built
+     *                 before the fault subsystem existed)
      */
     MemorySystem(const EncryptionScheme &scheme,
                  const WearLevelingConfig &wl = WearLevelingConfig{},
                  const PcmConfig &pcm = PcmConfig{},
-                 std::function<CacheLine(uint64_t)> initial = {});
+                 std::function<CacheLine(uint64_t)> initial = {},
+                 const FaultConfig &fault = FaultConfig{});
 
     /** Write back a line (installing it first if never seen). */
     WriteOutcome write(uint64_t line_addr, const CacheLine &plaintext);
@@ -115,6 +126,9 @@ class MemorySystem
     /** The VWL engine (null when vertical WL is disabled). */
     const VerticalWearLeveler *vwl() const { return vwl_.get(); }
 
+    /** The fault domain (null when faults are disabled). */
+    const FaultDomain *fault() const { return fault_.get(); }
+
     /** The wear-leveling configuration this system was built with. */
     const WearLevelingConfig &wlConfig() const { return wlCfg_; }
 
@@ -140,6 +154,7 @@ class MemorySystem
 
     std::unique_ptr<VerticalWearLeveler> vwl_;
     std::unique_ptr<RotationPolicy> rotation_;
+    std::unique_ptr<FaultDomain> fault_;
 
     std::unordered_map<uint64_t, StoredLineState> lines_;
     WearTracker wear_;

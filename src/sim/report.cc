@@ -158,7 +158,20 @@ experimentRowJson(const ExperimentRow &row)
        << "\"wear_nonuniformity\":"
        << jsonNumber(row.wearNonUniformity) << ','
        << "\"counter_cache_miss_rate\":"
-       << jsonNumber(row.counterCacheMissRate) << '}';
+       << jsonNumber(row.counterCacheMissRate);
+    // Fault counters are appended only when the fault model ran, so
+    // fault-disabled rows stay byte-identical to the pre-fault format.
+    if (row.faultEnabled) {
+        os << ",\"stuck_cells\":" << row.stuckCells << ','
+           << "\"corrected_writes\":" << row.correctedWrites << ','
+           << "\"uncorrectable_errors\":" << row.uncorrectableErrors
+           << ','
+           << "\"decommissioned_lines\":" << row.decommissionedLines
+           << ','
+           << "\"writes_to_first_uncorrectable\":"
+           << row.writesToFirstUncorrectable;
+    }
+    os << '}';
     return os.str();
 }
 

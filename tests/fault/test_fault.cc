@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Unit tests for the end-of-life fault subsystem: endurance sampling,
+ * stuck-at transitions, ECP correction, line decommissioning, the
+ * FaultDomain pipeline, and the MemorySystem integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/scheme_factory.hh"
+#include "fault/cell_fault_map.hh"
+#include "fault/ecp_corrector.hh"
+#include "fault/fault_domain.hh"
+#include "fault/line_decommissioner.hh"
+#include "sim/experiment.hh"
+#include "sim/memory_system.hh"
+#include "sim/report.hh"
+
+namespace deuce
+{
+namespace
+{
+
+FaultConfig
+uniformConfig(double endurance, unsigned ecp)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.meanEndurance = endurance;
+    cfg.enduranceSigma = 0.0; // every cell identical: deterministic
+    cfg.ecpEntries = ecp;
+    return cfg;
+}
+
+TEST(CellFaultMap, EnduranceSamplingIsDeterministic)
+{
+    FaultConfig cfg;
+    cfg.meanEndurance = 1e4;
+    cfg.enduranceSigma = 0.25;
+    CellFaultMap a(cfg), b(cfg);
+    for (uint64_t line : {0ull, 7ull, 123456789ull}) {
+        for (unsigned cell : {0u, 63u, 255u, 511u}) {
+            EXPECT_EQ(a.enduranceOf(line, cell),
+                      b.enduranceOf(line, cell));
+        }
+    }
+
+    FaultConfig other = cfg;
+    other.seed = cfg.seed + 1;
+    CellFaultMap c(other);
+    bool differs = false;
+    for (unsigned cell = 0; cell < CacheLine::kBits; ++cell) {
+        differs |= a.enduranceOf(0, cell) != c.enduranceOf(0, cell);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(CellFaultMap, SampledEnduranceIsUntouchedByWear)
+{
+    // enduranceOf answers identically before and after the line's
+    // state is materialised by a write.
+    FaultConfig cfg;
+    cfg.meanEndurance = 1e4;
+    cfg.enduranceSigma = 0.3;
+    CellFaultMap map(cfg);
+    double before = map.enduranceOf(42, 17);
+    CacheLine flips;
+    flips.setBit(17, true);
+    map.recordWrite(42, flips, CacheLine{});
+    EXPECT_EQ(map.enduranceOf(42, 17), before);
+}
+
+TEST(CellFaultMap, LognormalMeanRoughlyPreserved)
+{
+    FaultConfig cfg;
+    cfg.meanEndurance = 5000.0;
+    cfg.enduranceSigma = 0.25;
+    CellFaultMap map(cfg);
+    double sum = 0.0;
+    unsigned n = 0;
+    for (uint64_t line = 0; line < 8; ++line) {
+        for (unsigned cell = 0; cell < CacheLine::kBits; ++cell) {
+            sum += map.enduranceOf(line, cell);
+            ++n;
+        }
+    }
+    EXPECT_NEAR(sum / n, cfg.meanEndurance,
+                0.05 * cfg.meanEndurance);
+}
+
+TEST(CellFaultMap, ZeroSigmaMakesEveryCellExactlyMean)
+{
+    CellFaultMap map(uniformConfig(321.0, 0));
+    EXPECT_DOUBLE_EQ(map.enduranceOf(0, 0), 321.0);
+    EXPECT_DOUBLE_EQ(map.enduranceOf(99, 511), 321.0);
+}
+
+TEST(CellFaultMap, CellSticksAtImageValueWhenBudgetSpent)
+{
+    CellFaultMap map(uniformConfig(3.0, 0));
+    CacheLine flips;
+    flips.setBit(5, true);
+    CacheLine image;
+    image.setBit(5, true);
+
+    // Two flips: still alive.
+    EXPECT_EQ(map.recordWrite(1, flips, image).newlyStuck.popcount(),
+              0u);
+    EXPECT_EQ(map.recordWrite(1, flips, image).newlyStuck.popcount(),
+              0u);
+    EXPECT_EQ(map.stuckCells(), 0u);
+
+    // Third flip crosses the budget: stuck at the image value (1).
+    CellFaultMap::WriteEffect effect = map.recordWrite(1, flips, image);
+    EXPECT_TRUE(effect.newlyStuck.bit(5));
+    EXPECT_EQ(effect.conflicts.popcount(), 0u); // died *on* this write
+    EXPECT_EQ(map.stuckCells(), 1u);
+    EXPECT_TRUE(map.stuckMask(1).bit(5));
+    EXPECT_TRUE(map.stuckValues(1).bit(5));
+}
+
+TEST(CellFaultMap, StuckCellConflictsOnlyWhenImageDiffers)
+{
+    CellFaultMap map(uniformConfig(1.0, 0));
+    CacheLine flips;
+    flips.setBit(9, true);
+    CacheLine image_one;
+    image_one.setBit(9, true);
+    map.recordWrite(3, flips, image_one); // cell 9 stuck at 1
+
+    // Writing the stuck value again: no conflict, no extra wear.
+    CellFaultMap::WriteEffect same =
+        map.recordWrite(3, CacheLine{}, image_one);
+    EXPECT_EQ(same.conflicts.popcount(), 0u);
+
+    // Needing the other value: conflict.
+    CellFaultMap::WriteEffect differ =
+        map.recordWrite(3, CacheLine{}, CacheLine{});
+    EXPECT_TRUE(differ.conflicts.bit(9));
+    EXPECT_EQ(differ.conflicts.popcount(), 1u);
+
+    // Stuck cells never wear further or re-stick.
+    CellFaultMap::WriteEffect again =
+        map.recordWrite(3, flips, image_one);
+    EXPECT_EQ(again.newlyStuck.popcount(), 0u);
+    EXPECT_EQ(map.stuckCells(), 1u);
+}
+
+TEST(CellFaultMap, RetireDropsLineState)
+{
+    CellFaultMap map(uniformConfig(1.0, 0));
+    CacheLine flips;
+    flips.setBit(0, true);
+    flips.setBit(1, true);
+    map.recordWrite(4, flips, CacheLine{});
+    EXPECT_EQ(map.stuckCells(), 2u);
+    map.retire(4);
+    EXPECT_EQ(map.stuckCells(), 0u);
+    EXPECT_EQ(map.stuckMask(4).popcount(), 0u);
+    EXPECT_EQ(map.trackedLines(), 0u);
+}
+
+TEST(EcpCorrector, AllocatesUpToCapacityThenRefuses)
+{
+    EcpCorrector ecp(2);
+    CacheLine one;
+    one.setBit(10, true);
+    EXPECT_TRUE(ecp.allocate(7, one));
+    EXPECT_EQ(ecp.entriesUsed(7), 1u);
+
+    CacheLine second;
+    second.setBit(20, true);
+    EXPECT_TRUE(ecp.allocate(7, second));
+    EXPECT_EQ(ecp.entriesUsed(7), 2u);
+    EXPECT_TRUE(ecp.remapped(7).bit(10));
+    EXPECT_TRUE(ecp.remapped(7).bit(20));
+
+    // Past capacity: refused, nothing consumed.
+    CacheLine third;
+    third.setBit(30, true);
+    EXPECT_FALSE(ecp.allocate(7, third));
+    EXPECT_EQ(ecp.entriesUsed(7), 2u);
+    EXPECT_FALSE(ecp.remapped(7).bit(30));
+    EXPECT_EQ(ecp.totalEntriesUsed(), 2u);
+}
+
+TEST(EcpCorrector, MultiCellAllocationIsAllOrNothing)
+{
+    EcpCorrector ecp(2);
+    CacheLine three;
+    three.setBit(1, true);
+    three.setBit(2, true);
+    three.setBit(3, true);
+    EXPECT_FALSE(ecp.allocate(0, three));
+    EXPECT_EQ(ecp.entriesUsed(0), 0u);
+
+    CacheLine two;
+    two.setBit(1, true);
+    two.setBit(2, true);
+    EXPECT_TRUE(ecp.allocate(0, two));
+    EXPECT_EQ(ecp.entriesUsed(0), 2u);
+}
+
+TEST(EcpCorrector, RetireReleasesEntries)
+{
+    EcpCorrector ecp(4);
+    CacheLine cells;
+    cells.setBit(0, true);
+    cells.setBit(1, true);
+    ecp.allocate(9, cells);
+    EXPECT_EQ(ecp.totalEntriesUsed(), 2u);
+    ecp.retire(9);
+    EXPECT_EQ(ecp.totalEntriesUsed(), 0u);
+    EXPECT_EQ(ecp.entriesUsed(9), 0u);
+}
+
+TEST(LineDecommissioner, IdentityUntilDecommissioned)
+{
+    LineDecommissioner decom(1000);
+    EXPECT_EQ(decom.physicalFor(42), 42u);
+    EXPECT_FALSE(decom.isRemapped(42));
+    EXPECT_EQ(decom.decommissionedLines(), 0u);
+
+    EXPECT_EQ(decom.decommission(42), 1000u);
+    EXPECT_EQ(decom.physicalFor(42), 1000u);
+    EXPECT_TRUE(decom.isRemapped(42));
+    EXPECT_EQ(decom.decommissionedLines(), 1u);
+    // Other lines untouched.
+    EXPECT_EQ(decom.physicalFor(43), 43u);
+}
+
+TEST(LineDecommissioner, SparesThemselvesCanBeReplaced)
+{
+    LineDecommissioner decom(1000);
+    decom.decommission(5);           // 5 -> 1000
+    EXPECT_EQ(decom.decommission(5), 1001u); // worn spare replaced
+    EXPECT_EQ(decom.physicalFor(5), 1001u);
+    EXPECT_EQ(decom.decommissionedLines(), 2u);
+}
+
+TEST(FaultDomain, CorrectsThenDecommissionsPastEcpCapacity)
+{
+    FaultConfig cfg = uniformConfig(1.0, 1); // first flip kills a cell
+    FaultDomain domain(cfg);
+
+    // Write 1: cell 0 flips and dies, stuck at the image value 0.
+    CacheLine flip0;
+    flip0.setBit(0, true);
+    FaultDomain::Outcome o1 = domain.onWrite(8, flip0, CacheLine{});
+    EXPECT_EQ(o1.correctedCells, 0u);
+    EXPECT_FALSE(o1.uncorrectable);
+
+    // Write 2: image needs cell 0 = 1 (conflict -> ECP corrects) and
+    // kills cell 1 (stuck at 1).
+    CacheLine flip1;
+    flip1.setBit(1, true);
+    CacheLine image2;
+    image2.setBit(0, true);
+    image2.setBit(1, true);
+    FaultDomain::Outcome o2 = domain.onWrite(8, flip1, image2);
+    EXPECT_EQ(o2.correctedCells, 1u);
+    EXPECT_FALSE(o2.uncorrectable);
+    EXPECT_EQ(domain.stats().correctedWrites, 1u);
+
+    // Write 3: cell 0 is covered by its replacement cell, but cell 1
+    // now conflicts and the single ECP entry is spent: uncorrectable,
+    // line decommissioned.
+    FaultDomain::Outcome o3 = domain.onWrite(8, CacheLine{},
+                                             CacheLine{});
+    EXPECT_TRUE(o3.uncorrectable);
+    EXPECT_EQ(domain.stats().uncorrectableErrors, 1u);
+    EXPECT_EQ(domain.stats().firstUncorrectableWrite, 3u);
+    EXPECT_EQ(domain.stats().decommissionedLines, 1u);
+    EXPECT_TRUE(domain.decommissioner().isRemapped(8));
+    // The retired line's stuck cells left the live population.
+    EXPECT_EQ(domain.stats().stuckCells, 0u);
+
+    // Write 4 lands on the fresh spare: clean slate.
+    FaultDomain::Outcome o4 = domain.onWrite(8, CacheLine{},
+                                             CacheLine{});
+    EXPECT_FALSE(o4.uncorrectable);
+    EXPECT_EQ(o4.correctedCells, 0u);
+}
+
+TEST(FaultDomain, RemappedCellsAbsorbConflictsSilently)
+{
+    FaultConfig cfg = uniformConfig(1.0, 2);
+    FaultDomain domain(cfg);
+    CacheLine flip0;
+    flip0.setBit(0, true);
+    domain.onWrite(1, flip0, CacheLine{}); // cell 0 stuck at 0
+
+    CacheLine wants1;
+    wants1.setBit(0, true);
+    FaultDomain::Outcome first = domain.onWrite(1, CacheLine{}, wants1);
+    EXPECT_EQ(first.correctedCells, 1u);
+
+    // Same conflict again: replacement cell absorbs it, no new entry.
+    FaultDomain::Outcome second =
+        domain.onWrite(1, CacheLine{}, wants1);
+    EXPECT_EQ(second.correctedCells, 0u);
+    EXPECT_EQ(domain.stats().correctedCells, 1u);
+    EXPECT_EQ(domain.stats().correctedWrites, 1u);
+}
+
+TEST(MemorySystem, FaultDomainAbsentWhenDisabled)
+{
+    FastOtpEngine otp(1);
+    auto scheme = makeScheme("encr", otp);
+    WearLevelingConfig wl;
+    wl.verticalEnabled = false;
+    MemorySystem memory(*scheme, wl);
+    EXPECT_EQ(memory.fault(), nullptr);
+    CacheLine data;
+    data.setField(0, 64, 0xabcd);
+    WriteOutcome out = memory.write(0, data);
+    EXPECT_EQ(out.faultCorrectedCells, 0u);
+    EXPECT_FALSE(out.faultUncorrectable);
+}
+
+TEST(MemorySystem, WearsOutDecommissionsAndKeepsServing)
+{
+    FastOtpEngine otp(2);
+    auto scheme = makeScheme("encr", otp);
+    WearLevelingConfig wl;
+    wl.verticalEnabled = false;
+    FaultConfig fault = uniformConfig(20.0, 2);
+    MemorySystem memory(*scheme, wl, PcmConfig{}, {}, fault);
+    ASSERT_NE(memory.fault(), nullptr);
+
+    Rng rng(11);
+    CacheLine data;
+    bool saw_uncorrectable = false;
+    for (int i = 0; i < 400; ++i) {
+        data.setField(0, 64, rng.next());
+        saw_uncorrectable |=
+            memory.write(7, data).faultUncorrectable;
+    }
+    const FaultStats &fs = memory.fault()->stats();
+    EXPECT_TRUE(saw_uncorrectable);
+    EXPECT_GT(fs.uncorrectableErrors, 0u);
+    EXPECT_GT(fs.decommissionedLines, 0u);
+    EXPECT_GT(fs.correctedWrites, 0u);
+    EXPECT_GT(fs.firstUncorrectableWrite, 0u);
+    EXPECT_LE(fs.firstUncorrectableWrite, 400u);
+
+    // The logical layer is unaffected: reads still decrypt correctly.
+    EXPECT_EQ(memory.read(7), data);
+}
+
+TEST(MemorySystem, FaultInjectionIsDeterministic)
+{
+    auto run = [] {
+        FastOtpEngine otp(3);
+        auto scheme = makeScheme("deuce", otp);
+        WearLevelingConfig wl;
+        wl.verticalEnabled = false;
+        FaultConfig fault;
+        fault.enabled = true;
+        fault.meanEndurance = 50.0;
+        fault.enduranceSigma = 0.2;
+        fault.ecpEntries = 2;
+        MemorySystem memory(*scheme, wl, PcmConfig{}, {}, fault);
+        Rng rng(23);
+        CacheLine data;
+        for (int i = 0; i < 600; ++i) {
+            data.setField(0, 64, rng.next());
+            memory.write(rng.nextBounded(4), data);
+        }
+        return memory.fault()->stats();
+    };
+    FaultStats a = run();
+    FaultStats b = run();
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.stuckCells, b.stuckCells);
+    EXPECT_EQ(a.correctedWrites, b.correctedWrites);
+    EXPECT_EQ(a.correctedCells, b.correctedCells);
+    EXPECT_EQ(a.uncorrectableErrors, b.uncorrectableErrors);
+    EXPECT_EQ(a.decommissionedLines, b.decommissionedLines);
+    EXPECT_EQ(a.firstUncorrectableWrite, b.firstUncorrectableWrite);
+}
+
+TEST(Report, FaultFieldsAppearOnlyWhenModelRan)
+{
+    ExperimentRow row;
+    row.bench = "mcf";
+    row.scheme = "Encr";
+    std::string disabled = experimentRowJson(row);
+    EXPECT_EQ(disabled.find("stuck_cells"), std::string::npos);
+    EXPECT_EQ(disabled.find("writes_to_first_uncorrectable"),
+              std::string::npos);
+
+    row.faultEnabled = true;
+    row.stuckCells = 3;
+    row.correctedWrites = 2;
+    row.uncorrectableErrors = 1;
+    row.decommissionedLines = 1;
+    row.writesToFirstUncorrectable = 1234;
+    std::string enabled = experimentRowJson(row);
+    EXPECT_NE(enabled.find("\"stuck_cells\":3"), std::string::npos);
+    EXPECT_NE(enabled.find("\"corrected_writes\":2"),
+              std::string::npos);
+    EXPECT_NE(enabled.find("\"uncorrectable_errors\":1"),
+              std::string::npos);
+    EXPECT_NE(enabled.find("\"decommissioned_lines\":1"),
+              std::string::npos);
+    EXPECT_NE(
+        enabled.find("\"writes_to_first_uncorrectable\":1234"),
+        std::string::npos);
+}
+
+} // namespace
+} // namespace deuce

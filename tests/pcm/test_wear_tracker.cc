@@ -57,6 +57,32 @@ TEST(WearTracker, RotationRemapsPositions)
     EXPECT_EQ(t.positionFlips(2), 1u);
 }
 
+TEST(WearTracker, RotationWrapsAtLineBoundary)
+{
+    // rotl by 511 moves bit 1 to 0 and wraps bit 0 to 511.
+    WearTracker t;
+    CacheLine low;
+    low.setBit(0, true);
+    low.setBit(1, true);
+    t.recordWrite(low, 0, 511);
+    EXPECT_EQ(t.positionFlips(511), 1u);
+    EXPECT_EQ(t.positionFlips(0), 1u);
+    EXPECT_EQ(t.positionFlips(1), 0u);
+
+    // A full revolution is the identity...
+    WearTracker full;
+    full.recordWrite(low, 0, 512);
+    EXPECT_EQ(full.positionFlips(0), 1u);
+    EXPECT_EQ(full.positionFlips(1), 1u);
+
+    // ...and rotations are taken mod 512, so 1023 acts like 511.
+    WearTracker wrapped;
+    wrapped.recordWrite(low, 0, 1023);
+    EXPECT_EQ(wrapped.positionFlips(511), 1u);
+    EXPECT_EQ(wrapped.positionFlips(0), 1u);
+    EXPECT_EQ(wrapped.positionFlips(1), 0u);
+}
+
 TEST(WearTracker, MetadataTrackedSeparately)
 {
     WearTracker t;
@@ -67,6 +93,49 @@ TEST(WearTracker, MetadataTrackedSeparately)
     EXPECT_EQ(t.metaPositionFlips(2), 0u);
     EXPECT_EQ(t.metaPositionFlips(3), 1u);
     EXPECT_EQ(t.totalDataFlips(), 0u);
+}
+
+TEST(WearTracker, MetaBitEdgeCases)
+{
+    // The top meta bit is reachable and a saturated mask counts all
+    // 64 positions in a single call.
+    WearTracker t;
+    t.recordWrite(CacheLine{}, 1ull << 63);
+    EXPECT_EQ(t.metaPositionFlips(63), 1u);
+    EXPECT_EQ(t.totalMetaFlips(), 1u);
+
+    t.recordWrite(CacheLine{}, ~0ull);
+    EXPECT_EQ(t.totalMetaFlips(), 65u);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        EXPECT_EQ(t.metaPositionFlips(bit), bit == 63 ? 2u : 1u);
+    }
+}
+
+TEST(WearTracker, MetaPositionsIgnoreRotation)
+{
+    // HWL rotation remaps data cells only: the meta bits (tracking
+    // bits, counters) live outside the rotated 512-bit payload.
+    WearTracker t;
+    CacheLine diff;
+    diff.setBit(2, true);
+    t.recordWrite(diff, 0b1, 100);
+    EXPECT_EQ(t.positionFlips(102), 1u);
+    EXPECT_EQ(t.metaPositionFlips(0), 1u);
+    EXPECT_EQ(t.metaPositionFlips(36), 0u); // not (0 + 100) % 64
+}
+
+TEST(WearTracker, OverlappingDiffMasksCountOncePerPosition)
+{
+    // MemorySystem merges modifiedDiff | flipDiff before recording:
+    // a position present in both masks is one physical flip, not two.
+    WearTracker t;
+    uint64_t modified_diff = 0b0110;
+    uint64_t flip_diff = 0b0011;
+    t.recordWrite(CacheLine{}, modified_diff | flip_diff);
+    EXPECT_EQ(t.totalMetaFlips(), 3u);
+    EXPECT_EQ(t.metaPositionFlips(0), 1u);
+    EXPECT_EQ(t.metaPositionFlips(1), 1u);
+    EXPECT_EQ(t.metaPositionFlips(2), 1u);
 }
 
 TEST(WearTracker, NonUniformityOfSkewedTraffic)
