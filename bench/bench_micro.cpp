@@ -11,6 +11,7 @@
 #include "common/cache_line.hh"
 #include "common/rng.hh"
 #include "crypto/aes.hh"
+#include "crypto/aes_backend.hh"
 #include "crypto/otp_engine.hh"
 #include "enc/scheme_factory.hh"
 #include "wear/start_gap.hh"
@@ -20,11 +21,29 @@ namespace
 
 using namespace deuce;
 
-void
-BM_AesEncryptBlock(benchmark::State &state)
+/**
+ * The AES benchmarks run once per backend so the tier-1 perf smoke
+ * can compare them; an aesni capture on a host without AES-NI skips
+ * with an error row instead of silently benchmarking the fallback.
+ */
+bool
+skipUnavailable(benchmark::State &state, AesBackendKind backend)
 {
+    if (backend == AesBackendKind::AesNi && !aesniAvailable()) {
+        state.SkipWithError("AES-NI unavailable on this host");
+        return true;
+    }
+    return false;
+}
+
+void
+BM_AesEncryptBlock(benchmark::State &state, AesBackendKind backend)
+{
+    if (skipUnavailable(state, backend)) {
+        return;
+    }
     AesKey key{};
-    Aes128 aes(key);
+    Aes128 aes(key, backend);
     AesBlock block{};
     for (auto _ : state) {
         block = aes.encrypt(block);
@@ -32,13 +51,18 @@ BM_AesEncryptBlock(benchmark::State &state)
     }
     state.SetBytesProcessed(state.iterations() * 16);
 }
-BENCHMARK(BM_AesEncryptBlock);
+BENCHMARK_CAPTURE(BM_AesEncryptBlock, scalar, AesBackendKind::Scalar);
+BENCHMARK_CAPTURE(BM_AesEncryptBlock, ttable, AesBackendKind::TTable);
+BENCHMARK_CAPTURE(BM_AesEncryptBlock, aesni, AesBackendKind::AesNi);
 
 void
-BM_AesDecryptBlock(benchmark::State &state)
+BM_AesDecryptBlock(benchmark::State &state, AesBackendKind backend)
 {
+    if (skipUnavailable(state, backend)) {
+        return;
+    }
     AesKey key{};
-    Aes128 aes(key);
+    Aes128 aes(key, backend);
     AesBlock block{};
     for (auto _ : state) {
         block = aes.decrypt(block);
@@ -46,7 +70,63 @@ BM_AesDecryptBlock(benchmark::State &state)
     }
     state.SetBytesProcessed(state.iterations() * 16);
 }
-BENCHMARK(BM_AesDecryptBlock);
+BENCHMARK_CAPTURE(BM_AesDecryptBlock, scalar, AesBackendKind::Scalar);
+BENCHMARK_CAPTURE(BM_AesDecryptBlock, ttable, AesBackendKind::TTable);
+BENCHMARK_CAPTURE(BM_AesDecryptBlock, aesni, AesBackendKind::AesNi);
+
+void
+BM_AesEncrypt4(benchmark::State &state, AesBackendKind backend)
+{
+    if (skipUnavailable(state, backend)) {
+        return;
+    }
+    AesKey key{};
+    Aes128 aes(key, backend);
+    AesBlock in[4] = {};
+    AesBlock out[4];
+    for (unsigned b = 0; b < 4; ++b) {
+        in[b][0] = static_cast<uint8_t>(b);
+    }
+    for (auto _ : state) {
+        aes.encryptBlocks(in, out, 4);
+        benchmark::DoNotOptimize(out);
+        in[0][1] = out[0][0]; // serialise iterations
+    }
+    state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK_CAPTURE(BM_AesEncrypt4, scalar, AesBackendKind::Scalar);
+BENCHMARK_CAPTURE(BM_AesEncrypt4, ttable, AesBackendKind::TTable);
+BENCHMARK_CAPTURE(BM_AesEncrypt4, aesni, AesBackendKind::AesNi);
+
+void
+BM_PadForLine(benchmark::State &state, AesBackendKind backend)
+{
+    if (skipUnavailable(state, backend)) {
+        return;
+    }
+    AesKey key{};
+    AesOtpEngine otp(key, backend);
+    uint64_t ctr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(otp.padForLine(123, ctr++));
+    }
+    state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK_CAPTURE(BM_PadForLine, scalar, AesBackendKind::Scalar);
+BENCHMARK_CAPTURE(BM_PadForLine, ttable, AesBackendKind::TTable);
+BENCHMARK_CAPTURE(BM_PadForLine, aesni, AesBackendKind::AesNi);
+
+void
+BM_PadForLineFast(benchmark::State &state)
+{
+    FastOtpEngine otp(1);
+    uint64_t ctr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(otp.padForLine(123, ctr++));
+    }
+    state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PadForLineFast);
 
 void
 BM_LineXor(benchmark::State &state)

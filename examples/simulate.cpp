@@ -18,6 +18,9 @@
  *   --hwl                   enable horizontal wear leveling
  *   --vwl <startgap|sr>     vertical wear-leveling engine
  *   --fast-otp              hash-based pads instead of AES
+ *   --aes-backend <b>       AES implementation: auto (default),
+ *                           scalar, ttable, or aesni (falls back with
+ *                           a warning when the host lacks AES-NI)
  *   --seed <n>              pad key seed
  *   --fault                 enable the end-of-life fault model
  *   --ecp <n>               ECP entries per line (with --fault)
@@ -37,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/aes_backend.hh"
 #include "sim/experiment.hh"
 #include "enc/scheme_factory.hh"
 #include "sim/stats_dump.hh"
@@ -67,7 +71,8 @@ usage(const char *argv0)
     std::cerr << "usage: " << argv0
               << " [--bench <name|all>] [--scheme <id[,id...]>]"
                  " [--writebacks <n>] [--timing] [--hwl] [--vwl startgap|sr]"
-                 " [--fast-otp] [--seed <n>] [--mlp <x>] [--threads <n>]"
+                 " [--fast-otp] [--aes-backend auto|scalar|ttable|aesni]"
+                 " [--seed <n>] [--mlp <x>] [--threads <n>]"
                  " [--fault] [--ecp <n>] [--endurance <flips>]"
                  " [--csv] [--json <path>] [--stats]\n";
     std::exit(2);
@@ -135,6 +140,13 @@ parseArgs(int argc, char **argv)
             }
         } else if (arg == "--fast-otp") {
             cli.experiment.fastOtp = true;
+        } else if (arg == "--aes-backend") {
+            std::optional<AesBackendKind> parsed =
+                parseAesBackendName(value());
+            if (!parsed) {
+                usage(argv[0]);
+            }
+            setAesBackend(*parsed);
         } else if (arg == "--seed") {
             cli.experiment.otpSeed =
                 std::strtoull(value(), nullptr, 10);
@@ -289,7 +301,11 @@ main(int argc, char **argv)
         }
         std::cout << "scheme: " << rows.front().scheme << "  ("
                   << rows.front().trackingBits
-                  << " tracking bits/line)\n\n";
+                  << " tracking bits/line";
+        if (!rows.front().aesBackend.empty()) {
+            std::cout << ", " << rows.front().aesBackend << " pads";
+        }
+        std::cout << ")\n\n";
         t.print(std::cout);
         if (&id != &cli.schemes.back()) {
             std::cout << '\n';

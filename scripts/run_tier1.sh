@@ -42,6 +42,62 @@ DEUCE_BENCH_JSON="$build/bench_results.json" "$build/examples/simulate" \
 rows=$(wc -l < "$build/bench_results.json")
 echo "tier1: fault cell appended (now $rows rows)"
 
+# Perf smoke: the AES backend micro benchmarks (scalar, ttable, aesni
+# when the host has it), min-time trimmed so the whole pass is a few
+# seconds. Timings are informational — appended as BENCH_MICRO cells
+# to bench_results.json, never a pass/fail criterion: absolute numbers
+# vary with the host and a slow cipher is still a correct cipher.
+"$build/bench/bench_micro" \
+    --benchmark_filter='BM_Aes|BM_PadForLine' \
+    --benchmark_min_time=0.05 \
+    --benchmark_format=json > "$build/bench_micro.json" || {
+        echo "tier1: FAIL — bench_micro did not run" >&2
+        exit 1
+    }
+python3 - "$build/bench_micro.json" "$build/bench_results.json" <<'PY'
+import json
+import sys
+
+data = json.load(open(sys.argv[1]))
+rows = 0
+with open(sys.argv[2], "a") as out:
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        row = {
+            "bench": "BENCH_MICRO",
+            "scheme": b["name"],
+            "real_time_ns": b.get("real_time"),
+            "cpu_time_ns": b.get("cpu_time"),
+            "iterations": b.get("iterations"),
+        }
+        if b.get("error_occurred"):
+            # e.g. the aesni captures on a host without AES-NI.
+            row["error"] = b.get("error_message", "")
+        out.write(json.dumps(row) + "\n")
+        rows += 1
+print(f"tier1: appended {rows} BENCH_MICRO cells")
+PY
+
+# Backend equivalence gate: the same cell simulated through the scalar
+# reference and the auto-dispatched cipher must produce byte-identical
+# result rows modulo the aes_backend name. This is the only failing
+# check of the perf-smoke step.
+"$build/examples/simulate" \
+    --bench mcf --scheme deuce --writebacks 5000 \
+    --aes-backend scalar --json "$build/equiv_scalar.jsonl" > /dev/null
+"$build/examples/simulate" \
+    --bench mcf --scheme deuce --writebacks 5000 \
+    --aes-backend auto --json "$build/equiv_auto.jsonl" > /dev/null
+strip_backend='s/,"aes_backend":"[a-z-]*"//'
+if ! diff \
+    <(sed "$strip_backend" "$build/equiv_scalar.jsonl") \
+    <(sed "$strip_backend" "$build/equiv_auto.jsonl"); then
+    echo "tier1: FAIL — scalar and auto AES backends disagree" >&2
+    exit 1
+fi
+echo "tier1: AES backend equivalence OK (scalar == auto)"
+
 if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
     tsan="$build-tsan"
     cmake -B "$tsan" -S "$repo" \

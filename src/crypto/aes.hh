@@ -7,17 +7,23 @@
  * is needed for counter mode, but decryption is provided as well so the
  * implementation can be validated against the full FIPS-197 vectors.
  *
- * This is a straightforward byte-oriented implementation (S-box table,
- * explicit ShiftRows/MixColumns). It is not hardened against timing
- * side channels; the library models an on-chip AES engine, it does not
- * aim to be a production crypto library.
+ * Aes128 dispatches at construction to one of several bit-identical
+ * backends (scalar reference, T-table, AES-NI — see aes_backend.hh),
+ * so the simulated writeback path can run "as fast as the hardware
+ * allows" without changing a single ciphertext byte. None of the
+ * software backends are hardened against timing side channels; the
+ * library models an on-chip AES engine, it does not aim to be a
+ * production crypto library.
  */
 
 #ifndef DEUCE_CRYPTO_AES_HH
 #define DEUCE_CRYPTO_AES_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+
+#include "crypto/aes_backend.hh"
 
 namespace deuce
 {
@@ -35,8 +41,14 @@ class Aes128
     /** Number of rounds for AES-128. */
     static constexpr unsigned kRounds = 10;
 
-    /** Expand the key schedule for @p key. */
-    explicit Aes128(const AesKey &key);
+    /**
+     * Expand the key schedule for @p key and bind the instance to a
+     * backend. Auto (the default) resolves through defaultAesBackend()
+     * — i.e. the --aes-backend / DEUCE_AES_BACKEND selection, falling
+     * back to the fastest backend this host supports.
+     */
+    explicit Aes128(const AesKey &key,
+                    AesBackendKind backend = AesBackendKind::Auto);
 
     /** Encrypt one 16-byte block. */
     AesBlock encrypt(const AesBlock &plaintext) const;
@@ -44,9 +56,79 @@ class Aes128
     /** Decrypt one 16-byte block (inverse cipher). */
     AesBlock decrypt(const AesBlock &ciphertext) const;
 
+    /**
+     * Encrypt @p n independent blocks, pipelining rounds across
+     * groups of four (interleaved rounds for the T-table backend, a
+     * 4-wide register pipeline for AES-NI). Bit-identical to n calls
+     * of encrypt(); @p in and @p out may alias only exactly.
+     */
+    void encryptBlocks(const AesBlock *in, AesBlock *out,
+                       size_t n) const;
+
+    /** Canonical name of the backend this instance dispatches to. */
+    const char *backendName() const { return ops_->name; }
+
+    /** Concrete backend kind this instance dispatches to. */
+    AesBackendKind backendKind() const { return kind_; }
+
+    /**
+     * Round keys, rk[0..kRounds], 16 bytes each (backend-internal;
+     * exposed so backend TUs can read the schedule).
+     */
+    const std::array<std::array<uint8_t, 16>, kRounds + 1> &
+    roundKeys() const
+    {
+        return roundKeys_;
+    }
+
+    /**
+     * Equivalent-inverse-cipher decryption keys (backend-internal):
+     * dk[0] = rk[10], dk[r] = InvMixColumns(rk[10 - r]) for
+     * r = 1..9, dk[10] = rk[0]. This is exactly the AESIMC-transformed
+     * schedule AESDEC expects, and what the T-table decrypt rounds
+     * consume.
+     */
+    const std::array<std::array<uint8_t, 16>, kRounds + 1> &
+    decRoundKeys() const
+    {
+        return decRoundKeys_;
+    }
+
+    /** roundKeys() as little-endian column words (T-table backend). */
+    const std::array<std::array<uint32_t, 4>, kRounds + 1> &
+    encKeyWords() const
+    {
+        return encKeyWords_;
+    }
+
+    /** decRoundKeys() as little-endian column words. */
+    const std::array<std::array<uint32_t, 4>, kRounds + 1> &
+    decKeyWords() const
+    {
+        return decKeyWords_;
+    }
+
+    /** Store round key @p r (backend expandKeys hooks only; must
+     *  match the portable expansion bit for bit). */
+    void setRoundKey(unsigned r, const uint8_t bytes[16]);
+
   private:
+    /** Derive decRoundKeys_ from roundKeys_. */
+    void computeDecRoundKeys();
+
     /** Round keys: (kRounds + 1) x 16 bytes. */
     std::array<std::array<uint8_t, 16>, kRounds + 1> roundKeys_;
+
+    /** Transformed decryption round keys (see decRoundKeys()). */
+    std::array<std::array<uint8_t, 16>, kRounds + 1> decRoundKeys_;
+
+    /** Key schedules repacked as column words (see encKeyWords()). */
+    std::array<std::array<uint32_t, 4>, kRounds + 1> encKeyWords_;
+    std::array<std::array<uint32_t, 4>, kRounds + 1> decKeyWords_;
+
+    /** Resolved backend. */
+    AesBackendKind kind_;
+    const AesBackendOps *ops_;
 };
 
 } // namespace deuce

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * AES backend registry: CPUID detection, selection-knob resolution
+ * (setAesBackend / DEUCE_AES_BACKEND / Auto), and the kind -> ops
+ * mapping.
+ */
+
+#include "crypto/aes_backend.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+namespace
+{
+
+/** CPUID-level AES-NI support (independent of whether the TU built). */
+bool
+cpuHasAesni()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("aes");
+#else
+    return false;
+#endif
+}
+
+/** Explicit override installed by setAesBackend(); Auto = none. */
+std::atomic<AesBackendKind> g_override{AesBackendKind::Auto};
+
+/** Backend named by DEUCE_AES_BACKEND, read once (Auto when unset). */
+AesBackendKind
+envBackend()
+{
+    static const AesBackendKind kind = [] {
+        const char *env = std::getenv("DEUCE_AES_BACKEND");
+        if (env == nullptr || *env == '\0') {
+            return AesBackendKind::Auto;
+        }
+        std::optional<AesBackendKind> parsed =
+            parseAesBackendName(env);
+        if (!parsed) {
+            deuce_fatal(std::string("DEUCE_AES_BACKEND=") + env +
+                        ": expected auto, scalar, ttable or aesni");
+        }
+        return *parsed;
+    }();
+    return kind;
+}
+
+/** One-time note when an explicit aesni request has to degrade. */
+void
+warnAesniUnavailable()
+{
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "deuce: aesni backend requested but %s; "
+                     "falling back to ttable (results are "
+                     "bit-identical)\n",
+                     aesniCompiled() ? "CPU lacks AES-NI"
+                                     : "not compiled in");
+    }
+}
+
+} // namespace
+
+bool
+aesniCompiled()
+{
+    return aesniBackendOps() != nullptr;
+}
+
+bool
+aesniAvailable()
+{
+    return aesniCompiled() && cpuHasAesni();
+}
+
+AesBackendKind
+resolveAesBackend(AesBackendKind kind)
+{
+    switch (kind) {
+      case AesBackendKind::Auto:
+        return aesniAvailable() ? AesBackendKind::AesNi
+                                : AesBackendKind::TTable;
+      case AesBackendKind::AesNi:
+        if (!aesniAvailable()) {
+            warnAesniUnavailable();
+            return AesBackendKind::TTable;
+        }
+        return kind;
+      default:
+        return kind;
+    }
+}
+
+const AesBackendOps *
+aesBackendOps(AesBackendKind kind)
+{
+    switch (resolveAesBackend(kind)) {
+      case AesBackendKind::Scalar:
+        return scalarBackendOps();
+      case AesBackendKind::AesNi:
+        return aesniBackendOps();
+      case AesBackendKind::TTable:
+      default:
+        return ttableBackendOps();
+    }
+}
+
+AesBackendKind
+defaultAesBackend()
+{
+    AesBackendKind kind = g_override.load(std::memory_order_relaxed);
+    if (kind == AesBackendKind::Auto) {
+        kind = envBackend();
+    }
+    return resolveAesBackend(kind);
+}
+
+void
+setAesBackend(AesBackendKind kind)
+{
+    g_override.store(kind, std::memory_order_relaxed);
+}
+
+std::optional<AesBackendKind>
+parseAesBackendName(const std::string &name)
+{
+    if (name == "auto") {
+        return AesBackendKind::Auto;
+    }
+    if (name == "scalar") {
+        return AesBackendKind::Scalar;
+    }
+    if (name == "ttable") {
+        return AesBackendKind::TTable;
+    }
+    if (name == "aesni") {
+        return AesBackendKind::AesNi;
+    }
+    return std::nullopt;
+}
+
+const char *
+aesBackendName(AesBackendKind kind)
+{
+    switch (kind) {
+      case AesBackendKind::Auto:
+        return "auto";
+      case AesBackendKind::Scalar:
+        return "scalar";
+      case AesBackendKind::TTable:
+        return "ttable";
+      case AesBackendKind::AesNi:
+        return "aesni";
+    }
+    return "auto";
+}
+
+} // namespace deuce

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * AES backend registry and runtime dispatch.
+ *
+ * The library ships up to three bit-identical implementations of the
+ * FIPS-197 cipher:
+ *
+ *  - "scalar"  byte-oriented reference (aes.cc)
+ *  - "ttable"  4x1KB fused SubBytes+MixColumns tables, rounds of the
+ *              four pipelined blocks interleaved (aes_ttable.cc)
+ *  - "aesni"   hardware AESENC/AESDEC via x86 AES-NI, compiled in a
+ *              separately-flagged TU and only dispatched to when
+ *              CPUID reports support (aes_aesni.cc)
+ *
+ * Selection order for the default backend: setAesBackend() (the
+ * --aes-backend CLI flag) > the DEUCE_AES_BACKEND environment
+ * variable > Auto. Auto resolves to the fastest backend the host
+ * supports (aesni > ttable); an explicit request for an unavailable
+ * backend falls back down the same ladder with a one-time warning,
+ * never an error — all backends produce identical bytes, so a
+ * fallback changes wall-clock only.
+ */
+
+#ifndef DEUCE_CRYPTO_AES_BACKEND_HH
+#define DEUCE_CRYPTO_AES_BACKEND_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace deuce
+{
+
+class Aes128;
+
+/** Selectable AES implementations. */
+enum class AesBackendKind
+{
+    Auto,   ///< resolve to the fastest available backend
+    Scalar, ///< byte-oriented reference implementation
+    TTable, ///< 32-bit T-table software implementation
+    AesNi,  ///< x86 AES-NI hardware instructions
+};
+
+/**
+ * Function table of one backend. Blocks are raw 16-byte buffers in
+ * FIPS-197 order; `encrypt4` processes four independent blocks
+ * (in[64] -> out[64]) so implementations can pipeline rounds across
+ * blocks. All functions must be bit-identical to the scalar
+ * reference for every key and block.
+ */
+struct AesBackendOps
+{
+    const char *name;
+    void (*encrypt1)(const Aes128 &aes, const uint8_t in[16],
+                     uint8_t out[16]);
+    void (*decrypt1)(const Aes128 &aes, const uint8_t in[16],
+                     uint8_t out[16]);
+    void (*encrypt4)(const Aes128 &aes, const uint8_t in[64],
+                     uint8_t out[64]);
+    /**
+     * Optional hardware key-schedule hook (AESKEYGENASSIST). When
+     * null the portable FIPS-197 expansion in the Aes128 constructor
+     * runs instead; when set it must produce the same bytes.
+     */
+    void (*expandKeys)(Aes128 &aes, const uint8_t key[16]);
+};
+
+/** True when the AES-NI TU was compiled in (CMake DEUCE_AESNI). */
+bool aesniCompiled();
+
+/** True when AES-NI is both compiled in and reported by CPUID. */
+bool aesniAvailable();
+
+/**
+ * Resolve @p kind to a concrete, available backend: Auto picks the
+ * best available; an explicit but unavailable request degrades
+ * (aesni -> ttable) with a one-time stderr note.
+ */
+AesBackendKind resolveAesBackend(AesBackendKind kind);
+
+/** Ops table for @p kind (resolved first; never returns null). */
+const AesBackendOps *aesBackendOps(AesBackendKind kind);
+
+/**
+ * Process-wide default backend used by Aes128 instances constructed
+ * without an explicit kind: setAesBackend() override if any, else
+ * DEUCE_AES_BACKEND, else Auto — resolved to a concrete backend.
+ */
+AesBackendKind defaultAesBackend();
+
+/**
+ * Override the default backend (the --aes-backend flag). Call before
+ * constructing engines; existing Aes128 instances keep the backend
+ * they were built with.
+ */
+void setAesBackend(AesBackendKind kind);
+
+/** Parse "auto"/"scalar"/"ttable"/"aesni"; nullopt on anything else. */
+std::optional<AesBackendKind> parseAesBackendName(
+    const std::string &name);
+
+/** Canonical lowercase name of @p kind ("auto" for Auto). */
+const char *aesBackendName(AesBackendKind kind);
+
+/** Scalar reference ops table (defined in aes.cc). */
+const AesBackendOps *scalarBackendOps();
+
+/** T-table ops table (defined in aes_ttable.cc). */
+const AesBackendOps *ttableBackendOps();
+
+/**
+ * The AES-NI ops table, or null when not compiled in. Defined by
+ * aes_aesni.cc (real) or aes_aesni_stub.cc (null) depending on the
+ * DEUCE_AESNI CMake option; everything else goes through
+ * aesBackendOps().
+ */
+const AesBackendOps *aesniBackendOps();
+
+} // namespace deuce
+
+#endif // DEUCE_CRYPTO_AES_BACKEND_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Constexpr-generated AES lookup tables shared by the software
+ * backends (FIPS-197).
+ *
+ * Everything here is computed at compile time from the S-box, so
+ * there is no dynamic initialization anywhere in the crypto layer
+ * (no static-init-order hazards, and the tables land in .rodata):
+ *
+ *  - kSbox / kInvSbox          SubBytes and its inverse
+ *  - kMul2/3, kMul9/11/13/14   GF(2^8) multiples for MixColumns and
+ *                              its inverse (replaces the per-call
+ *                              Russian-peasant multiply)
+ *  - kTe0..3 / kTd0..3         32-bit T-tables fusing SubBytes +
+ *                              MixColumns (resp. the inverse pair)
+ *                              for the table-driven backend
+ *
+ * Word convention for the T-tables: a state column (FIPS-197 bytes
+ * s[4c..4c+3], row r = byte r) is held as a little-endian uint32_t,
+ * so row r occupies bits [8r, 8r+8). kTeR[x] is the column
+ * contribution of byte value x sitting in row R.
+ */
+
+#ifndef DEUCE_CRYPTO_AES_TABLES_HH
+#define DEUCE_CRYPTO_AES_TABLES_HH
+
+#include <array>
+#include <cstdint>
+
+namespace deuce
+{
+namespace aes_tables
+{
+
+/** FIPS-197 S-box. */
+constexpr uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+    0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+    0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+    0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+    0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17,
+    0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88,
+    0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9,
+    0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6,
+    0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94,
+    0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68,
+    0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+};
+
+/** Multiply by x in GF(2^8) with the AES reduction polynomial. */
+constexpr uint8_t
+xtime(uint8_t a)
+{
+    return static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+/** General GF(2^8) multiply (Russian-peasant; compile-time only). */
+constexpr uint8_t
+gmul(uint8_t a, uint8_t b)
+{
+    uint8_t result = 0;
+    while (b) {
+        if (b & 1) {
+            result ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    return result;
+}
+
+namespace detail
+{
+
+constexpr std::array<uint8_t, 256>
+makeInvSbox()
+{
+    std::array<uint8_t, 256> t{};
+    for (unsigned i = 0; i < 256; ++i) {
+        t[kSbox[i]] = static_cast<uint8_t>(i);
+    }
+    return t;
+}
+
+constexpr std::array<uint8_t, 256>
+makeMulTable(uint8_t factor)
+{
+    std::array<uint8_t, 256> t{};
+    for (unsigned i = 0; i < 256; ++i) {
+        t[i] = gmul(static_cast<uint8_t>(i), factor);
+    }
+    return t;
+}
+
+/**
+ * Encryption T-table for row @p row: the (SubBytes + MixColumns)
+ * column contribution of a byte in that row, as a little-endian
+ * column word. MixColumns row coefficients are the circulant
+ * (2, 1, 1, 3), so input row r feeds output row j with coefficient
+ * C[(j - r) mod 4] where C = {2, 3, 1, 1} read column-wise — spelled
+ * out below per row to match FIPS-197 eq. 5.6 directly.
+ */
+constexpr std::array<uint32_t, 256>
+makeTe(unsigned row)
+{
+    std::array<uint32_t, 256> t{};
+    for (unsigned i = 0; i < 256; ++i) {
+        uint8_t s = kSbox[i];
+        uint8_t s2 = gmul(s, 2);
+        uint8_t s3 = gmul(s, 3);
+        // Coefficients of this input row toward output rows 0..3.
+        uint8_t c[4] = {};
+        switch (row) {
+          case 0: c[0] = s2; c[1] = s;  c[2] = s;  c[3] = s3; break;
+          case 1: c[0] = s3; c[1] = s2; c[2] = s;  c[3] = s;  break;
+          case 2: c[0] = s;  c[1] = s3; c[2] = s2; c[3] = s;  break;
+          default: c[0] = s; c[1] = s;  c[2] = s3; c[3] = s2; break;
+        }
+        t[i] = static_cast<uint32_t>(c[0]) |
+               (static_cast<uint32_t>(c[1]) << 8) |
+               (static_cast<uint32_t>(c[2]) << 16) |
+               (static_cast<uint32_t>(c[3]) << 24);
+    }
+    return t;
+}
+
+/**
+ * Decryption T-table for row @p row: (InvSubBytes + InvMixColumns)
+ * column contribution; inverse coefficients are the circulant
+ * (14, 9, 13, 11).
+ */
+constexpr std::array<uint32_t, 256>
+makeTd(unsigned row)
+{
+    constexpr std::array<uint8_t, 256> inv = makeInvSbox();
+    std::array<uint32_t, 256> t{};
+    for (unsigned i = 0; i < 256; ++i) {
+        uint8_t s = inv[i];
+        uint8_t s9 = gmul(s, 9);
+        uint8_t s11 = gmul(s, 11);
+        uint8_t s13 = gmul(s, 13);
+        uint8_t s14 = gmul(s, 14);
+        uint8_t c[4] = {};
+        switch (row) {
+          case 0: c[0] = s14; c[1] = s9;  c[2] = s13; c[3] = s11; break;
+          case 1: c[0] = s11; c[1] = s14; c[2] = s9;  c[3] = s13; break;
+          case 2: c[0] = s13; c[1] = s11; c[2] = s14; c[3] = s9;  break;
+          default: c[0] = s9; c[1] = s13; c[2] = s11; c[3] = s14; break;
+        }
+        t[i] = static_cast<uint32_t>(c[0]) |
+               (static_cast<uint32_t>(c[1]) << 8) |
+               (static_cast<uint32_t>(c[2]) << 16) |
+               (static_cast<uint32_t>(c[3]) << 24);
+    }
+    return t;
+}
+
+} // namespace detail
+
+/** Inverse S-box. */
+inline constexpr std::array<uint8_t, 256> kInvSbox =
+    detail::makeInvSbox();
+
+/** GF(2^8) multiples for MixColumns. */
+inline constexpr std::array<uint8_t, 256> kMul2 =
+    detail::makeMulTable(2);
+inline constexpr std::array<uint8_t, 256> kMul3 =
+    detail::makeMulTable(3);
+
+/** GF(2^8) multiples for InvMixColumns. */
+inline constexpr std::array<uint8_t, 256> kMul9 =
+    detail::makeMulTable(9);
+inline constexpr std::array<uint8_t, 256> kMul11 =
+    detail::makeMulTable(11);
+inline constexpr std::array<uint8_t, 256> kMul13 =
+    detail::makeMulTable(13);
+inline constexpr std::array<uint8_t, 256> kMul14 =
+    detail::makeMulTable(14);
+
+/** Encryption T-tables, one per state row. */
+inline constexpr std::array<uint32_t, 256> kTe0 = detail::makeTe(0);
+inline constexpr std::array<uint32_t, 256> kTe1 = detail::makeTe(1);
+inline constexpr std::array<uint32_t, 256> kTe2 = detail::makeTe(2);
+inline constexpr std::array<uint32_t, 256> kTe3 = detail::makeTe(3);
+
+/** Decryption T-tables, one per state row. */
+inline constexpr std::array<uint32_t, 256> kTd0 = detail::makeTd(0);
+inline constexpr std::array<uint32_t, 256> kTd1 = detail::makeTd(1);
+inline constexpr std::array<uint32_t, 256> kTd2 = detail::makeTd(2);
+inline constexpr std::array<uint32_t, 256> kTd3 = detail::makeTd(3);
+
+/** Apply InvMixColumns to a 16-byte round key (for the equivalent
+ *  inverse cipher's transformed decryption key schedule). */
+constexpr std::array<uint8_t, 16>
+invMixColumnsKey(const std::array<uint8_t, 16> &rk)
+{
+    std::array<uint8_t, 16> out{};
+    for (unsigned c = 0; c < 4; ++c) {
+        uint8_t a0 = rk[4 * c], a1 = rk[4 * c + 1];
+        uint8_t a2 = rk[4 * c + 2], a3 = rk[4 * c + 3];
+        out[4 * c] = static_cast<uint8_t>(
+            kMul14[a0] ^ kMul11[a1] ^ kMul13[a2] ^ kMul9[a3]);
+        out[4 * c + 1] = static_cast<uint8_t>(
+            kMul9[a0] ^ kMul14[a1] ^ kMul11[a2] ^ kMul13[a3]);
+        out[4 * c + 2] = static_cast<uint8_t>(
+            kMul13[a0] ^ kMul9[a1] ^ kMul14[a2] ^ kMul11[a3]);
+        out[4 * c + 3] = static_cast<uint8_t>(
+            kMul11[a0] ^ kMul13[a1] ^ kMul9[a2] ^ kMul14[a3]);
+    }
+    return out;
+}
+
+} // namespace aes_tables
+} // namespace deuce
+
+#endif // DEUCE_CRYPTO_AES_TABLES_HH

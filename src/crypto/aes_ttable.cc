@@ -1,0 +1,276 @@
+/**
+ * @file
+ * T-table AES backend: each round fuses SubBytes + ShiftRows +
+ * MixColumns into four 1KB lookups per column (kTe0..3 from
+ * aes_tables.hh, all constexpr — no dynamic init). Decryption runs
+ * the equivalent inverse cipher over kTd0..3 with the transformed
+ * key schedule from Aes128::decRoundKeys().
+ *
+ * State columns live in explicit uint32_t locals (never arrays) so
+ * they stay in registers, and round keys come pre-packed as column
+ * words (Aes128::encKeyWords()). encrypt4 interleaves the rounds of
+ * four independent blocks so the table loads of one block overlap
+ * the XOR folds of the others — the software stand-in for the
+ * pipelined hardware AES engine the paper assumes.
+ */
+
+#include "crypto/aes.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "crypto/aes_tables.hh"
+
+namespace deuce
+{
+
+namespace
+{
+
+using namespace aes_tables;
+
+/** Load state column c (bytes 4c..4c+3) as a little-endian word. */
+inline uint32_t
+loadCol(const uint8_t *b, unsigned c)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        uint32_t v;
+        std::memcpy(&v, b + 4 * c, 4);
+        return v;
+    }
+    return static_cast<uint32_t>(b[4 * c]) |
+           (static_cast<uint32_t>(b[4 * c + 1]) << 8) |
+           (static_cast<uint32_t>(b[4 * c + 2]) << 16) |
+           (static_cast<uint32_t>(b[4 * c + 3]) << 24);
+}
+
+inline void
+storeCol(uint8_t *b, unsigned c, uint32_t v)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(b + 4 * c, &v, 4);
+        return;
+    }
+    b[4 * c] = static_cast<uint8_t>(v);
+    b[4 * c + 1] = static_cast<uint8_t>(v >> 8);
+    b[4 * c + 2] = static_cast<uint8_t>(v >> 16);
+    b[4 * c + 3] = static_cast<uint8_t>(v >> 24);
+}
+
+/**
+ * One encryption round: output column c pulls row r from input
+ * column (c + r) mod 4 (ShiftRows), each byte through the row's
+ * fused SubBytes+MixColumns table.
+ */
+#define DEUCE_TT_ENC_ROUND(t0, t1, t2, t3, s0, s1, s2, s3, k)         \
+    do {                                                              \
+        t0 = kTe0[(s0) & 0xff] ^ kTe1[((s1) >> 8) & 0xff] ^           \
+             kTe2[((s2) >> 16) & 0xff] ^ kTe3[(s3) >> 24] ^ (k)[0];   \
+        t1 = kTe0[(s1) & 0xff] ^ kTe1[((s2) >> 8) & 0xff] ^           \
+             kTe2[((s3) >> 16) & 0xff] ^ kTe3[(s0) >> 24] ^ (k)[1];   \
+        t2 = kTe0[(s2) & 0xff] ^ kTe1[((s3) >> 8) & 0xff] ^           \
+             kTe2[((s0) >> 16) & 0xff] ^ kTe3[(s1) >> 24] ^ (k)[2];   \
+        t3 = kTe0[(s3) & 0xff] ^ kTe1[((s0) >> 8) & 0xff] ^           \
+             kTe2[((s1) >> 16) & 0xff] ^ kTe3[(s2) >> 24] ^ (k)[3];   \
+    } while (0)
+
+/** Final encryption round: SubBytes + ShiftRows only. */
+#define DEUCE_TT_ENC_FINAL(t0, t1, t2, t3, s0, s1, s2, s3, k)         \
+    do {                                                              \
+        t0 = (static_cast<uint32_t>(kSbox[(s0) & 0xff]) |             \
+              (static_cast<uint32_t>(kSbox[((s1) >> 8) & 0xff])       \
+               << 8) |                                                \
+              (static_cast<uint32_t>(kSbox[((s2) >> 16) & 0xff])      \
+               << 16) |                                               \
+              (static_cast<uint32_t>(kSbox[(s3) >> 24]) << 24)) ^     \
+             (k)[0];                                                  \
+        t1 = (static_cast<uint32_t>(kSbox[(s1) & 0xff]) |             \
+              (static_cast<uint32_t>(kSbox[((s2) >> 8) & 0xff])       \
+               << 8) |                                                \
+              (static_cast<uint32_t>(kSbox[((s3) >> 16) & 0xff])      \
+               << 16) |                                               \
+              (static_cast<uint32_t>(kSbox[(s0) >> 24]) << 24)) ^     \
+             (k)[1];                                                  \
+        t2 = (static_cast<uint32_t>(kSbox[(s2) & 0xff]) |             \
+              (static_cast<uint32_t>(kSbox[((s3) >> 8) & 0xff])       \
+               << 8) |                                                \
+              (static_cast<uint32_t>(kSbox[((s0) >> 16) & 0xff])      \
+               << 16) |                                               \
+              (static_cast<uint32_t>(kSbox[(s1) >> 24]) << 24)) ^     \
+             (k)[2];                                                  \
+        t3 = (static_cast<uint32_t>(kSbox[(s3) & 0xff]) |             \
+              (static_cast<uint32_t>(kSbox[((s0) >> 8) & 0xff])       \
+               << 8) |                                                \
+              (static_cast<uint32_t>(kSbox[((s1) >> 16) & 0xff])      \
+               << 16) |                                               \
+              (static_cast<uint32_t>(kSbox[(s2) >> 24]) << 24)) ^     \
+             (k)[3];                                                  \
+    } while (0)
+
+/**
+ * One decryption round (equivalent inverse cipher): output column c
+ * pulls row r from input column (c - r) mod 4 (InvShiftRows).
+ */
+#define DEUCE_TT_DEC_ROUND(t0, t1, t2, t3, s0, s1, s2, s3, k)         \
+    do {                                                              \
+        t0 = kTd0[(s0) & 0xff] ^ kTd1[((s3) >> 8) & 0xff] ^           \
+             kTd2[((s2) >> 16) & 0xff] ^ kTd3[(s1) >> 24] ^ (k)[0];   \
+        t1 = kTd0[(s1) & 0xff] ^ kTd1[((s0) >> 8) & 0xff] ^           \
+             kTd2[((s3) >> 16) & 0xff] ^ kTd3[(s2) >> 24] ^ (k)[1];   \
+        t2 = kTd0[(s2) & 0xff] ^ kTd1[((s1) >> 8) & 0xff] ^           \
+             kTd2[((s0) >> 16) & 0xff] ^ kTd3[(s3) >> 24] ^ (k)[2];   \
+        t3 = kTd0[(s3) & 0xff] ^ kTd1[((s2) >> 8) & 0xff] ^           \
+             kTd2[((s1) >> 16) & 0xff] ^ kTd3[(s0) >> 24] ^ (k)[3];   \
+    } while (0)
+
+/** Final decryption round: InvSubBytes + InvShiftRows only. */
+#define DEUCE_TT_DEC_FINAL(t0, t1, t2, t3, s0, s1, s2, s3, k)         \
+    do {                                                              \
+        t0 = (static_cast<uint32_t>(kInvSbox[(s0) & 0xff]) |          \
+              (static_cast<uint32_t>(kInvSbox[((s3) >> 8) & 0xff])    \
+               << 8) |                                                \
+              (static_cast<uint32_t>(kInvSbox[((s2) >> 16) & 0xff])   \
+               << 16) |                                               \
+              (static_cast<uint32_t>(kInvSbox[(s1) >> 24]) << 24)) ^  \
+             (k)[0];                                                  \
+        t1 = (static_cast<uint32_t>(kInvSbox[(s1) & 0xff]) |          \
+              (static_cast<uint32_t>(kInvSbox[((s0) >> 8) & 0xff])    \
+               << 8) |                                                \
+              (static_cast<uint32_t>(kInvSbox[((s3) >> 16) & 0xff])   \
+               << 16) |                                               \
+              (static_cast<uint32_t>(kInvSbox[(s2) >> 24]) << 24)) ^  \
+             (k)[1];                                                  \
+        t2 = (static_cast<uint32_t>(kInvSbox[(s2) & 0xff]) |          \
+              (static_cast<uint32_t>(kInvSbox[((s1) >> 8) & 0xff])    \
+               << 8) |                                                \
+              (static_cast<uint32_t>(kInvSbox[((s0) >> 16) & 0xff])   \
+               << 16) |                                               \
+              (static_cast<uint32_t>(kInvSbox[(s3) >> 24]) << 24)) ^  \
+             (k)[2];                                                  \
+        t3 = (static_cast<uint32_t>(kInvSbox[(s3) & 0xff]) |          \
+              (static_cast<uint32_t>(kInvSbox[((s2) >> 8) & 0xff])    \
+               << 8) |                                                \
+              (static_cast<uint32_t>(kInvSbox[((s1) >> 16) & 0xff])   \
+               << 16) |                                               \
+              (static_cast<uint32_t>(kInvSbox[(s0) >> 24]) << 24)) ^  \
+             (k)[3];                                                  \
+    } while (0)
+
+void
+ttableEncrypt1(const Aes128 &aes, const uint8_t in[16], uint8_t out[16])
+{
+    const auto &rk = aes.encKeyWords();
+    uint32_t s0 = loadCol(in, 0) ^ rk[0][0];
+    uint32_t s1 = loadCol(in, 1) ^ rk[0][1];
+    uint32_t s2 = loadCol(in, 2) ^ rk[0][2];
+    uint32_t s3 = loadCol(in, 3) ^ rk[0][3];
+    uint32_t t0, t1, t2, t3;
+    for (unsigned round = 1; round + 1 < Aes128::kRounds; round += 2) {
+        DEUCE_TT_ENC_ROUND(t0, t1, t2, t3, s0, s1, s2, s3, rk[round]);
+        DEUCE_TT_ENC_ROUND(s0, s1, s2, s3, t0, t1, t2, t3,
+                           rk[round + 1]);
+    }
+    DEUCE_TT_ENC_ROUND(t0, t1, t2, t3, s0, s1, s2, s3,
+                       rk[Aes128::kRounds - 1]);
+    DEUCE_TT_ENC_FINAL(s0, s1, s2, s3, t0, t1, t2, t3,
+                       rk[Aes128::kRounds]);
+    storeCol(out, 0, s0);
+    storeCol(out, 1, s1);
+    storeCol(out, 2, s2);
+    storeCol(out, 3, s3);
+}
+
+void
+ttableDecrypt1(const Aes128 &aes, const uint8_t in[16], uint8_t out[16])
+{
+    const auto &dk = aes.decKeyWords();
+    uint32_t s0 = loadCol(in, 0) ^ dk[0][0];
+    uint32_t s1 = loadCol(in, 1) ^ dk[0][1];
+    uint32_t s2 = loadCol(in, 2) ^ dk[0][2];
+    uint32_t s3 = loadCol(in, 3) ^ dk[0][3];
+    uint32_t t0, t1, t2, t3;
+    for (unsigned round = 1; round + 1 < Aes128::kRounds; round += 2) {
+        DEUCE_TT_DEC_ROUND(t0, t1, t2, t3, s0, s1, s2, s3, dk[round]);
+        DEUCE_TT_DEC_ROUND(s0, s1, s2, s3, t0, t1, t2, t3,
+                           dk[round + 1]);
+    }
+    DEUCE_TT_DEC_ROUND(t0, t1, t2, t3, s0, s1, s2, s3,
+                       dk[Aes128::kRounds - 1]);
+    DEUCE_TT_DEC_FINAL(s0, s1, s2, s3, t0, t1, t2, t3,
+                       dk[Aes128::kRounds]);
+    storeCol(out, 0, s0);
+    storeCol(out, 1, s1);
+    storeCol(out, 2, s2);
+    storeCol(out, 3, s3);
+}
+
+/**
+ * Two blocks interleaved round by round: with ~4 independent table
+ * loads per column and two columns' worth of work in flight, the
+ * load latency of one block hides behind the XOR folds of the
+ * other. Four-way interleave spills on 32-bit-starved register
+ * files, so encrypt4 runs two pairs.
+ */
+void
+ttableEncrypt2(const Aes128 &aes, const uint8_t in[32], uint8_t out[32])
+{
+    const auto &rk = aes.encKeyWords();
+    uint32_t a0 = loadCol(in, 0) ^ rk[0][0];
+    uint32_t a1 = loadCol(in, 1) ^ rk[0][1];
+    uint32_t a2 = loadCol(in, 2) ^ rk[0][2];
+    uint32_t a3 = loadCol(in, 3) ^ rk[0][3];
+    uint32_t b0 = loadCol(in + 16, 0) ^ rk[0][0];
+    uint32_t b1 = loadCol(in + 16, 1) ^ rk[0][1];
+    uint32_t b2 = loadCol(in + 16, 2) ^ rk[0][2];
+    uint32_t b3 = loadCol(in + 16, 3) ^ rk[0][3];
+    uint32_t u0, u1, u2, u3, v0, v1, v2, v3;
+    for (unsigned round = 1; round + 1 < Aes128::kRounds; round += 2) {
+        DEUCE_TT_ENC_ROUND(u0, u1, u2, u3, a0, a1, a2, a3, rk[round]);
+        DEUCE_TT_ENC_ROUND(v0, v1, v2, v3, b0, b1, b2, b3, rk[round]);
+        DEUCE_TT_ENC_ROUND(a0, a1, a2, a3, u0, u1, u2, u3,
+                           rk[round + 1]);
+        DEUCE_TT_ENC_ROUND(b0, b1, b2, b3, v0, v1, v2, v3,
+                           rk[round + 1]);
+    }
+    DEUCE_TT_ENC_ROUND(u0, u1, u2, u3, a0, a1, a2, a3,
+                       rk[Aes128::kRounds - 1]);
+    DEUCE_TT_ENC_ROUND(v0, v1, v2, v3, b0, b1, b2, b3,
+                       rk[Aes128::kRounds - 1]);
+    DEUCE_TT_ENC_FINAL(a0, a1, a2, a3, u0, u1, u2, u3,
+                       rk[Aes128::kRounds]);
+    DEUCE_TT_ENC_FINAL(b0, b1, b2, b3, v0, v1, v2, v3,
+                       rk[Aes128::kRounds]);
+    storeCol(out, 0, a0);
+    storeCol(out, 1, a1);
+    storeCol(out, 2, a2);
+    storeCol(out, 3, a3);
+    storeCol(out + 16, 0, b0);
+    storeCol(out + 16, 1, b1);
+    storeCol(out + 16, 2, b2);
+    storeCol(out + 16, 3, b3);
+}
+
+void
+ttableEncrypt4(const Aes128 &aes, const uint8_t in[64], uint8_t out[64])
+{
+    ttableEncrypt2(aes, in, out);
+    ttableEncrypt2(aes, in + 32, out + 32);
+}
+
+constexpr AesBackendOps kTtableOps = {
+    "ttable",
+    ttableEncrypt1,
+    ttableDecrypt1,
+    ttableEncrypt4,
+    nullptr,
+};
+
+} // namespace
+
+const AesBackendOps *
+ttableBackendOps()
+{
+    return &kTtableOps;
+}
+
+} // namespace deuce

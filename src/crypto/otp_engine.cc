@@ -41,20 +41,39 @@ mix64(uint64_t z)
 
 } // namespace
 
+void
+OtpEngine::padForBlocks(uint64_t line_addr, const PadRequest *requests,
+                        AesBlock *pads, unsigned n) const
+{
+    for (unsigned i = 0; i < n; ++i) {
+        pads[i] = padForBlock(line_addr, requests[i].counter,
+                              requests[i].block);
+    }
+}
+
 CacheLine
 OtpEngine::padForLine(uint64_t line_addr, uint64_t counter) const
 {
+    PadRequest requests[4];
+    AesBlock blocks[4];
+    for (unsigned block = 0; block < 4; ++block) {
+        requests[block] = PadRequest{counter, block};
+    }
+    padForBlocks(line_addr, requests, blocks, 4);
+
     CacheLine pad;
     for (unsigned block = 0; block < 4; ++block) {
-        AesBlock b = padForBlock(line_addr, counter, block);
         for (unsigned i = 0; i < 16; ++i) {
-            pad.setByte(block * 16 + i, b[i]);
+            pad.setByte(block * 16 + i, blocks[block][i]);
         }
     }
     return pad;
 }
 
-AesOtpEngine::AesOtpEngine(const AesKey &key) : cipher_(key) {}
+AesOtpEngine::AesOtpEngine(const AesKey &key, AesBackendKind backend)
+    : cipher_(key, backend)
+{
+}
 
 AesBlock
 AesOtpEngine::padForBlock(uint64_t line_addr, uint64_t counter,
@@ -62,6 +81,31 @@ AesOtpEngine::padForBlock(uint64_t line_addr, uint64_t counter,
 {
     deuce_assert(block < 4);
     return cipher_.encrypt(makeNonce(line_addr, counter, block));
+}
+
+void
+AesOtpEngine::padForBlocks(uint64_t line_addr,
+                           const PadRequest *requests, AesBlock *pads,
+                           unsigned n) const
+{
+    // Assemble the nonces in chunks and push each chunk through the
+    // cipher's block pipeline (the key schedule was expanded once at
+    // construction). The chunk size is a multiple of the pipeline
+    // width, so full 4-wide groups dominate.
+    constexpr unsigned kChunk = 16;
+    AesBlock nonces[kChunk];
+    while (n > 0) {
+        unsigned c = n < kChunk ? n : kChunk;
+        for (unsigned i = 0; i < c; ++i) {
+            deuce_assert(requests[i].block < 4);
+            nonces[i] = makeNonce(line_addr, requests[i].counter,
+                                  requests[i].block);
+        }
+        cipher_.encryptBlocks(nonces, pads, c);
+        requests += c;
+        pads += c;
+        n -= c;
+    }
 }
 
 FastOtpEngine::FastOtpEngine(uint64_t seed) : seed_(seed) {}

@@ -26,6 +26,13 @@
 namespace deuce
 {
 
+/** One entry of a batched pad request: (counter, block) for a line. */
+struct PadRequest
+{
+    uint64_t counter; ///< write counter value the pad is bound to
+    unsigned block;   ///< 16-byte block index within the line, 0..3
+};
+
 /** Abstract pad generator: (address, counter, block) -> 128-bit pad. */
 class OtpEngine
 {
@@ -41,19 +48,56 @@ class OtpEngine
     virtual AesBlock padForBlock(uint64_t line_addr, uint64_t counter,
                                  unsigned block) const = 0;
 
-    /** Generate the full 512-bit pad for a line (blocks 0..3). */
-    CacheLine padForLine(uint64_t line_addr, uint64_t counter) const;
+    /**
+     * Generate pads for @p n (counter, block) pairs of one line in a
+     * single batch. Bit-identical to n padForBlock() calls; engines
+     * with a pipelined cipher override this to key-schedule once and
+     * run the blocks through the pipeline together (AES-NI keeps
+     * four AESENC chains in flight; the T-table backend interleaves
+     * rounds). The default loops over padForBlock().
+     */
+    virtual void padForBlocks(uint64_t line_addr,
+                              const PadRequest *requests,
+                              AesBlock *pads, unsigned n) const;
+
+    /**
+     * Generate the full 512-bit pad for a line (blocks 0..3 at one
+     * counter) — a padForBlocks() batch of four.
+     */
+    virtual CacheLine padForLine(uint64_t line_addr,
+                                 uint64_t counter) const;
+
+    /**
+     * Name of the underlying cipher backend for perf attribution
+     * ("scalar"/"ttable"/"aesni", "fast-hash", or "" when the engine
+     * does not report one).
+     */
+    virtual const char *backendName() const { return ""; }
 };
 
 /** OtpEngine backed by the real AES-128 cipher. */
 class AesOtpEngine : public OtpEngine
 {
   public:
-    /** @param key the secret per-DIMM key. */
-    explicit AesOtpEngine(const AesKey &key);
+    /**
+     * @param key     the secret per-DIMM key.
+     * @param backend cipher backend; Auto follows the process-wide
+     *                selection (--aes-backend / DEUCE_AES_BACKEND).
+     */
+    explicit AesOtpEngine(const AesKey &key,
+                          AesBackendKind backend = AesBackendKind::Auto);
 
     AesBlock padForBlock(uint64_t line_addr, uint64_t counter,
                          unsigned block) const override;
+
+    /** Batched: all nonces run through the cipher pipeline together. */
+    void padForBlocks(uint64_t line_addr, const PadRequest *requests,
+                      AesBlock *pads, unsigned n) const override;
+
+    const char *backendName() const override
+    {
+        return cipher_.backendName();
+    }
 
   private:
     Aes128 cipher_;
@@ -75,6 +119,8 @@ class FastOtpEngine : public OtpEngine
 
     AesBlock padForBlock(uint64_t line_addr, uint64_t counter,
                          unsigned block) const override;
+
+    const char *backendName() const override { return "fast-hash"; }
 
   private:
     uint64_t seed_;

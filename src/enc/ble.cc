@@ -48,11 +48,37 @@ BlockLevelEncryption::trackingBitsPerLine() const
     return withDeuce_ ? kBlocks * wordsPerBlock_ : 0;
 }
 
-AesBlock
-BlockLevelEncryption::pad(uint64_t line_addr, unsigned block,
-                          uint64_t counter) const
+void
+BlockLevelEncryption::pads(uint64_t line_addr, unsigned lctr_mask,
+                           const uint64_t lctr[kBlocks],
+                           unsigned tctr_mask,
+                           AesBlock lctr_pads[kBlocks],
+                           AesBlock tctr_pads[kBlocks]) const
 {
-    return otp_.padForBlock(line_addr, counter, block);
+    PadRequest requests[2 * kBlocks];
+    unsigned out_block[2 * kBlocks];
+    bool out_is_tctr[2 * kBlocks];
+    unsigned n = 0;
+    for (unsigned b = 0; b < kBlocks; ++b) {
+        if (lctr_mask & (1u << b)) {
+            requests[n] = PadRequest{lctr[b], b};
+            out_block[n] = b;
+            out_is_tctr[n] = false;
+            ++n;
+        }
+        if (tctr_mask & (1u << b)) {
+            requests[n] = PadRequest{trailing(lctr[b]), b};
+            out_block[n] = b;
+            out_is_tctr[n] = true;
+            ++n;
+        }
+    }
+    AesBlock generated[2 * kBlocks];
+    otp_.padForBlocks(line_addr, requests, generated, n);
+    for (unsigned i = 0; i < n; ++i) {
+        (out_is_tctr[i] ? tctr_pads : lctr_pads)[out_block[i]] =
+            generated[i];
+    }
 }
 
 void
@@ -72,8 +98,12 @@ BlockLevelEncryption::install(uint64_t line_addr,
 {
     state = StoredLineState{};
     state.data = plaintext;
+    const uint64_t zero_ctrs[kBlocks] = {};
+    AesBlock block_pads[kBlocks];
+    pads(line_addr, (1u << kBlocks) - 1, zero_ctrs, 0, block_pads,
+         nullptr);
     for (unsigned b = 0; b < kBlocks; ++b) {
-        xorBlock(state.data, b, pad(line_addr, b, 0));
+        xorBlock(state.data, b, block_pads[b]);
     }
 }
 
@@ -84,19 +114,35 @@ BlockLevelEncryption::write(uint64_t line_addr, const CacheLine &plaintext,
     StoredLineState before = state;
     CacheLine cur_plain = read(line_addr, state);
 
+    // Pass 1: find the dirty blocks and bump their counters, so all
+    // the pads the write needs can be generated as one cipher batch.
+    unsigned dirty_mask = 0;
+    unsigned tctr_mask = 0;
+    uint64_t new_ctrs[kBlocks] = {};
     for (unsigned b = 0; b < kBlocks; ++b) {
-        unsigned block_lsb = b * kBlockBits;
-        bool block_dirty =
-            hammingDistance(plaintext, cur_plain, block_lsb,
-                            kBlockBits) != 0;
-        if (!block_dirty) {
+        if (hammingDistance(plaintext, cur_plain, b * kBlockBits,
+                            kBlockBits) == 0) {
             continue; // counter and ciphertext untouched
         }
+        dirty_mask |= 1u << b;
+        new_ctrs[b] = before.blockCounters[b] + 1;
+        state.blockCounters[b] = new_ctrs[b];
+        if (withDeuce_ && !isEpochStart(new_ctrs[b])) {
+            tctr_mask |= 1u << b;
+        }
+    }
+    AesBlock lctr_pads[kBlocks];
+    AesBlock tctr_pads[kBlocks];
+    pads(line_addr, dirty_mask, new_ctrs, tctr_mask, lctr_pads,
+         tctr_pads);
 
-        uint64_t new_ctr = before.blockCounters[b] + 1;
-        state.blockCounters[b] = new_ctr;
-
-        AesBlock pad_lctr = pad(line_addr, b, new_ctr);
+    for (unsigned b = 0; b < kBlocks; ++b) {
+        if (!(dirty_mask & (1u << b))) {
+            continue;
+        }
+        unsigned block_lsb = b * kBlockBits;
+        uint64_t new_ctr = new_ctrs[b];
+        const AesBlock &pad_lctr = lctr_pads[b];
 
         if (!withDeuce_ || isEpochStart(new_ctr)) {
             // Re-encrypt the whole block with the fresh counter; in
@@ -119,7 +165,7 @@ BlockLevelEncryption::write(uint64_t line_addr, const CacheLine &plaintext,
 
         // DEUCE inside the block: accumulate modified words, encrypt
         // them with the block LCTR, keep the rest at the block TCTR.
-        AesBlock pad_tctr = pad(line_addr, b, trailing(new_ctr));
+        const AesBlock &pad_tctr = tctr_pads[b];
         for (unsigned w = 0; w < wordsPerBlock_; ++w) {
             unsigned word_lsb = block_lsb + w * wordBits_;
             unsigned tracking_bit = b * wordsPerBlock_ + w;
@@ -154,14 +200,20 @@ BlockLevelEncryption::read(uint64_t line_addr,
                            const StoredLineState &state) const
 {
     CacheLine plain = state.data;
+    // One batch covers every pad of the line: 4 LCTR pads, plus the
+    // 4 TCTR pads in the DEUCE composition.
+    constexpr unsigned kAll = (1u << kBlocks) - 1;
+    AesBlock lctr_pads[kBlocks];
+    AesBlock tctr_pads[kBlocks];
+    pads(line_addr, kAll, state.blockCounters.data(),
+         withDeuce_ ? kAll : 0, lctr_pads, tctr_pads);
     for (unsigned b = 0; b < kBlocks; ++b) {
-        uint64_t ctr = state.blockCounters[b];
         if (!withDeuce_) {
-            xorBlock(plain, b, pad(line_addr, b, ctr));
+            xorBlock(plain, b, lctr_pads[b]);
             continue;
         }
-        AesBlock pad_lctr = pad(line_addr, b, ctr);
-        AesBlock pad_tctr = pad(line_addr, b, trailing(ctr));
+        const AesBlock &pad_lctr = lctr_pads[b];
+        const AesBlock &pad_tctr = tctr_pads[b];
         for (unsigned w = 0; w < wordsPerBlock_; ++w) {
             unsigned word_lsb = b * kBlockBits + w * wordBits_;
             unsigned tracking_bit = b * wordsPerBlock_ + w;

@@ -54,9 +54,22 @@ class BlockLevelEncryption : public EncryptionScheme
                    const StoredLineState &state) const override;
 
   private:
-    /** 128-bit pad for one block at a given counter value. */
-    AesBlock pad(uint64_t line_addr, unsigned block,
-                 uint64_t counter) const;
+    /**
+     * Pads for a set of blocks of one line in a single cipher batch
+     * (one padForBlocks() call, so the pipelined backends keep all
+     * the AES blocks in flight together).
+     *
+     * @param lctr_mask bitmask of blocks to pad; lctr_pads[b] is
+     *                  written for blocks in the mask
+     * @param lctr      per-block counters (indexed by block)
+     * @param tctr_mask blocks that also need the trailing-counter
+     *                  pad (DEUCE composition; subset of lctr_mask);
+     *                  tctr_pads[b] written for blocks in the mask
+     */
+    void pads(uint64_t line_addr, unsigned lctr_mask,
+              const uint64_t lctr[kBlocks], unsigned tctr_mask,
+              AesBlock lctr_pads[kBlocks],
+              AesBlock tctr_pads[kBlocks]) const;
 
     /** XOR a block region of the line with a 128-bit pad. */
     static void xorBlock(CacheLine &line, unsigned block,

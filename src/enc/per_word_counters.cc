@@ -47,21 +47,46 @@ uint64_t
 PerWordCounters::wordPad(uint64_t line_addr, uint64_t line_epoch,
                          unsigned word, uint64_t word_counter) const
 {
+    uint64_t bits;
+    wordPads(line_addr, line_epoch, &word, &word_counter, &bits, 1);
+    return bits;
+}
+
+void
+PerWordCounters::wordPads(uint64_t line_addr, uint64_t line_epoch,
+                          const unsigned *words,
+                          const uint64_t *word_ctrs, uint64_t *pads,
+                          unsigned n) const
+{
     // Idealised: derive an independent pad per (word, counter) by
     // keying the word's AES block with the word's own counter value
     // plus the line's re-key epoch, then slicing the word's bits. The
     // paper's point stands regardless: the storage is the problem.
-    unsigned block = (word * wordBits_) / 128;
-    AesBlock pad = otp_.padForBlock(
-        line_addr, (line_epoch << 20) ^ (word_counter << 6) ^ word,
-        block);
-    unsigned offset_bits = (word * wordBits_) % 128;
-    uint64_t bits = 0;
-    for (unsigned b = 0; b < wordBytes_; ++b) {
-        bits |= static_cast<uint64_t>(pad[offset_bits / 8 + b])
-                << (8 * b);
+    PadRequest requests[64];
+    AesBlock blocks[64];
+    while (n > 0) {
+        unsigned c = n < 64 ? n : 64;
+        for (unsigned i = 0; i < c; ++i) {
+            requests[i] = PadRequest{
+                (line_epoch << 20) ^ (word_ctrs[i] << 6) ^ words[i],
+                (words[i] * wordBits_) / 128};
+        }
+        otp_.padForBlocks(line_addr, requests, blocks, c);
+        for (unsigned i = 0; i < c; ++i) {
+            unsigned offset_bits = (words[i] * wordBits_) % 128;
+            uint64_t bits = 0;
+            for (unsigned b = 0; b < wordBytes_; ++b) {
+                bits |= static_cast<uint64_t>(
+                            blocks[i][offset_bits / 8 + b])
+                        << (8 * b);
+            }
+            pads[i] = bits;
+        }
+        words += c;
+        word_ctrs += c;
+        pads += c;
+        n -= c;
     }
-    return bits;
 }
 
 void
@@ -70,10 +95,17 @@ PerWordCounters::install(uint64_t line_addr, const CacheLine &plaintext,
 {
     state = StoredLineState{};
     counters_[line_addr] = WordCounters{};
+    unsigned words[64];
+    uint64_t zero_ctrs[64] = {};
+    uint64_t pads[64];
+    for (unsigned w = 0; w < numWords_; ++w) {
+        words[w] = w;
+    }
+    wordPads(line_addr, 0, words, zero_ctrs, pads, numWords_);
     for (unsigned w = 0; w < numWords_; ++w) {
         state.data.setField(w * wordBits_, wordBits_,
                             plaintext.field(w * wordBits_, wordBits_) ^
-                                wordPad(line_addr, 0, w, 0));
+                                pads[w]);
     }
 }
 
@@ -103,17 +135,29 @@ PerWordCounters::write(uint64_t line_addr, const CacheLine &plaintext,
         ++overflowRekeys_;
         state.counter += 1; // line epoch
         ctrs = WordCounters{};
+        unsigned words[64];
+        uint64_t zero_ctrs[64] = {};
+        uint64_t pads[64];
+        for (unsigned w = 0; w < numWords_; ++w) {
+            words[w] = w;
+        }
+        wordPads(line_addr, state.counter, words, zero_ctrs, pads,
+                 numWords_);
         for (unsigned w = 0; w < numWords_; ++w) {
             unsigned lsb = w * wordBits_;
             state.data.setField(lsb, wordBits_,
                                 plaintext.field(lsb, wordBits_) ^
-                                    wordPad(line_addr, state.counter,
-                                            w, 0));
+                                    pads[w]);
         }
         return makeWriteResult(before, state);
     }
 
+    // Pass 1: bump the counters of the modified words; pass 2: fetch
+    // their pads as one cipher batch and re-encrypt.
     unsigned counter_flips = 0;
+    unsigned mod_words[64] = {};
+    uint64_t mod_ctrs[64] = {};
+    unsigned n_mod = 0;
     for (unsigned w = 0; w < numWords_; ++w) {
         unsigned lsb = w * wordBits_;
         if (plaintext.field(lsb, wordBits_) ==
@@ -125,10 +169,18 @@ PerWordCounters::write(uint64_t line_addr, const CacheLine &plaintext,
         ctrs.value[w] = static_cast<uint16_t>(new_ctr);
         counter_flips += static_cast<unsigned>(
             __builtin_popcountll((old_ctr ^ new_ctr) & counterMax_));
+        mod_words[n_mod] = w;
+        mod_ctrs[n_mod] = new_ctr;
+        ++n_mod;
+    }
+    uint64_t pads[64];
+    wordPads(line_addr, state.counter, mod_words, mod_ctrs, pads,
+             n_mod);
+    for (unsigned i = 0; i < n_mod; ++i) {
+        unsigned lsb = mod_words[i] * wordBits_;
         state.data.setField(lsb, wordBits_,
                             plaintext.field(lsb, wordBits_) ^
-                                wordPad(line_addr, state.counter, w,
-                                        new_ctr));
+                                pads[i]);
     }
 
     WriteResult r = makeWriteResult(before, state);
@@ -145,12 +197,19 @@ PerWordCounters::read(uint64_t line_addr,
 {
     const WordCounters &ctrs = counters_[line_addr];
     CacheLine plain;
+    unsigned words[64];
+    uint64_t word_ctrs[64];
+    uint64_t pads[64];
+    for (unsigned w = 0; w < numWords_; ++w) {
+        words[w] = w;
+        word_ctrs[w] = ctrs.value[w];
+    }
+    wordPads(line_addr, state.counter, words, word_ctrs, pads,
+             numWords_);
     for (unsigned w = 0; w < numWords_; ++w) {
         unsigned lsb = w * wordBits_;
         plain.setField(lsb, wordBits_,
-                       state.data.field(lsb, wordBits_) ^
-                           wordPad(line_addr, state.counter, w,
-                                   ctrs.value[w]));
+                       state.data.field(lsb, wordBits_) ^ pads[w]);
     }
     return plain;
 }

@@ -69,6 +69,17 @@ class PerWordCounters : public EncryptionScheme
     uint64_t wordPad(uint64_t line_addr, uint64_t line_epoch,
                      unsigned word, uint64_t word_counter) const;
 
+    /**
+     * Pads for @p n words of a line in one cipher batch (a single
+     * padForBlocks() call; pads[i] is for word words[i] at counter
+     * word_ctrs[i]). The batched form matters here more than
+     * anywhere: a full-line operation needs one AES block per word —
+     * up to 64 of them.
+     */
+    void wordPads(uint64_t line_addr, uint64_t line_epoch,
+                  const unsigned *words, const uint64_t *word_ctrs,
+                  uint64_t *pads, unsigned n) const;
+
     /** The per-word counters live beside the line (modelled here as
      *  scheme-held state keyed by address; they are architectural
      *  metadata, reported via trackingBitsPerLine). */

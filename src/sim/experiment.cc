@@ -140,7 +140,9 @@ runExperiment(const BenchmarkProfile &profile,
         otp = makeAesOtpEngine(options.otpSeed);
     }
     std::unique_ptr<EncryptionScheme> scheme = factory(*otp);
-    return runExperiment(profile, *scheme, options);
+    ExperimentRow row = runExperiment(profile, *scheme, options);
+    row.aesBackend = otp->backendName();
+    return row;
 }
 
 ExperimentRow

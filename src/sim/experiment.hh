@@ -62,6 +62,15 @@ struct ExperimentRow
     std::string bench;
     std::string scheme;
 
+    /**
+     * Pad-generator cipher backend the cell ran on ("scalar",
+     * "ttable", "aesni", or "fast-hash"), so perf numbers are
+     * attributable. Populated by the factory-based runExperiment
+     * overloads (the sweep path); empty for borrowed-scheme runs,
+     * and omitted from the JSON row when empty.
+     */
+    std::string aesBackend;
+
     /** Average bits modified per write, percent of the 512 line bits. */
     double flipPct = 0.0;
 

@@ -159,6 +159,12 @@ experimentRowJson(const ExperimentRow &row)
        << jsonNumber(row.wearNonUniformity) << ','
        << "\"counter_cache_miss_rate\":"
        << jsonNumber(row.counterCacheMissRate);
+    // The backend field is appended only when the runner recorded
+    // one, so rows from borrowed-scheme runs keep the old format.
+    if (!row.aesBackend.empty()) {
+        os << ",\"aes_backend\":\"" << jsonEscape(row.aesBackend)
+           << '"';
+    }
     // Fault counters are appended only when the fault model ran, so
     // fault-disabled rows stay byte-identical to the pre-fault format.
     if (row.faultEnabled) {

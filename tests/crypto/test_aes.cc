@@ -8,6 +8,7 @@
 
 #include "common/rng.hh"
 #include "crypto/aes.hh"
+#include "crypto/aes_backend.hh"
 
 namespace deuce
 {
@@ -127,6 +128,143 @@ TEST(Aes128, EncryptIsDeterministic)
     Aes128 a(key), b(key);
     AesBlock pt = blockFromHex("6bc1bee22e409f96e93d7e117393172a");
     EXPECT_EQ(a.encrypt(pt), b.encrypt(pt));
+}
+
+/**
+ * Every backend is the same cipher: the per-backend tests run the
+ * FIPS-197 known answers and batch/single consistency against each
+ * implementation, skipping AES-NI cleanly on hosts without it.
+ */
+class AesBackendTest : public ::testing::TestWithParam<AesBackendKind>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (GetParam() == AesBackendKind::AesNi && !aesniAvailable()) {
+            GTEST_SKIP() << "AES-NI not compiled in or not reported "
+                            "by CPUID on this host";
+        }
+    }
+};
+
+TEST_P(AesBackendTest, Fips197AppendixB)
+{
+    Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"),
+               GetParam());
+    AesBlock pt = blockFromHex("3243f6a8885a308d313198a2e0370734");
+    AesBlock ct = blockFromHex("3925841d02dc09fbdc118597196a0b32");
+    EXPECT_EQ(aes.encrypt(pt), ct);
+    EXPECT_EQ(aes.decrypt(ct), pt);
+}
+
+TEST_P(AesBackendTest, Fips197AppendixC1)
+{
+    Aes128 aes(blockFromHex("000102030405060708090a0b0c0d0e0f"),
+               GetParam());
+    AesBlock pt = blockFromHex("00112233445566778899aabbccddeeff");
+    AesBlock ct = blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    EXPECT_EQ(aes.encrypt(pt), ct);
+    EXPECT_EQ(aes.decrypt(ct), pt);
+}
+
+TEST_P(AesBackendTest, ReportsItsOwnName)
+{
+    Aes128 aes(blockFromHex("000102030405060708090a0b0c0d0e0f"),
+               GetParam());
+    EXPECT_STREQ(aes.backendName(), aesBackendName(GetParam()));
+    EXPECT_EQ(aes.backendKind(), GetParam());
+}
+
+TEST_P(AesBackendTest, EncryptBlocksMatchesSingleBlockCalls)
+{
+    Rng rng(2024);
+    AesKey key;
+    for (unsigned i = 0; i < 16; ++i) {
+        key[i] = static_cast<uint8_t>(rng.next());
+    }
+    Aes128 aes(key, GetParam());
+    // Odd count exercises both the 4-wide pipeline and the remainder.
+    constexpr size_t kN = 11;
+    AesBlock in[kN], batched[kN];
+    for (AesBlock &b : in) {
+        for (unsigned i = 0; i < 16; ++i) {
+            b[i] = static_cast<uint8_t>(rng.next());
+        }
+    }
+    aes.encryptBlocks(in, batched, kN);
+    for (size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(batched[i], aes.encrypt(in[i])) << "block " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, AesBackendTest,
+    ::testing::Values(AesBackendKind::Scalar, AesBackendKind::TTable,
+                      AesBackendKind::AesNi),
+    [](const ::testing::TestParamInfo<AesBackendKind> &info) {
+        switch (info.param) {
+          case AesBackendKind::Scalar: return "Scalar";
+          case AesBackendKind::TTable: return "TTable";
+          default: return "AesNi";
+        }
+    });
+
+TEST(AesBackends, BackendsBitIdenticalOnRandomKeysAndBlocks)
+{
+    Rng rng(7777);
+    for (int trial = 0; trial < 100; ++trial) {
+        AesKey key;
+        AesBlock pt;
+        for (unsigned i = 0; i < 16; ++i) {
+            key[i] = static_cast<uint8_t>(rng.next());
+            pt[i] = static_cast<uint8_t>(rng.next());
+        }
+        Aes128 scalar(key, AesBackendKind::Scalar);
+        Aes128 ttable(key, AesBackendKind::TTable);
+        AesBlock ct = scalar.encrypt(pt);
+        EXPECT_EQ(ttable.encrypt(pt), ct) << "trial " << trial;
+        EXPECT_EQ(ttable.decrypt(ct), pt) << "trial " << trial;
+        if (aesniAvailable()) {
+            Aes128 aesni(key, AesBackendKind::AesNi);
+            EXPECT_EQ(aesni.encrypt(pt), ct) << "trial " << trial;
+            EXPECT_EQ(aesni.decrypt(ct), pt) << "trial " << trial;
+        }
+    }
+}
+
+TEST(AesBackends, ParseNamesRoundTrip)
+{
+    EXPECT_EQ(parseAesBackendName("auto"), AesBackendKind::Auto);
+    EXPECT_EQ(parseAesBackendName("scalar"), AesBackendKind::Scalar);
+    EXPECT_EQ(parseAesBackendName("ttable"), AesBackendKind::TTable);
+    EXPECT_EQ(parseAesBackendName("aesni"), AesBackendKind::AesNi);
+    EXPECT_EQ(parseAesBackendName("AESNI"), std::nullopt);
+    EXPECT_EQ(parseAesBackendName("bogus"), std::nullopt);
+    EXPECT_EQ(parseAesBackendName(""), std::nullopt);
+
+    for (AesBackendKind k :
+         {AesBackendKind::Auto, AesBackendKind::Scalar,
+          AesBackendKind::TTable, AesBackendKind::AesNi}) {
+        EXPECT_EQ(parseAesBackendName(aesBackendName(k)), k);
+    }
+}
+
+TEST(AesBackends, AutoResolvesToConcreteAvailableBackend)
+{
+    AesBackendKind resolved =
+        resolveAesBackend(AesBackendKind::Auto);
+    EXPECT_NE(resolved, AesBackendKind::Auto);
+    if (resolved == AesBackendKind::AesNi) {
+        EXPECT_TRUE(aesniAvailable());
+    }
+    // An unavailable explicit request degrades instead of failing.
+    AesBackendKind ni = resolveAesBackend(AesBackendKind::AesNi);
+    if (!aesniAvailable()) {
+        EXPECT_EQ(ni, AesBackendKind::TTable);
+    } else {
+        EXPECT_EQ(ni, AesBackendKind::AesNi);
+    }
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "common/cache_line.hh"
+#include "crypto/aes_backend.hh"
 #include "crypto/otp_engine.hh"
 
 namespace deuce
@@ -132,6 +133,114 @@ TEST(OtpEngines, BlockIndexOutOfRangePanics)
     auto otp = makeAesOtpEngine(1);
     EXPECT_ANY_THROW(otp->padForBlock(0, 0, 4));
 }
+
+TEST(OtpEngines, DefaultPadForBlocksMatchesSingles)
+{
+    // FastOtpEngine does not override padForBlocks, so this pins the
+    // base-class fallback to the single-pad path.
+    FastOtpEngine fast(77);
+    PadRequest reqs[6] = {{0, 0}, {0, 3}, {9, 1}, {9, 2},
+                          {12345, 0}, {12345, 3}};
+    AesBlock pads[6];
+    fast.padForBlocks(42, reqs, pads, 6);
+    for (unsigned i = 0; i < 6; ++i) {
+        EXPECT_EQ(pads[i], fast.padForBlock(42, reqs[i].counter,
+                                            reqs[i].block))
+            << "request " << i;
+    }
+}
+
+/** The batched pad paths, exercised per cipher backend. */
+class OtpBackendTest : public ::testing::TestWithParam<AesBackendKind>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (GetParam() == AesBackendKind::AesNi && !aesniAvailable()) {
+            GTEST_SKIP() << "AES-NI not available on this host";
+        }
+    }
+
+    AesOtpEngine
+    make(uint8_t seed = 0x5e) const
+    {
+        AesKey key{};
+        for (unsigned i = 0; i < 16; ++i) {
+            key[i] = static_cast<uint8_t>(seed + 31 * i);
+        }
+        return AesOtpEngine(key, GetParam());
+    }
+};
+
+TEST_P(OtpBackendTest, PadForLineMatchesFourPadForBlocks)
+{
+    AesOtpEngine otp = make();
+    for (uint64_t ctr : {uint64_t{0}, uint64_t{17}, uint64_t{1} << 40}) {
+        CacheLine line = otp.padForLine(321, ctr);
+        for (unsigned block = 0; block < 4; ++block) {
+            AesBlock expect = otp.padForBlock(321, ctr, block);
+            for (unsigned i = 0; i < 16; ++i) {
+                EXPECT_EQ(line.byte(block * 16 + i), expect[i])
+                    << "ctr " << ctr << " block " << block;
+            }
+        }
+    }
+}
+
+TEST_P(OtpBackendTest, BatchedPadsMatchSingles)
+{
+    AesOtpEngine otp = make();
+    // Mixed counters and blocks, long enough to cross the engine's
+    // internal chunking and the cipher's 4-wide pipeline.
+    constexpr unsigned kN = 37;
+    PadRequest reqs[kN];
+    AesBlock pads[kN];
+    for (unsigned i = 0; i < kN; ++i) {
+        reqs[i] = PadRequest{uint64_t{1} << (i % 50), i % 4};
+    }
+    otp.padForBlocks(99, reqs, pads, kN);
+    for (unsigned i = 0; i < kN; ++i) {
+        EXPECT_EQ(pads[i], otp.padForBlock(99, reqs[i].counter,
+                                           reqs[i].block))
+            << "request " << i;
+    }
+}
+
+TEST_P(OtpBackendTest, PadsIdenticalAcrossBackends)
+{
+    AesOtpEngine otp = make();
+    AesKey key{};
+    for (unsigned i = 0; i < 16; ++i) {
+        key[i] = static_cast<uint8_t>(0x5e + 31 * i);
+    }
+    AesOtpEngine scalar(key, AesBackendKind::Scalar);
+    for (uint64_t addr : {uint64_t{0}, uint64_t{0xabcdef}}) {
+        for (uint64_t ctr = 0; ctr < 8; ++ctr) {
+            EXPECT_EQ(otp.padForLine(addr, ctr),
+                      scalar.padForLine(addr, ctr))
+                << "addr " << addr << " ctr " << ctr;
+        }
+    }
+}
+
+TEST_P(OtpBackendTest, ReportsBackendName)
+{
+    AesOtpEngine otp = make();
+    EXPECT_STREQ(otp.backendName(), aesBackendName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, OtpBackendTest,
+    ::testing::Values(AesBackendKind::Scalar, AesBackendKind::TTable,
+                      AesBackendKind::AesNi),
+    [](const ::testing::TestParamInfo<AesBackendKind> &info) {
+        switch (info.param) {
+          case AesBackendKind::Scalar: return "Scalar";
+          case AesBackendKind::TTable: return "TTable";
+          default: return "AesNi";
+        }
+    });
 
 } // namespace
 } // namespace deuce
