@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/trace.hh"
+
 namespace deuce
 {
 namespace benchutil
@@ -16,6 +18,11 @@ namespace benchutil
 ExperimentOptions
 standardOptions()
 {
+    // Every bench binary funnels through here, so the DEUCE_TRACE
+    // env knob covers all of them (the sweep engine itself honours
+    // DEUCE_PROGRESS). Re-invocation just re-applies the same path.
+    obs::traceConfigureFromEnv();
+
     ExperimentOptions opt;
     opt.writebacks = 60000;
     opt.fastOtp = false; // figures use the real AES engine

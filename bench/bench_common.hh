@@ -8,7 +8,9 @@
  * grids through the sweep engine (sim/sweep.hh), so cells run in
  * parallel across DEUCE_BENCH_THREADS workers. DEUCE_BENCH_WB
  * changes the per-cell writeback budget (default 60000);
- * DEUCE_BENCH_JSON appends every cell to a JSON Lines file.
+ * DEUCE_BENCH_JSON appends every cell to a JSON Lines file;
+ * DEUCE_TRACE=<path> writes a Chrome trace of the figure runs and
+ * DEUCE_PROGRESS=1 enables stderr heartbeat lines (obs/).
  */
 
 #ifndef DEUCE_BENCH_BENCH_COMMON_HH

@@ -24,9 +24,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "bench_common.hh"
@@ -35,6 +37,8 @@
 #include "crypto/otp_engine.hh"
 #include "enc/scheme_factory.hh"
 #include "fault/cell_fault_map.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
 #include "sim/memory_system.hh"
 #include "trace/synthetic.hh"
 
@@ -147,6 +151,16 @@ regenerate()
     constexpr size_t nschemes = std::size(kSchemes);
     constexpr size_t necp = std::size(kEcpSizes);
 
+    // These cells run to end-of-life and don't go through runSweep,
+    // so the heartbeat reporter is wired explicitly (DEUCE_PROGRESS).
+    obs::traceConfigureFromEnv();
+    std::unique_ptr<obs::ProgressReporter> reporter;
+    if (auto popt = obs::progressOptionsFromEnv()) {
+        popt->label = "fault-lifetime";
+        reporter = std::make_unique<obs::ProgressReporter>(
+            necp * nschemes, ThreadPool::defaultThreadCount(), *popt);
+    }
+
     // One task per (ECP, scheme) cell, each writing its pre-assigned
     // slot: bit-identical output at any DEUCE_BENCH_THREADS.
     std::vector<std::vector<ExperimentRow>> grid(
@@ -154,9 +168,28 @@ regenerate()
     ThreadPool::parallelFor(necp * nschemes, [&](uint64_t cell) {
         size_t e = cell / nschemes;
         size_t s = cell % nschemes;
+
+        std::string label;
+        if (reporter || obs::traceEnabled()) {
+            label = std::string(kSchemes[s].label) + "-ecp" +
+                    std::to_string(kEcpSizes[e]);
+        }
+        obs::TraceScope span("lifetime.cell", label);
+        if (reporter) {
+            reporter->cellStarted(label);
+        }
+        auto start = std::chrono::steady_clock::now();
+
         grid[e][s] = runToFirstUncorrectable(profile, kSchemes[s],
                                              kEcpSizes[e]);
+
+        if (reporter) {
+            std::chrono::duration<double> took =
+                std::chrono::steady_clock::now() - start;
+            reporter->cellFinished(label, took.count());
+        }
     });
+    reporter.reset();
 
     std::vector<std::string> headers = {"ECP entries"};
     for (const SchemeVariant &v : kSchemes) {

@@ -31,6 +31,15 @@
  *   --csv                   machine-readable one-line-per-cell output
  *   --json <path>           write every cell as JSON Lines to <path>
  *   --stats                 append a gem5-style stats dump per cell
+ *   --stats-json            dump per-cell stats (with per-bank and
+ *                           histogram detail) as JSON instead of text
+ *   --trace-out <path>      write a Chrome trace of the run to <path>
+ *                           (open in chrome://tracing or Perfetto)
+ *   --trace-level <l>       phase (default) or verbose span detail
+ *   --progress              heartbeat progress lines on stderr
+ *
+ * DEUCE_TRACE=<path> and DEUCE_PROGRESS=1 are the environment
+ * equivalents of --trace-out / --progress for wrapped invocations.
  */
 
 #include <cstdlib>
@@ -41,6 +50,7 @@
 #include <vector>
 
 #include "crypto/aes_backend.hh"
+#include "obs/trace.hh"
 #include "sim/experiment.hh"
 #include "enc/scheme_factory.hh"
 #include "sim/stats_dump.hh"
@@ -63,6 +73,10 @@ struct CliOptions
     std::string jsonPath;
     bool csv = false;
     bool stats = false;
+    bool statsJson = false;
+    std::string traceOut;
+    obs::TraceLevel traceLevel = obs::TraceLevel::Phase;
+    bool progress = false;
 };
 
 [[noreturn]] void
@@ -74,7 +88,9 @@ usage(const char *argv0)
                  " [--fast-otp] [--aes-backend auto|scalar|ttable|aesni]"
                  " [--seed <n>] [--mlp <x>] [--threads <n>]"
                  " [--fault] [--ecp <n>] [--endurance <flips>]"
-                 " [--csv] [--json <path>] [--stats]\n";
+                 " [--csv] [--json <path>] [--stats] [--stats-json]"
+                 " [--trace-out <path>] [--trace-level phase|verbose]"
+                 " [--progress]\n";
     std::exit(2);
 }
 
@@ -170,6 +186,22 @@ parseArgs(int argc, char **argv)
             cli.jsonPath = value();
         } else if (arg == "--stats") {
             cli.stats = true;
+        } else if (arg == "--stats-json") {
+            cli.stats = true;
+            cli.statsJson = true;
+        } else if (arg == "--trace-out") {
+            cli.traceOut = value();
+        } else if (arg == "--trace-level") {
+            std::string level = value();
+            if (level == "phase") {
+                cli.traceLevel = obs::TraceLevel::Phase;
+            } else if (level == "verbose") {
+                cli.traceLevel = obs::TraceLevel::Verbose;
+            } else {
+                usage(argv[0]);
+            }
+        } else if (arg == "--progress") {
+            cli.progress = true;
         } else {
             usage(argv[0]);
         }
@@ -203,7 +235,7 @@ printCsvRow(const ExperimentRow &r)
  */
 void
 dumpCellStats(const BenchmarkProfile &p, const std::string &scheme_id,
-              const ExperimentOptions &opt)
+              const ExperimentOptions &opt, bool json)
 {
     std::unique_ptr<OtpEngine> otp;
     if (opt.fastOtp) {
@@ -225,7 +257,12 @@ dumpCellStats(const BenchmarkProfile &p, const std::string &scheme_id,
             memory.write(ev.lineAddr, ev.data);
         }
     }
-    dumpStats(std::cout, memory, "deuce." + p.name);
+    if (json) {
+        dumpStatsJson(std::cout, memory, "deuce." + p.name);
+        std::cout << '\n';
+    } else {
+        dumpStats(std::cout, memory, "deuce." + p.name);
+    }
 }
 
 } // namespace
@@ -234,6 +271,12 @@ int
 main(int argc, char **argv)
 {
     CliOptions cli = parseArgs(argc, argv);
+
+    if (!cli.traceOut.empty()) {
+        obs::traceConfigure(cli.traceOut, cli.traceLevel);
+    } else {
+        obs::traceConfigureFromEnv();
+    }
 
     SweepSpec spec;
     if (cli.bench == "all") {
@@ -246,6 +289,7 @@ main(int argc, char **argv)
     }
     spec.options = cli.experiment;
     spec.threads = cli.threads;
+    spec.progress.enabled = cli.progress;
     // The CLI takes one explicit seed: every cell uses it verbatim so
     // --seed reproduces the exact pads of older single-cell runs.
     spec.deriveCellSeeds = false;
@@ -255,9 +299,15 @@ main(int argc, char **argv)
     if (cli.stats) {
         for (const std::string &id : cli.schemes) {
             for (const BenchmarkProfile &p : spec.benchmarks) {
-                dumpCellStats(p, id, cli.experiment);
+                dumpCellStats(p, id, cli.experiment, cli.statsJson);
             }
         }
+    }
+
+    if (!cli.traceOut.empty()) {
+        // Flush eagerly so a crash in the reporting below cannot lose
+        // the trace (the atexit hook would also write it).
+        obs::traceWriteFile();
     }
 
     if (!cli.jsonPath.empty()) {

@@ -98,6 +98,74 @@ if ! diff \
 fi
 echo "tier1: AES backend equivalence OK (scalar == auto)"
 
+# Observability smoke: a small multi-threaded sweep with span tracing
+# and progress reporting on. The Chrome trace must be valid JSON and
+# every begin event must have a matching end on its thread — an
+# unbalanced trace means a span leaked across the sweep teardown.
+"$build/examples/simulate" \
+    --bench mcf --scheme encr,encr-fnw,deuce,dyndeuce \
+    --fast-otp --writebacks 2000 --threads 4 \
+    --trace-out "$build/tier1_trace.json" --progress \
+    > /dev/null 2> "$build/tier1_progress.log"
+python3 - "$build/tier1_trace.json" <<'PY'
+import collections
+import json
+import sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+depth = collections.Counter()
+for ev in events:
+    assert ev["ph"] in ("B", "E"), ev
+    depth[ev["tid"]] += 1 if ev["ph"] == "B" else -1
+    assert depth[ev["tid"]] >= 0, f"end before begin on tid {ev['tid']}"
+assert all(d == 0 for d in depth.values()), f"unbalanced spans: {depth}"
+names = {ev["name"] for ev in events}
+assert "sweep.cell" in names, names
+print(f"tier1: trace OK ({len(events)} events, "
+      f"{len(depth)} threads, spans balanced)")
+PY
+grep -q 'cells' "$build/tier1_progress.log" || {
+    echo "tier1: FAIL — no progress heartbeat on stderr" >&2
+    exit 1
+}
+echo "tier1: progress heartbeat OK"
+
+# Trace overhead cell: the same sweep with tracing compiled in but
+# disabled vs enabled, appended as BENCH_MICRO rows. Informational
+# only — never a pass/fail gate (wall clock varies with the host).
+overhead_run() {
+    local start end
+    start=$(date +%s%N)
+    "$build/examples/simulate" \
+        --bench mcf --scheme deuce \
+        --fast-otp --writebacks 20000 --threads 2 \
+        "$@" > /dev/null
+    end=$(date +%s%N)
+    echo $(( end - start ))
+}
+off_ns=$(overhead_run)
+on_ns=$(overhead_run --trace-out "$build/tier1_trace_on.json")
+python3 - "$off_ns" "$on_ns" "$build/bench_results.json" <<'PY'
+import json
+import sys
+
+off_ns, on_ns = int(sys.argv[1]), int(sys.argv[2])
+with open(sys.argv[3], "a") as out:
+    for name, ns in (("trace_off", off_ns), ("trace_on", on_ns)):
+        out.write(json.dumps({
+            "bench": "BENCH_MICRO",
+            "scheme": f"BM_SweepOverhead/{name}",
+            "real_time_ns": ns,
+            "cpu_time_ns": None,
+            "iterations": 1,
+        }) + "\n")
+pct = 100.0 * (on_ns - off_ns) / off_ns
+print(f"tier1: trace overhead cells appended "
+      f"(on vs off: {pct:+.1f}%, informational)")
+PY
+
 if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
     tsan="$build-tsan"
     cmake -B "$tsan" -S "$repo" \

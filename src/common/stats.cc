@@ -30,6 +30,20 @@ RunningStat::add(double x)
 }
 
 double
+RunningStat::min() const
+{
+    deuce_assert(count_ > 0);
+    return min_;
+}
+
+double
+RunningStat::max() const
+{
+    deuce_assert(count_ > 0);
+    return max_;
+}
+
+double
 RunningStat::variance() const
 {
     if (count_ < 2) {

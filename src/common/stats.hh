@@ -24,6 +24,9 @@ class RunningStat
     /** Number of samples added. */
     uint64_t count() const { return count_; }
 
+    /** True when no samples have been added. */
+    bool empty() const { return count_ == 0; }
+
     /** Arithmetic mean of the samples (0 when empty). */
     double mean() const { return count_ ? mean_ : 0.0; }
 
@@ -36,8 +39,16 @@ class RunningStat
     /** Sample standard deviation. */
     double stddev() const;
 
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
+    /**
+     * Smallest sample. Panics on the empty accumulator: "no samples"
+     * is not a zero sample — callers check empty() first, so an
+     * unguarded extremum of nothing fails loudly instead of feeding
+     * a silent 0.0 into an aggregate.
+     */
+    double min() const;
+
+    /** Largest sample; panics on the empty accumulator (see min()). */
+    double max() const;
 
     /** Reset to the empty state. */
     void clear() { *this = RunningStat(); }

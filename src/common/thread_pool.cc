@@ -92,6 +92,7 @@ ThreadPool::tryAcquire(unsigned self, std::function<void()> &out)
         if (!victim.tasks.empty()) {
             out = std::move(victim.tasks.front());
             victim.tasks.pop_front();
+            steals_.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
     }
@@ -107,6 +108,7 @@ ThreadPool::runTask(std::function<void()> &task)
     } catch (...) {
         err = std::current_exception();
     }
+    tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
     bool done;
     {
         std::lock_guard<std::mutex> lk(stateMu_);

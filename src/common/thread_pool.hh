@@ -20,6 +20,7 @@
 #ifndef DEUCE_COMMON_THREAD_POOL_HH
 #define DEUCE_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -60,6 +61,22 @@ class ThreadPool
     unsigned threadCount() const
     {
         return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Tasks run to completion so far. Plain counters the obs stat
+     * registry reads (obs/registry.hh registerStats); relaxed — an
+     * in-flight dump may be one task behind.
+     */
+    uint64_t tasksExecuted() const
+    {
+        return tasksExecuted_.load(std::memory_order_relaxed);
+    }
+
+    /** Tasks a worker took from another worker's deque. */
+    uint64_t steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
     }
 
     /**
@@ -104,6 +121,9 @@ class ThreadPool
     std::exception_ptr firstError_;
 
     uint64_t nextQueue_ = 0; ///< round-robin submission cursor
+
+    std::atomic<uint64_t> tasksExecuted_{0};
+    std::atomic<uint64_t> steals_{0};
 };
 
 } // namespace deuce

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "common/logging.hh"
 
@@ -57,15 +58,18 @@ envBackend()
 void
 warnAesniUnavailable()
 {
-    static std::atomic<bool> warned{false};
-    if (!warned.exchange(true)) {
+    // call_once (rather than an atomic exchange) gives the losing
+    // threads a happens-before edge on the winner's fprintf: no
+    // thread can proceed while the warning is mid-write.
+    static std::once_flag warned;
+    std::call_once(warned, [] {
         std::fprintf(stderr,
                      "deuce: aesni backend requested but %s; "
                      "falling back to ttable (results are "
                      "bit-identical)\n",
                      aesniCompiled() ? "CPU lacks AES-NI"
                                      : "not compiled in");
-    }
+    });
 }
 
 } // namespace

@@ -17,14 +17,21 @@
 #ifndef DEUCE_CRYPTO_OTP_ENGINE_HH
 #define DEUCE_CRYPTO_OTP_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/cache_line.hh"
 #include "crypto/aes.hh"
 
 namespace deuce
 {
+
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
 
 /** One entry of a batched pad request: (counter, block) for a line. */
 struct PadRequest
@@ -73,6 +80,42 @@ class OtpEngine
      * does not report one).
      */
     virtual const char *backendName() const { return ""; }
+
+    /** Total 128-bit pads generated through this engine. */
+    uint64_t padsGenerated() const
+    {
+        return pads_.load(std::memory_order_relaxed);
+    }
+
+    /** padForBlocks() batches issued (batch size may vary). */
+    uint64_t padBatches() const
+    {
+        return batches_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Register the engine's pad counters under @p prefix (dotted,
+     * e.g. "system.otp"). The engine must outlive every dump.
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
+
+  protected:
+    /** Concrete engines charge each generated pad here. */
+    void notePads(unsigned n) const
+    {
+        pads_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Charge one batched pipeline invocation. */
+    void noteBatch() const
+    {
+        batches_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    mutable std::atomic<uint64_t> pads_{0};
+    mutable std::atomic<uint64_t> batches_{0};
 };
 
 /** OtpEngine backed by the real AES-128 cipher. */

@@ -7,8 +7,23 @@
 
 #include <bit>
 
+#include "obs/registry.hh"
+
 namespace deuce
 {
+
+void
+EncryptionScheme::registerStats(obs::StatRegistry &reg,
+                                const std::string &prefix) const
+{
+    // Byte-compatible with the historical hand-written stats_dump
+    // line for this counter (name, description, integer formatting).
+    reg.addIntValue(prefix + ".trackingBits",
+                    "per-line tracking-bit overhead", [this] {
+                        return static_cast<uint64_t>(
+                            trackingBitsPerLine());
+                    });
+}
 
 WriteResult
 makeWriteResult(const StoredLineState &before,

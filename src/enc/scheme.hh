@@ -23,6 +23,11 @@
 namespace deuce
 {
 
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
 /** Architectural width of the per-line write counter (Table 1). */
 constexpr unsigned kLineCounterBits = 28;
 
@@ -126,6 +131,15 @@ class EncryptionScheme
     /** Decrypt the line's current contents. */
     virtual CacheLine read(uint64_t line_addr,
                            const StoredLineState &state) const = 0;
+
+    /**
+     * Register the scheme's stats under @p prefix (dotted, e.g.
+     * "system.pcm.scheme"). The base registers the tracking-bit
+     * overhead; schemes with richer internal counters override and
+     * extend. The scheme must outlive every dump of @p reg.
+     */
+    virtual void registerStats(obs::StatRegistry &reg,
+                               const std::string &prefix) const;
 };
 
 } // namespace deuce

@@ -5,6 +5,8 @@
 
 #include "fault/fault_domain.hh"
 
+#include "obs/registry.hh"
+
 namespace deuce
 {
 
@@ -12,6 +14,35 @@ FaultDomain::FaultDomain(const FaultConfig &cfg)
     : cfg_(cfg), map_(cfg), ecp_(cfg.ecpEntries),
       decom_(cfg.spareLineBase)
 {}
+
+void
+FaultDomain::registerStats(obs::StatRegistry &reg,
+                           const std::string &prefix) const
+{
+    const FaultStats &s = stats_;
+    reg.addIntValue(prefix + ".writes",
+                    "line writes observed by the fault domain",
+                    [&s] { return s.writes; });
+    reg.addIntValue(prefix + ".stuckCells",
+                    "cells currently stuck-at across live lines",
+                    [&s] { return s.stuckCells; });
+    reg.addIntValue(prefix + ".correctedWrites",
+                    "writes that needed at least one new ECP entry",
+                    [&s] { return s.correctedWrites; });
+    reg.addIntValue(prefix + ".correctedCells",
+                    "ECP entries allocated in total",
+                    [&s] { return s.correctedCells; });
+    reg.addIntValue(prefix + ".uncorrectableErrors",
+                    "writes that exceeded ECP capacity",
+                    [&s] { return s.uncorrectableErrors; });
+    reg.addIntValue(prefix + ".decommissionedLines",
+                    "lines retired into the spare pool",
+                    [&s] { return s.decommissionedLines; });
+    reg.addIntValue(prefix + ".firstUncorrectableWrite",
+                    "1-based index of the first uncorrectable write "
+                    "(0 = none)",
+                    [&s] { return s.firstUncorrectableWrite; });
+}
 
 FaultDomain::Outcome
 FaultDomain::onWrite(uint64_t logical, const CacheLine &flips,

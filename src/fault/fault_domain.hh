@@ -22,6 +22,7 @@
 #define DEUCE_FAULT_FAULT_DOMAIN_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/cache_line.hh"
 #include "fault/cell_fault_map.hh"
@@ -31,6 +32,11 @@
 
 namespace deuce
 {
+
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
 
 /** End-of-life fault pipeline for one memory system. */
 class FaultDomain
@@ -61,6 +67,14 @@ class FaultDomain
                     const CacheLine &image);
 
     const FaultStats &stats() const { return stats_; }
+
+    /**
+     * Register the running fault counters under @p prefix (e.g.
+     * "system.pcm.fault"). The domain must outlive every dump.
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
+
     const FaultConfig &config() const { return cfg_; }
     const CellFaultMap &faultMap() const { return map_; }
     const EcpCorrector &ecp() const { return ecp_; }

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * ProgressReporter implementation.
+ */
+
+#include "obs/progress.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+namespace obs
+{
+
+std::optional<ProgressOptions>
+progressOptionsFromEnv()
+{
+    const char *env = std::getenv("DEUCE_PROGRESS");
+    if (env == nullptr || *env == '\0' ||
+        std::string_view(env) == "0") {
+        return std::nullopt;
+    }
+    ProgressOptions opts;
+    opts.enabled = true;
+    if (std::string_view(env) != "1") {
+        opts.jsonlPath = env;
+    }
+    return opts;
+}
+
+ProgressReporter::ProgressReporter(uint64_t total, unsigned workers,
+                                   ProgressOptions options)
+    : opts_(std::move(options)), total_(total),
+      workers_(std::max(workers, 1u)),
+      start_(std::chrono::steady_clock::now())
+{
+    deuce_assert(opts_.enabled);
+    thread_ = std::thread([this] { heartbeatLoop(); });
+}
+
+ProgressReporter::~ProgressReporter()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    emit(snapshot(), "summary");
+}
+
+void
+ProgressReporter::cellStarted(const std::string &label)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    running_.push_back(label);
+}
+
+void
+ProgressReporter::cellFinished(const std::string &label,
+                               double seconds)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++done_;
+    durations_.add(seconds);
+    auto it = std::find(running_.begin(), running_.end(), label);
+    if (it != running_.end()) {
+        running_.erase(it);
+    }
+}
+
+ProgressSnapshot
+ProgressReporter::snapshotLocked() const
+{
+    ProgressSnapshot snap;
+    snap.done = done_;
+    snap.total = total_;
+    snap.elapsedSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    snap.running = running_;
+    // The empty accumulator has no min/mean to speak of — emptiness
+    // is explicit (RunningStat::empty()), never a fake zero sample.
+    if (!durations_.empty() && total_ >= done_) {
+        snap.meanCellSeconds = durations_.mean();
+        uint64_t remaining = total_ - done_;
+        snap.etaSeconds = snap.meanCellSeconds *
+                          static_cast<double>(remaining) /
+                          static_cast<double>(workers_);
+    }
+    return snap;
+}
+
+ProgressSnapshot
+ProgressReporter::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return snapshotLocked();
+}
+
+uint64_t
+ProgressReporter::heartbeats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return heartbeats_;
+}
+
+void
+ProgressReporter::emit(const ProgressSnapshot &snap, const char *type)
+{
+    double pct = snap.total > 0
+                     ? 100.0 * static_cast<double>(snap.done) /
+                           static_cast<double>(snap.total)
+                     : 0.0;
+
+    // Human heartbeat on stderr. One line per tick (not \r-rewritten)
+    // so redirected logs of long runs stay readable.
+    std::string current;
+    if (!snap.running.empty()) {
+        current = " | " + snap.running.front();
+        if (snap.running.size() > 1) {
+            current +=
+                " +" + std::to_string(snap.running.size() - 1);
+        }
+    }
+    if (snap.etaSeconds >= 0.0) {
+        std::fprintf(stderr,
+                     "[%s] %llu/%llu cells (%.1f%%) elapsed %.1fs "
+                     "eta %.1fs%s\n",
+                     opts_.label.c_str(),
+                     static_cast<unsigned long long>(snap.done),
+                     static_cast<unsigned long long>(snap.total), pct,
+                     snap.elapsedSeconds, snap.etaSeconds,
+                     current.c_str());
+    } else {
+        std::fprintf(stderr,
+                     "[%s] %llu/%llu cells (%.1f%%) elapsed %.1fs "
+                     "eta unknown%s\n",
+                     opts_.label.c_str(),
+                     static_cast<unsigned long long>(snap.done),
+                     static_cast<unsigned long long>(snap.total), pct,
+                     snap.elapsedSeconds, current.c_str());
+    }
+
+    if (opts_.jsonlPath.empty()) {
+        return;
+    }
+    std::ofstream os(opts_.jsonlPath, std::ios::app);
+    if (!os) {
+        return;
+    }
+    os << "{\"type\":\"" << type << "\",\"label\":\"" << opts_.label
+       << "\",\"done\":" << snap.done << ",\"total\":" << snap.total
+       << ",\"elapsed_s\":" << snap.elapsedSeconds
+       << ",\"eta_s\":" << snap.etaSeconds
+       << ",\"mean_cell_s\":" << snap.meanCellSeconds
+       << ",\"running\":[";
+    for (size_t i = 0; i < snap.running.size(); ++i) {
+        if (i > 0) {
+            os << ',';
+        }
+        os << '"' << snap.running[i] << '"';
+    }
+    os << "]}\n";
+}
+
+void
+ProgressReporter::heartbeatLoop()
+{
+    auto interval = std::chrono::duration<double>(
+        std::max(opts_.intervalSeconds, 0.05));
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+        if (cv_.wait_for(lk, interval, [this] { return stop_; })) {
+            return;
+        }
+        ProgressSnapshot snap = snapshotLocked();
+        ++heartbeats_;
+        lk.unlock();
+        emit(snap, "progress");
+        lk.lock();
+    }
+}
+
+} // namespace obs
+} // namespace deuce

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Statistic primitive implementations.
+ */
+
+#include "obs/stat.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+namespace obs
+{
+
+namespace detail
+{
+
+namespace
+{
+
+// The exact layout sim/stats_dump.cc has used since the first dump:
+// left-aligned name, right-aligned value, '#'-prefixed description.
+constexpr int kNameWidth = 44;
+constexpr int kValueWidth = 16;
+
+} // namespace
+
+void
+statLine(std::ostream &os, const std::string &name, double value,
+         const std::string &desc)
+{
+    os << std::left << std::setw(kNameWidth) << name << std::right
+       << std::setw(kValueWidth) << value << "  # " << desc << '\n';
+}
+
+void
+statLine(std::ostream &os, const std::string &name, uint64_t value,
+         const std::string &desc)
+{
+    os << std::left << std::setw(kNameWidth) << name << std::right
+       << std::setw(kValueWidth) << value << "  # " << desc << '\n';
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    // An integral double prints without a decimal point, which JSON
+    // parses as an int — convenient for counters surfaced as doubles.
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    return os.str();
+}
+
+std::string
+jsonNumber(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace detail
+
+Stat::Stat(std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    deuce_assert(!name_.empty());
+}
+
+Stat &
+Stat::visibleWhen(std::function<bool()> pred)
+{
+    visible_ = std::move(pred);
+    return *this;
+}
+
+bool
+Stat::visible() const
+{
+    return !visible_ || visible_();
+}
+
+Scalar::Scalar(std::string name, std::string desc, ValueKind kind)
+    : Stat(std::move(name), std::move(desc)), kind_(kind)
+{
+}
+
+Scalar::Scalar(std::string name, std::string desc,
+               std::function<double()> source, ValueKind kind)
+    : Stat(std::move(name), std::move(desc)),
+      source_(std::move(source)), kind_(kind)
+{
+}
+
+Scalar &
+Scalar::operator+=(double d)
+{
+    deuce_assert(!source_);
+    value_ += d;
+    return *this;
+}
+
+Scalar &
+Scalar::operator++()
+{
+    return *this += 1.0;
+}
+
+void
+Scalar::set(double v)
+{
+    deuce_assert(!source_);
+    value_ = v;
+}
+
+void
+Scalar::dumpText(std::ostream &os) const
+{
+    if (kind_ == ValueKind::Int) {
+        detail::statLine(os, name(),
+                         static_cast<uint64_t>(value()), desc());
+    } else {
+        detail::statLine(os, name(), value(), desc());
+    }
+}
+
+std::string
+Scalar::jsonValue() const
+{
+    if (kind_ == ValueKind::Int) {
+        return detail::jsonNumber(static_cast<uint64_t>(value()));
+    }
+    return detail::jsonNumber(value());
+}
+
+Formula::Formula(std::string name, std::string desc,
+                 std::function<double()> fn)
+    : Stat(std::move(name), std::move(desc)), fn_(std::move(fn))
+{
+    deuce_assert(fn_ != nullptr);
+}
+
+void
+Formula::dumpText(std::ostream &os) const
+{
+    detail::statLine(os, name(), value(), desc());
+}
+
+std::string
+Formula::jsonValue() const
+{
+    return detail::jsonNumber(value());
+}
+
+void
+Log2Histogram::add(double x)
+{
+    stat_.add(x);
+    unsigned bucket = 0;
+    if (x >= 1.0) {
+        bucket = 1 + static_cast<unsigned>(std::floor(std::log2(x)));
+    }
+    if (bucket >= buckets_.size()) {
+        buckets_.resize(bucket + 1, 0);
+    }
+    ++buckets_[bucket];
+}
+
+uint64_t
+Log2Histogram::bucketCount(unsigned i) const
+{
+    return i < buckets_.size() ? buckets_[i] : 0;
+}
+
+double
+Log2Histogram::bucketLo(unsigned i)
+{
+    return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+double
+Log2Histogram::bucketHi(unsigned i)
+{
+    return std::ldexp(1.0, static_cast<int>(i));
+}
+
+double
+Log2Histogram::percentile(double q) const
+{
+    deuce_assert(q >= 0.0 && q <= 1.0);
+    if (empty()) {
+        return 0.0;
+    }
+    // Index of the target sample in sorted order, then linear
+    // interpolation inside the bucket that contains it.
+    double target = q * static_cast<double>(count());
+    double seen = 0.0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        double c = static_cast<double>(buckets_[i]);
+        if (c == 0.0) {
+            continue;
+        }
+        if (seen + c >= target) {
+            double frac = c > 0.0 ? (target - seen) / c : 0.0;
+            double lo = std::max(bucketLo(i), min());
+            double hi = std::min(bucketHi(i), max());
+            return lo + frac * (hi - lo);
+        }
+        seen += c;
+    }
+    return max();
+}
+
+void
+Log2Histogram::clear()
+{
+    buckets_.clear();
+    stat_.clear();
+}
+
+Histogram::Histogram(std::string name, std::string desc)
+    : Stat(std::move(name), std::move(desc))
+{
+}
+
+Histogram::Histogram(std::string name, std::string desc,
+                     const Log2Histogram &external)
+    : Stat(std::move(name), std::move(desc)), external_(&external)
+{
+}
+
+void
+Histogram::add(double x)
+{
+    deuce_assert(external_ == nullptr);
+    owned_.add(x);
+}
+
+void
+Histogram::dumpText(std::ostream &os) const
+{
+    const Log2Histogram &h = data();
+    detail::statLine(os, name() + ".count", h.count(),
+                     desc() + " (samples)");
+    detail::statLine(os, name() + ".mean", h.mean(),
+                     desc() + " (mean)");
+    if (!h.empty()) {
+        detail::statLine(os, name() + ".min", h.min(),
+                         desc() + " (min)");
+        detail::statLine(os, name() + ".max", h.max(),
+                         desc() + " (max)");
+        detail::statLine(os, name() + ".p50", h.percentile(0.50),
+                         desc() + " (median)");
+        detail::statLine(os, name() + ".p95", h.percentile(0.95),
+                         desc() + " (95th percentile)");
+        detail::statLine(os, name() + ".p99", h.percentile(0.99),
+                         desc() + " (99th percentile)");
+    }
+}
+
+std::string
+Histogram::jsonValue() const
+{
+    const Log2Histogram &h = data();
+    std::ostringstream os;
+    os << "{\"count\":" << detail::jsonNumber(h.count())
+       << ",\"mean\":" << detail::jsonNumber(h.mean());
+    if (!h.empty()) {
+        os << ",\"min\":" << detail::jsonNumber(h.min())
+           << ",\"max\":" << detail::jsonNumber(h.max())
+           << ",\"p50\":" << detail::jsonNumber(h.percentile(0.50))
+           << ",\"p95\":" << detail::jsonNumber(h.percentile(0.95))
+           << ",\"p99\":" << detail::jsonNumber(h.percentile(0.99));
+        os << ",\"buckets\":[";
+        bool first = true;
+        for (unsigned i = 0; i < h.numBuckets(); ++i) {
+            if (h.bucketCount(i) == 0) {
+                continue;
+            }
+            if (!first) {
+                os << ',';
+            }
+            first = false;
+            os << "[" << detail::jsonNumber(Log2Histogram::bucketLo(i))
+               << "," << detail::jsonNumber(h.bucketCount(i)) << "]";
+        }
+        os << "]";
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace obs
+} // namespace deuce

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * gem5-style statistic primitives: named values that components
+ * register into a StatRegistry (obs/registry.hh) under hierarchical
+ * dotted names ("system.pcm.bank3.writes").
+ *
+ * Three user-facing stat kinds, mirroring the subset of gem5's
+ * Stats:: vocabulary this simulator needs:
+ *
+ *  - Scalar    one number, either owned (incremented by the component)
+ *              or sourced from a callback reading the component's
+ *              existing counter. Prints as an integer or a float
+ *              depending on its ValueKind, so migrated counters keep
+ *              their exact pre-registry text formatting.
+ *  - Formula   a float computed on demand from other state (ratios,
+ *              percentages, means).
+ *  - Histogram log2-bucketed distribution with exact count/mean/
+ *              min/max and approximate percentiles. Accumulation
+ *              lives in Log2Histogram so hot components can own the
+ *              data without owning a name.
+ *
+ * Text output of every stat is the classic gem5 line
+ *   name                    value  # description
+ * (sim/stats_dump.cc's historical format, reproduced byte-for-byte
+ * for scalar stats).
+ */
+
+#ifndef DEUCE_OBS_STAT_HH
+#define DEUCE_OBS_STAT_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace deuce
+{
+namespace obs
+{
+
+/** How a scalar value renders in the text dump. */
+enum class ValueKind
+{
+    Int,  ///< print as an integer (uint64_t stream formatting)
+    Float ///< print as a double (default stream precision, gem5-style)
+};
+
+/** Base class of every registrable statistic. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    /** Full dotted name ("system.pcm.writes"). */
+    const std::string &name() const { return name_; }
+
+    /** One-line description (the text dump's '#' comment). */
+    const std::string &desc() const { return desc_; }
+
+    /**
+     * Gate the stat's appearance in dumps on a predicate evaluated at
+     * dump time (e.g. the wear section only prints once a write has
+     * been recorded). Returns *this for chaining at registration.
+     */
+    Stat &visibleWhen(std::function<bool()> pred);
+
+    /** Should this stat appear in the current dump? */
+    bool visible() const;
+
+    /** Emit the stat's text line(s) in gem5 format. */
+    virtual void dumpText(std::ostream &os) const = 0;
+
+    /** The stat's value as a JSON fragment (number or object). */
+    virtual std::string jsonValue() const = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::function<bool()> visible_;
+};
+
+/**
+ * One named number. Either owned (use the mutation operators) or
+ * functor-backed (reads an existing component counter at dump time);
+ * a functor-backed scalar panics on mutation.
+ */
+class Scalar : public Stat
+{
+  public:
+    /** Owned value starting at zero. */
+    Scalar(std::string name, std::string desc,
+           ValueKind kind = ValueKind::Float);
+
+    /** Functor-backed value (reads the component's counter). */
+    Scalar(std::string name, std::string desc,
+           std::function<double()> source,
+           ValueKind kind = ValueKind::Float);
+
+    double value() const { return source_ ? source_() : value_; }
+
+    Scalar &operator+=(double d);
+    Scalar &operator++();
+    void set(double v);
+
+    ValueKind kind() const { return kind_; }
+
+    void dumpText(std::ostream &os) const override;
+    std::string jsonValue() const override;
+
+  private:
+    double value_ = 0.0;
+    std::function<double()> source_;
+    ValueKind kind_;
+};
+
+/** A float computed on demand (ratios and other derived values). */
+class Formula : public Stat
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_(); }
+
+    void dumpText(std::ostream &os) const override;
+    std::string jsonValue() const override;
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * Log2-bucketed accumulator: bucket 0 counts samples in [0, 1),
+ * bucket i >= 1 counts [2^(i-1), 2^i). Negative samples clamp to
+ * bucket 0. Exact count/sum/min/max ride along in a RunningStat;
+ * percentiles interpolate linearly inside the winning bucket.
+ *
+ * This is the nameless data half; Histogram (below) is the
+ * registrable stat that reads one of these (owned or external).
+ */
+class Log2Histogram
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    uint64_t count() const { return stat_.count(); }
+    double mean() const { return stat_.mean(); }
+    double min() const { return stat_.min(); } ///< panics when empty
+    double max() const { return stat_.max(); } ///< panics when empty
+    bool empty() const { return stat_.empty(); }
+
+    /** Approximate value below which fraction @p q of samples fall. */
+    double percentile(double q) const;
+
+    /** Count in bucket @p i (0 when never touched). */
+    uint64_t bucketCount(unsigned i) const;
+
+    /** Lower edge of bucket @p i (0, 1, 2, 4, 8, ...). */
+    static double bucketLo(unsigned i);
+
+    /** Exclusive upper edge of bucket @p i. */
+    static double bucketHi(unsigned i);
+
+    /** Highest touched bucket index + 1 (0 when empty). */
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+
+    void clear();
+
+  private:
+    std::vector<uint64_t> buckets_; ///< grown on demand
+    RunningStat stat_;
+};
+
+/**
+ * Registrable histogram stat. Text dump emits one line per summary
+ * field (name.count, name.mean, name.min, name.max, name.p50,
+ * name.p95, name.p99); the JSON value is an object carrying the
+ * summary plus the non-empty buckets.
+ */
+class Histogram : public Stat
+{
+  public:
+    /** Owning: the registry allocates the accumulator. */
+    Histogram(std::string name, std::string desc);
+
+    /**
+     * External: reads a component-owned Log2Histogram (which must
+     * outlive every dump of this stat).
+     */
+    Histogram(std::string name, std::string desc,
+              const Log2Histogram &external);
+
+    /** Add a sample (owning mode only; panics in external mode). */
+    void add(double x);
+
+    const Log2Histogram &data() const
+    {
+        return external_ ? *external_ : owned_;
+    }
+
+    void dumpText(std::ostream &os) const override;
+    std::string jsonValue() const override;
+
+  private:
+    Log2Histogram owned_;
+    const Log2Histogram *external_ = nullptr;
+};
+
+namespace detail
+{
+
+/** The historical stats_dump text line (byte-compatible). */
+void statLine(std::ostream &os, const std::string &name, double value,
+              const std::string &desc);
+void statLine(std::ostream &os, const std::string &name,
+              uint64_t value, const std::string &desc);
+
+/** A double as a JSON number token ("null" for non-finite values). */
+std::string jsonNumber(double v);
+
+/** An integer as a JSON number token. */
+std::string jsonNumber(uint64_t v);
+
+} // namespace detail
+
+} // namespace obs
+} // namespace deuce
+
+#endif // DEUCE_OBS_STAT_HH

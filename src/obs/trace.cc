@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Span-tracing implementation: thread-local buffers, a leaked global
+ * buffer list (so an atexit flush can still walk it safely), and the
+ * Chrome trace_event JSON writer.
+ */
+
+#include "obs/trace.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace deuce
+{
+namespace obs
+{
+
+namespace detail
+{
+
+std::atomic<int> g_traceLevel{0};
+
+} // namespace detail
+
+namespace
+{
+
+/** One begin or end record in a thread's buffer. */
+struct EventRec
+{
+    int64_t tsNs;     ///< steady-clock ns since the trace epoch
+    const char *name; ///< static string from the macro site
+    char phase;       ///< 'B' or 'E'
+    std::string label;
+};
+
+/** Per-thread event buffer; appended to without synchronisation. */
+struct ThreadBuffer
+{
+    uint32_t tid = 0;
+    std::vector<EventRec> events;
+};
+
+/**
+ * Global buffer list. Intentionally leaked (never destroyed) so the
+ * atexit flush and late-exiting threads can never race a destructor.
+ */
+struct Global
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    uint32_t nextTid = 1;
+    std::string outPath;
+    bool atexitArmed = false;
+};
+
+Global &
+global()
+{
+    static Global *g = new Global();
+    return *g;
+}
+
+int64_t
+nowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               clock::now() - epoch)
+        .count();
+}
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buf;
+    if (!buf) {
+        buf = std::make_shared<ThreadBuffer>();
+        Global &g = global();
+        std::lock_guard<std::mutex> lk(g.mu);
+        buf->tid = g.nextTid++;
+        g.buffers.push_back(buf);
+    }
+    return *buf;
+}
+
+/** JSON string escaping for span labels. */
+void
+writeJsonString(std::ostream &os, const char *s, size_t n)
+{
+    os << '"';
+    for (size_t i = 0; i < n; ++i) {
+        char c = s[i];
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+namespace detail
+{
+
+void
+traceBegin(const char *name, std::string label)
+{
+    ThreadBuffer &buf = threadBuffer();
+    buf.events.push_back(
+        EventRec{nowNs(), name, 'B', std::move(label)});
+}
+
+void
+traceEnd(const char *name)
+{
+    ThreadBuffer &buf = threadBuffer();
+    buf.events.push_back(EventRec{nowNs(), name, 'E', {}});
+}
+
+} // namespace detail
+
+void
+setTraceLevel(TraceLevel level)
+{
+    detail::g_traceLevel.store(static_cast<int>(level),
+                               std::memory_order_relaxed);
+}
+
+TraceLevel
+traceLevel()
+{
+    return static_cast<TraceLevel>(
+        detail::g_traceLevel.load(std::memory_order_relaxed));
+}
+
+void
+traceConfigure(const std::string &path, TraceLevel level)
+{
+    Global &g = global();
+    {
+        std::lock_guard<std::mutex> lk(g.mu);
+        g.outPath = path;
+        if (!g.atexitArmed) {
+            g.atexitArmed = true;
+            std::atexit([] { traceWriteFile(); });
+        }
+    }
+    setTraceLevel(level);
+    // Pin the trace epoch before the first span so timestamps start
+    // near zero rather than at the clock's first-use offset.
+    nowNs();
+}
+
+bool
+traceConfigureFromEnv()
+{
+    const char *path = std::getenv("DEUCE_TRACE");
+    if (path == nullptr || *path == '\0') {
+        return false;
+    }
+    TraceLevel level = TraceLevel::Phase;
+    if (const char *lvl = std::getenv("DEUCE_TRACE_LEVEL")) {
+        if (std::strcmp(lvl, "verbose") == 0) {
+            level = TraceLevel::Verbose;
+        }
+    }
+    traceConfigure(path, level);
+    return true;
+}
+
+bool
+traceWriteFile()
+{
+    std::string path;
+    {
+        Global &g = global();
+        std::lock_guard<std::mutex> lk(g.mu);
+        path = g.outPath;
+    }
+    if (path.empty()) {
+        return false;
+    }
+    std::ofstream os(path, std::ios::out | std::ios::trunc);
+    if (!os) {
+        return false;
+    }
+    writeChromeTrace(os);
+    return static_cast<bool>(os);
+}
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    // Snapshot the buffer list; each buffer is then read without its
+    // owner's involvement, which is safe once emitters are quiesced.
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        Global &g = global();
+        std::lock_guard<std::mutex> lk(g.mu);
+        buffers = g.buffers;
+    }
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &buf : buffers) {
+        for (const EventRec &ev : buf->events) {
+            if (!first) {
+                os << ",\n";
+            }
+            first = false;
+            os << "{\"name\":";
+            writeJsonString(os, ev.name, std::strlen(ev.name));
+            // Chrome expects microseconds; fixed-point keeps ns
+            // resolution at any run length (default ostream
+            // formatting would switch long runs to 6-digit
+            // scientific notation and scramble event ordering).
+            char ts[32];
+            std::snprintf(ts, sizeof(ts), "%.3f",
+                          static_cast<double>(ev.tsNs) / 1000.0);
+            os << ",\"cat\":\"deuce\",\"ph\":\"" << ev.phase
+               << "\",\"pid\":1,\"tid\":" << buf->tid << ",\"ts\":"
+               << ts;
+            if (ev.phase == 'B' && !ev.label.empty()) {
+                os << ",\"args\":{\"label\":";
+                writeJsonString(os, ev.label.data(),
+                                ev.label.size());
+                os << "}";
+            }
+            os << "}";
+        }
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+uint64_t
+traceEventCount()
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lk(g.mu);
+    uint64_t n = 0;
+    for (const auto &buf : g.buffers) {
+        n += buf->events.size();
+    }
+    return n;
+}
+
+void
+traceClear()
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lk(g.mu);
+    for (const auto &buf : g.buffers) {
+        buf->events.clear();
+    }
+}
+
+} // namespace obs
+} // namespace deuce

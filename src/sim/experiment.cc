@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "enc/scheme_factory.hh"
+#include "obs/trace.hh"
 #include "trace/synthetic.hh"
 #include "wear/lifetime.hh"
 
@@ -79,6 +80,7 @@ runExperiment(const BenchmarkProfile &profile,
     row.trackingBits = scheme.trackingBitsPerLine();
 
     if (options.timing) {
+        DEUCE_TRACE_SCOPE("experiment.timing");
         TimingSimulator sim(options.timingCfg, options.pcm);
         TimingResult t = sim.run(workload, memory);
         row.executionNs = t.executionNs;
@@ -89,6 +91,7 @@ runExperiment(const BenchmarkProfile &profile,
         row.writebacks = t.writebacks;
         row.counterCacheMissRate = t.counterCacheMissRate;
     } else if (options.processReads) {
+        DEUCE_TRACE_SCOPE("experiment.replay");
         TraceEvent ev;
         while (workload.next(ev)) {
             if (ev.kind == EventKind::Writeback) {
@@ -100,6 +103,7 @@ runExperiment(const BenchmarkProfile &profile,
         row.reads = workload.readsProduced();
         row.writebacks = workload.writebacksProduced();
     } else {
+        DEUCE_TRACE_SCOPE("experiment.writebacks");
         WritebackOnly writebacks(workload);
         TraceEvent ev;
         while (writebacks.next(ev)) {

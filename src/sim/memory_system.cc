@@ -6,6 +6,7 @@
 #include "sim/memory_system.hh"
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
 
 namespace deuce
 {
@@ -16,7 +17,8 @@ MemorySystem::MemorySystem(const EncryptionScheme &scheme,
                            std::function<CacheLine(uint64_t)> initial,
                            const FaultConfig &fault)
     : scheme_(scheme), wlCfg_(wl), pcm_(pcm),
-      initial_(std::move(initial)), energy_(pcm)
+      initial_(std::move(initial)), energy_(pcm),
+      banks_(pcm.totalBanks())
 {
     if (fault.enabled) {
         fault_ = std::make_unique<FaultDomain>(fault);
@@ -112,6 +114,14 @@ MemorySystem::write(uint64_t line_addr, const CacheLine &plaintext)
     energy_.addWrite(outcome.result.totalFlips());
     flipStat_.add(outcome.flipFraction);
     slotStat_.add(static_cast<double>(outcome.slots));
+    slotHist_.add(static_cast<double>(outcome.slots));
+    flipHist_.add(static_cast<double>(outcome.result.totalFlips()));
+
+    // Same address interleave the timing model uses (lineAddr % banks).
+    BankCounters &bank = banks_[line_addr % banks_.size()];
+    ++bank.writes;
+    bank.flips += outcome.result.totalFlips();
+    bank.slots += outcome.slots;
     return outcome;
 }
 
@@ -135,6 +145,88 @@ MemorySystem::storedState(uint64_t line_addr) const
     auto it = lines_.find(line_addr);
     deuce_assert(it != lines_.end());
     return it->second;
+}
+
+const MemorySystem::BankCounters &
+MemorySystem::bankCounters(unsigned bank) const
+{
+    deuce_assert(bank < banks_.size());
+    return banks_[bank];
+}
+
+void
+MemorySystem::registerStats(obs::StatRegistry &reg,
+                            const std::string &prefix) const
+{
+    // Line-for-line the historical hand-written stats_dump output:
+    // same names, descriptions, order, and Int/Float formatting.
+    const EnergyAccumulator &energy = energy_;
+    const WearTracker &wear = wear_;
+
+    reg.addIntValue(prefix + ".writes", "line writebacks serviced",
+                    [&energy] { return energy.writes(); });
+    reg.addIntValue(prefix + ".reads", "line reads serviced",
+                    [&energy] { return energy.reads(); });
+    reg.addIntValue(prefix + ".bitFlips",
+                    "total cell flips (data + metadata)",
+                    [&energy] { return energy.flips(); });
+    reg.addFormula(prefix + ".avgFlipPct",
+                   "mean bits modified per write (% of 512)",
+                   [this] { return flipStat_.mean() * 100.0; });
+    reg.addFormula(prefix + ".avgWriteSlots",
+                   "mean 128-bit write slots per write",
+                   [this] { return slotStat_.mean(); });
+    reg.addValue(prefix + ".dynamicEnergyPj",
+                 "dynamic memory energy (pJ)",
+                 [&energy] { return energy.dynamicEnergyPj(); });
+
+    auto wrote = [&wear] { return wear.writes() > 0; };
+    reg.addIntValue(prefix + ".wear.totalDataFlips",
+                    "data-cell flips recorded",
+                    [&wear] { return wear.totalDataFlips(); })
+        .visibleWhen(wrote);
+    reg.addIntValue(prefix + ".wear.totalMetaFlips",
+                    "metadata-cell flips recorded",
+                    [&wear] { return wear.totalMetaFlips(); })
+        .visibleWhen(wrote);
+    reg.addIntValue(prefix + ".wear.maxPositionFlips",
+                    "flips at the hottest bit position",
+                    [&wear] { return wear.maxPositionFlips(); })
+        .visibleWhen(wrote);
+    reg.addFormula(prefix + ".wear.nonUniformity",
+                   "hottest/mean position wear ratio",
+                   [&wear] { return wear.nonUniformity(); })
+        .visibleWhen(wrote);
+
+    scheme_.registerStats(reg, prefix + ".scheme");
+}
+
+void
+MemorySystem::registerDetailStats(obs::StatRegistry &reg,
+                                  const std::string &prefix) const
+{
+    reg.addHistogram(prefix + ".writeSlotsHist",
+                     "write slots per write", slotHist_);
+    reg.addHistogram(prefix + ".bitFlipsHist",
+                     "cell flips per write", flipHist_);
+
+    for (size_t b = 0; b < banks_.size(); ++b) {
+        const BankCounters &bank = banks_[b];
+        std::string base = prefix + ".bank" + std::to_string(b);
+        reg.addIntValue(base + ".writes",
+                        "line writebacks landing on the bank",
+                        [&bank] { return bank.writes; });
+        reg.addIntValue(base + ".bitFlips",
+                        "cell flips charged to the bank",
+                        [&bank] { return bank.flips; });
+        reg.addIntValue(base + ".writeSlots",
+                        "write slots the bank serviced",
+                        [&bank] { return bank.slots; });
+    }
+
+    if (fault_) {
+        fault_->registerStats(reg, prefix + ".fault");
+    }
 }
 
 } // namespace deuce

@@ -22,10 +22,12 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/cache_line.hh"
 #include "common/stats.hh"
 #include "enc/scheme.hh"
+#include "obs/stat.hh"
 #include "fault/fault_domain.hh"
 #include "pcm/config.hh"
 #include "pcm/energy.hh"
@@ -123,6 +125,47 @@ class MemorySystem
     /** Running mean of write slots per write. */
     const RunningStat &slotStat() const { return slotStat_; }
 
+    /** Distribution of write slots per write (log2 buckets). */
+    const obs::Log2Histogram &slotHistogram() const
+    {
+        return slotHist_;
+    }
+
+    /** Distribution of total cell flips per write (log2 buckets). */
+    const obs::Log2Histogram &flipHistogram() const
+    {
+        return flipHist_;
+    }
+
+    /** Per-bank accounting (address-interleaved, lineAddr % banks). */
+    struct BankCounters
+    {
+        uint64_t writes = 0; ///< line writebacks landing on the bank
+        uint64_t flips = 0;  ///< cell flips charged to the bank
+        uint64_t slots = 0;  ///< write slots the bank serviced
+    };
+
+    /** Counters of bank @p bank (0 .. pcmConfig().totalBanks()-1). */
+    const BankCounters &bankCounters(unsigned bank) const;
+
+    /**
+     * Register the classic counters under @p prefix (dotted, e.g.
+     * "system.pcm"). The text dump of a registry populated by this
+     * call is byte-identical to the historical hand-written
+     * stats_dump output. The system must outlive every dump.
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
+
+    /**
+     * Register the post-registry detail stats (per-bank counters,
+     * slot/flip histograms, OTP/fault counters) under @p prefix.
+     * Kept separate from registerStats() so the classic text dump
+     * stays byte-compatible; the JSON dump registers both.
+     */
+    void registerDetailStats(obs::StatRegistry &reg,
+                             const std::string &prefix) const;
+
     /** The VWL engine (null when vertical WL is disabled). */
     const VerticalWearLeveler *vwl() const { return vwl_.get(); }
 
@@ -161,6 +204,9 @@ class MemorySystem
     EnergyAccumulator energy_;
     RunningStat flipStat_;
     RunningStat slotStat_;
+    obs::Log2Histogram slotHist_;
+    obs::Log2Histogram flipHist_;
+    std::vector<BankCounters> banks_;
 };
 
 } // namespace deuce

@@ -1,103 +1,88 @@
 /**
  * @file
- * Stats dump implementation.
+ * Stats dump implementation: populate a registry, walk it.
  */
 
 #include "sim/stats_dump.hh"
 
-#include <iomanip>
 #include <ostream>
+
+#include "obs/registry.hh"
 
 namespace deuce
 {
 
-namespace
-{
-
-constexpr int kNameWidth = 44;
-constexpr int kValueWidth = 16;
-
 void
-statLine(std::ostream &os, const std::string &name, double value,
-         const char *desc)
+registerStats(obs::StatRegistry &reg, const TimingResult &result,
+              const std::string &prefix)
 {
-    os << std::left << std::setw(kNameWidth) << name << std::right
-       << std::setw(kValueWidth) << value << "  # " << desc << '\n';
-}
+    reg.addValue(prefix + ".executionNs",
+                 "simulated execution time (ns)",
+                 [&result] { return result.executionNs; });
+    reg.addIntValue(prefix + ".instructions",
+                    "instructions retired (all cores)",
+                    [&result] { return result.instructions; });
+    reg.addFormula(prefix + ".ips", "aggregate instructions per ns",
+                   [&result] { return result.ips(); });
+    reg.addValue(prefix + ".avgReadLatencyNs",
+                 "mean memory read latency (ns)",
+                 [&result] { return result.avgReadLatencyNs; });
+    reg.addValue(prefix + ".avgWriteSlots",
+                 "mean write slots per writeback",
+                 [&result] { return result.avgWriteSlots; });
+    reg.addIntValue(prefix + ".reads", "reads serviced",
+                    [&result] { return result.reads; });
+    reg.addIntValue(prefix + ".writebacks", "writebacks serviced",
+                    [&result] { return result.writebacks; });
 
-void
-statLine(std::ostream &os, const std::string &name, uint64_t value,
-         const char *desc)
-{
-    os << std::left << std::setw(kNameWidth) << name << std::right
-       << std::setw(kValueWidth) << value << "  # " << desc << '\n';
+    auto hasMisses = [&result] {
+        return result.counterCacheMisses > 0;
+    };
+    reg.addIntValue(prefix + ".counterCache.misses",
+                    "counter-cache misses",
+                    [&result] { return result.counterCacheMisses; })
+        .visibleWhen(hasMisses);
+    reg.addValue(prefix + ".counterCache.missRate",
+                 "counter-cache miss ratio",
+                 [&result] { return result.counterCacheMissRate; })
+        .visibleWhen(hasMisses);
 }
-
-} // namespace
 
 void
 dumpStats(std::ostream &os, const MemorySystem &memory,
           const std::string &prefix)
 {
-    const EnergyAccumulator &energy = memory.energy();
-    const WearTracker &wear = memory.wearTracker();
-
-    statLine(os, prefix + ".writes", energy.writes(),
-             "line writebacks serviced");
-    statLine(os, prefix + ".reads", energy.reads(),
-             "line reads serviced");
-    statLine(os, prefix + ".bitFlips", energy.flips(),
-             "total cell flips (data + metadata)");
-    statLine(os, prefix + ".avgFlipPct",
-             memory.flipStat().mean() * 100.0,
-             "mean bits modified per write (% of 512)");
-    statLine(os, prefix + ".avgWriteSlots", memory.slotStat().mean(),
-             "mean 128-bit write slots per write");
-    statLine(os, prefix + ".dynamicEnergyPj",
-             energy.dynamicEnergyPj(), "dynamic memory energy (pJ)");
-    if (wear.writes() > 0) {
-        statLine(os, prefix + ".wear.totalDataFlips",
-                 wear.totalDataFlips(), "data-cell flips recorded");
-        statLine(os, prefix + ".wear.totalMetaFlips",
-                 wear.totalMetaFlips(), "metadata-cell flips recorded");
-        statLine(os, prefix + ".wear.maxPositionFlips",
-                 wear.maxPositionFlips(),
-                 "flips at the hottest bit position");
-        statLine(os, prefix + ".wear.nonUniformity",
-                 wear.nonUniformity(),
-                 "hottest/mean position wear ratio");
-    }
-    statLine(os, prefix + ".scheme.trackingBits",
-             static_cast<uint64_t>(
-                 memory.scheme().trackingBitsPerLine()),
-             "per-line tracking-bit overhead");
+    obs::StatRegistry reg;
+    memory.registerStats(reg, prefix);
+    reg.dumpText(os);
 }
 
 void
 dumpStats(std::ostream &os, const TimingResult &result,
           const std::string &prefix)
 {
-    statLine(os, prefix + ".executionNs", result.executionNs,
-             "simulated execution time (ns)");
-    statLine(os, prefix + ".instructions", result.instructions,
-             "instructions retired (all cores)");
-    statLine(os, prefix + ".ips", result.ips(),
-             "aggregate instructions per ns");
-    statLine(os, prefix + ".avgReadLatencyNs",
-             result.avgReadLatencyNs,
-             "mean memory read latency (ns)");
-    statLine(os, prefix + ".avgWriteSlots", result.avgWriteSlots,
-             "mean write slots per writeback");
-    statLine(os, prefix + ".reads", result.reads, "reads serviced");
-    statLine(os, prefix + ".writebacks", result.writebacks,
-             "writebacks serviced");
-    if (result.counterCacheMisses > 0) {
-        statLine(os, prefix + ".counterCache.misses",
-                 result.counterCacheMisses, "counter-cache misses");
-        statLine(os, prefix + ".counterCache.missRate",
-                 result.counterCacheMissRate,
-                 "counter-cache miss ratio");
-    }
+    obs::StatRegistry reg;
+    registerStats(reg, result, prefix);
+    reg.dumpText(os);
+}
+
+void
+dumpStatsJson(std::ostream &os, const MemorySystem &memory,
+              const std::string &prefix)
+{
+    obs::StatRegistry reg;
+    memory.registerStats(reg, prefix);
+    memory.registerDetailStats(reg, prefix);
+    reg.dumpJson(os);
+}
+
+void
+dumpStatsJson(std::ostream &os, const TimingResult &result,
+              const std::string &prefix)
+{
+    obs::StatRegistry reg;
+    registerStats(reg, result, prefix);
+    reg.dumpJson(os);
 }
 
 } // namespace deuce

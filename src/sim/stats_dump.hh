@@ -4,6 +4,13 @@
  * one per line, in `name value # description` format, so existing
  * gem5-ecosystem tooling (grep/awk dashboards, stat-diff scripts) can
  * consume this simulator's output unchanged.
+ *
+ * The dump is a thin walk over an obs::StatRegistry the components
+ * populate via their registerStats() methods; the text format is
+ * byte-identical to the hand-written formatter this walk replaced.
+ * dumpStatsJson() walks the same registry (plus the detail stats:
+ * per-bank counters, histograms, fault pipeline) into a nested JSON
+ * object mirroring the dotted names.
  */
 
 #ifndef DEUCE_SIM_STATS_DUMP_HH
@@ -18,6 +25,19 @@
 namespace deuce
 {
 
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
+/**
+ * Register a timing run's counters under @p prefix. Free function
+ * because TimingResult is a plain value struct. The result must
+ * outlive every dump of @p reg.
+ */
+void registerStats(obs::StatRegistry &reg, const TimingResult &result,
+                   const std::string &prefix);
+
 /**
  * Dump a MemorySystem's counters.
  * @param prefix stat-name prefix, e.g. "system.pcm"
@@ -28,6 +48,18 @@ void dumpStats(std::ostream &os, const MemorySystem &memory,
 /** Dump a timing run's counters. */
 void dumpStats(std::ostream &os, const TimingResult &result,
                const std::string &prefix = "system.timing");
+
+/**
+ * Dump a MemorySystem's counters — classic plus detail stats
+ * (per-bank counters, slot/flip histograms, fault pipeline) — as a
+ * nested JSON object.
+ */
+void dumpStatsJson(std::ostream &os, const MemorySystem &memory,
+                   const std::string &prefix = "system.pcm");
+
+/** Dump a timing run's counters as a nested JSON object. */
+void dumpStatsJson(std::ostream &os, const TimingResult &result,
+                   const std::string &prefix = "system.timing");
 
 } // namespace deuce
 

@@ -5,12 +5,15 @@
 
 #include "sim/sweep.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <utility>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/trace.hh"
 #include "sim/report.hh"
 
 namespace deuce
@@ -123,11 +126,39 @@ runSweep(const SweepSpec &spec)
     // the pool only decides *when* a cell runs, never what it
     // computes, so any thread count produces the identical grid.
     size_t cells = spec.schemes.size() * benchmarks.size();
+
+    obs::ProgressOptions progress = spec.progress;
+    if (!progress.enabled) {
+        if (auto env = obs::progressOptionsFromEnv()) {
+            progress = *env;
+        }
+    }
+    std::unique_ptr<obs::ProgressReporter> reporter;
+    if (progress.enabled) {
+        unsigned workers = spec.threads
+                               ? spec.threads
+                               : ThreadPool::defaultThreadCount();
+        reporter = std::make_unique<obs::ProgressReporter>(
+            cells, workers, progress);
+    }
+
+    DEUCE_TRACE_SCOPE("sweep.run");
     ThreadPool::parallelFor(
         cells,
         [&](uint64_t index) {
             size_t s = index / benchmarks.size();
             size_t b = index % benchmarks.size();
+
+            std::string cell_label;
+            if (reporter || obs::traceEnabled()) {
+                cell_label = benchmarks[b].name + "/" + keys[s];
+            }
+            obs::TraceScope span("sweep.cell", cell_label);
+            if (reporter) {
+                reporter->cellStarted(cell_label);
+            }
+            auto cell_start = std::chrono::steady_clock::now();
+
             ExperimentOptions options = spec.options;
             if (spec.deriveCellSeeds) {
                 // Key on the factory id where present (stable across
@@ -140,8 +171,18 @@ runSweep(const SweepSpec &spec)
             }
             grid[s][b] =
                 runExperiment(benchmarks[b], factories[s], options);
+
+            if (reporter) {
+                std::chrono::duration<double> took =
+                    std::chrono::steady_clock::now() - cell_start;
+                reporter->cellFinished(cell_label, took.count());
+            }
         },
         spec.threads);
+
+    // Join the heartbeat thread (emits the final summary record)
+    // before the JSON emission below.
+    reporter.reset();
 
     SweepResult result(std::move(benchmarks), std::move(ids),
                        std::move(keys), std::move(grid));

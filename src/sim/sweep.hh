@@ -19,6 +19,14 @@
  *                         (default: all hardware threads)
  *  - DEUCE_BENCH_JSON     append every executed cell to this file as
  *                         JSON Lines (sim/report.hh row format)
+ *  - DEUCE_PROGRESS       "1" = stderr heartbeat; any other value =
+ *                         heartbeat + JSON-lines records to that path
+ *                         (only when the spec itself leaves progress
+ *                         disabled)
+ *
+ * Every cell runs under a "sweep.cell" trace span labelled
+ * "<bench>/<scheme>" (obs/trace.hh), so a traced sweep shows the
+ * per-cell schedule across worker threads in Perfetto.
  */
 
 #ifndef DEUCE_SIM_SWEEP_HH
@@ -29,6 +37,7 @@
 #include <vector>
 
 #include "enc/scheme_factory.hh"
+#include "obs/progress.hh"
 #include "sim/experiment.hh"
 #include "trace/profile.hh"
 
@@ -81,6 +90,13 @@ struct SweepSpec
      * reproduce a single runExperiment() call exactly.
      */
     bool deriveCellSeeds = true;
+
+    /**
+     * Progress/heartbeat reporting (obs/progress.hh). Disabled by
+     * default; when left disabled, the DEUCE_PROGRESS environment
+     * variable can still switch it on for any sweep.
+     */
+    obs::ProgressOptions progress;
 
     /** Convenience: append a scheme column by factory id. */
     SweepSpec &add(const std::string &id, const std::string &label = "");

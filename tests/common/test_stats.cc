@@ -19,9 +19,26 @@ TEST(RunningStat, EmptyIsZero)
 {
     RunningStat s;
     EXPECT_EQ(s.count(), 0u);
+    EXPECT_TRUE(s.empty());
     EXPECT_EQ(s.mean(), 0.0);
     EXPECT_EQ(s.variance(), 0.0);
     EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, EmptyMinMaxPanics)
+{
+    // min()/max() of an empty stat used to silently return 0.0 — a
+    // plausible-looking but wrong extremum. Emptiness is explicit now.
+    RunningStat s;
+    EXPECT_THROW(s.min(), PanicError);
+    EXPECT_THROW(s.max(), PanicError);
+    s.add(4.0);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.min(), 4.0);
+    EXPECT_EQ(s.max(), 4.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_THROW(s.min(), PanicError);
 }
 
 TEST(RunningStat, KnownSequence)

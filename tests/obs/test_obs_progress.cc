@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the progress/heartbeat reporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/progress.hh"
+
+namespace deuce
+{
+namespace obs
+{
+namespace
+{
+
+ProgressOptions
+quietOptions()
+{
+    ProgressOptions opt;
+    opt.enabled = true;
+    // Long interval: tests drive snapshots directly; the heartbeat
+    // thread just sleeps until the destructor joins it.
+    opt.intervalSeconds = 3600.0;
+    return opt;
+}
+
+TEST(ProgressReporter, SnapshotTracksDoneAndRunning)
+{
+    ProgressReporter rep(10, 2, quietOptions());
+
+    ProgressSnapshot s0 = rep.snapshot();
+    EXPECT_EQ(s0.done, 0u);
+    EXPECT_EQ(s0.total, 10u);
+    EXPECT_EQ(s0.etaSeconds, -1.0); // unknown before any completion
+    EXPECT_TRUE(s0.running.empty());
+
+    rep.cellStarted("mcf/deuce");
+    rep.cellStarted("lbm/encr");
+    ProgressSnapshot s1 = rep.snapshot();
+    ASSERT_EQ(s1.running.size(), 2u);
+    EXPECT_EQ(s1.running[0], "mcf/deuce");
+
+    rep.cellFinished("mcf/deuce", 2.0);
+    ProgressSnapshot s2 = rep.snapshot();
+    EXPECT_EQ(s2.done, 1u);
+    ASSERT_EQ(s2.running.size(), 1u);
+    EXPECT_EQ(s2.running[0], "lbm/encr");
+}
+
+TEST(ProgressReporter, EtaScalesWithMeanAndWorkers)
+{
+    ProgressReporter rep(10, 2, quietOptions());
+    rep.cellFinished("a", 4.0);
+    rep.cellFinished("b", 2.0);
+    ProgressSnapshot s = rep.snapshot();
+    EXPECT_DOUBLE_EQ(s.meanCellSeconds, 3.0);
+    // 8 remaining cells at mean 3s across 2 workers.
+    EXPECT_DOUBLE_EQ(s.etaSeconds, 3.0 * 8.0 / 2.0);
+}
+
+TEST(ProgressReporter, JsonlSummaryWrittenOnDestruction)
+{
+    std::string path = ::testing::TempDir() + "progress_test.jsonl";
+    std::remove(path.c_str());
+    {
+        ProgressOptions opt = quietOptions();
+        opt.jsonlPath = path;
+        opt.label = "unit";
+        ProgressReporter rep(2, 1, opt);
+        rep.cellStarted("one");
+        rep.cellFinished("one", 0.5);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("\"type\":\"summary\""), std::string::npos);
+    EXPECT_NE(all.find("\"label\":\"unit\""), std::string::npos);
+    EXPECT_NE(all.find("\"done\":1"), std::string::npos);
+    EXPECT_NE(all.find("\"total\":2"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ProgressOptions, FromEnvParsing)
+{
+    ::unsetenv("DEUCE_PROGRESS");
+    EXPECT_FALSE(progressOptionsFromEnv().has_value());
+
+    ::setenv("DEUCE_PROGRESS", "", 1);
+    EXPECT_FALSE(progressOptionsFromEnv().has_value());
+
+    ::setenv("DEUCE_PROGRESS", "0", 1);
+    EXPECT_FALSE(progressOptionsFromEnv().has_value());
+
+    ::setenv("DEUCE_PROGRESS", "1", 1);
+    auto stderr_only = progressOptionsFromEnv();
+    ASSERT_TRUE(stderr_only.has_value());
+    EXPECT_TRUE(stderr_only->enabled);
+    EXPECT_TRUE(stderr_only->jsonlPath.empty());
+
+    ::setenv("DEUCE_PROGRESS", "/tmp/hb.jsonl", 1);
+    auto with_file = progressOptionsFromEnv();
+    ASSERT_TRUE(with_file.has_value());
+    EXPECT_TRUE(with_file->enabled);
+    EXPECT_EQ(with_file->jsonlPath, "/tmp/hb.jsonl");
+
+    ::unsetenv("DEUCE_PROGRESS");
+}
+
+} // namespace
+} // namespace obs
+} // namespace deuce

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the span tracer and its Chrome trace export.
+ *
+ * The trace buffers are process-global; every test starts from
+ * traceClear() + an explicit level so order does not matter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace deuce
+{
+namespace obs
+{
+namespace
+{
+
+/** Occurrences of @p needle in @p hay. */
+size_t
+countOf(const std::string &hay, const std::string &needle)
+{
+    size_t n = 0;
+    for (size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setTraceLevel(TraceLevel::Off);
+        traceClear();
+    }
+
+    void
+    TearDown() override
+    {
+        setTraceLevel(TraceLevel::Off);
+        traceClear();
+    }
+};
+
+TEST_F(TraceTest, DisabledSitesRecordNothing)
+{
+    {
+        DEUCE_TRACE_SCOPE("quiet.scope");
+        DEUCE_TRACE_SCOPE_HOT("quiet.hot");
+    }
+    EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, PhaseLevelRecordsPhaseNotVerbose)
+{
+    setTraceLevel(TraceLevel::Phase);
+    {
+        DEUCE_TRACE_SCOPE("p.scope");
+        DEUCE_TRACE_SCOPE_HOT("p.hot");
+    }
+    // One begin + one end for the phase span only.
+    EXPECT_EQ(traceEventCount(), 2u);
+}
+
+TEST_F(TraceTest, VerboseLevelRecordsBoth)
+{
+    setTraceLevel(TraceLevel::Verbose);
+    {
+        DEUCE_TRACE_SCOPE("v.scope");
+        DEUCE_TRACE_SCOPE_HOT("v.hot");
+    }
+    EXPECT_EQ(traceEventCount(), 4u);
+}
+
+TEST_F(TraceTest, SpanStaysBalancedAcrossLevelChange)
+{
+    setTraceLevel(TraceLevel::Phase);
+    {
+        DEUCE_TRACE_SCOPE("balance.scope");
+        // Disabling mid-span must not orphan the begin event: the
+        // scope was armed at construction and still emits its end.
+        setTraceLevel(TraceLevel::Off);
+    }
+    EXPECT_EQ(traceEventCount(), 2u);
+}
+
+TEST_F(TraceTest, ChromeExportPairsBeginEnd)
+{
+    setTraceLevel(TraceLevel::Phase);
+    {
+        DEUCE_TRACE_SCOPE("outer");
+        DEUCE_TRACE_SCOPE_L("inner", std::string("cell-3"));
+    }
+    setTraceLevel(TraceLevel::Off);
+
+    std::ostringstream os;
+    writeChromeTrace(os);
+    std::string json = os.str();
+
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), 2u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""), 2u);
+    EXPECT_EQ(countOf(json, "\"name\":\"outer\""), 2u);
+    EXPECT_EQ(countOf(json, "\"name\":\"inner\""), 2u);
+    // The dynamic label rides on the begin event's args.
+    EXPECT_NE(json.find("\"label\":\"cell-3\""), std::string::npos);
+}
+
+TEST_F(TraceTest, EventsFromWorkerThreadsCarryDistinctTids)
+{
+    setTraceLevel(TraceLevel::Phase);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+        threads.emplace_back([] { DEUCE_TRACE_SCOPE("worker.span"); });
+    }
+    for (auto &t : threads) {
+        t.join();
+    }
+    setTraceLevel(TraceLevel::Off);
+
+    EXPECT_EQ(traceEventCount(), 6u);
+    std::ostringstream os;
+    writeChromeTrace(os);
+    std::string json = os.str();
+    // Three distinct worker buffers contribute; every B has its E.
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), 3u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""), 3u);
+}
+
+TEST_F(TraceTest, DisabledSiteLeavesLabelUnevaluated)
+{
+    setTraceLevel(TraceLevel::Off);
+    int evaluations = 0;
+    auto label = [&evaluations] {
+        ++evaluations;
+        return std::string("expensive");
+    };
+    {
+        DEUCE_TRACE_SCOPE_L("lazy.scope", label());
+    }
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_EQ(traceEventCount(), 0u);
+}
+
+} // namespace
+} // namespace obs
+} // namespace deuce
