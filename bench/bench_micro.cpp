@@ -7,8 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "cache/cache.hh"
 #include "common/cache_line.hh"
+#include "common/line_kernels.hh"
 #include "common/rng.hh"
 #include "crypto/aes.hh"
 #include "crypto/aes_backend.hh"
@@ -156,6 +159,147 @@ BM_LinePopcount(benchmark::State &state)
     }
 }
 BENCHMARK(BM_LinePopcount);
+
+/**
+ * Like the AES captures: each line-kernel benchmark runs once per
+ * backend, and a capture for an ISA the host lacks skips with an
+ * error row instead of silently benchmarking the fallback.
+ */
+bool
+skipUnavailable(benchmark::State &state, LineBackendKind backend)
+{
+    if (backend == LineBackendKind::Sse2 && !sse2Available()) {
+        state.SkipWithError("SSE2 unavailable on this host");
+        return true;
+    }
+    if (backend == LineBackendKind::Avx2 && !avx2Available()) {
+        state.SkipWithError("AVX2 unavailable on this host");
+        return true;
+    }
+    return false;
+}
+
+void
+randomLine(Rng &rng, CacheLine &line)
+{
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        line.limb(i) = rng.next();
+    }
+}
+
+void
+BM_LineXorPopcount(benchmark::State &state, LineBackendKind backend)
+{
+    if (skipUnavailable(state, backend)) {
+        return;
+    }
+    const LineKernelOps &ops = *lineBackendOps(backend);
+    Rng rng(5);
+    CacheLine a, b;
+    randomLine(rng, a);
+    randomLine(rng, b);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops.xorPopcount(a, b));
+    }
+    state.SetBytesProcessed(state.iterations() * 2 * 64);
+}
+BENCHMARK_CAPTURE(BM_LineXorPopcount, scalar, LineBackendKind::Scalar);
+BENCHMARK_CAPTURE(BM_LineXorPopcount, sse2, LineBackendKind::Sse2);
+BENCHMARK_CAPTURE(BM_LineXorPopcount, avx2, LineBackendKind::Avx2);
+
+void
+BM_LineDiffInto(benchmark::State &state, LineBackendKind backend)
+{
+    if (skipUnavailable(state, backend)) {
+        return;
+    }
+    const LineKernelOps &ops = *lineBackendOps(backend);
+    Rng rng(6);
+    CacheLine a, b, diff;
+    randomLine(rng, a);
+    randomLine(rng, b);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops.diffInto(a, b, diff));
+        benchmark::DoNotOptimize(diff);
+    }
+    state.SetBytesProcessed(state.iterations() * 2 * 64);
+}
+BENCHMARK_CAPTURE(BM_LineDiffInto, scalar, LineBackendKind::Scalar);
+BENCHMARK_CAPTURE(BM_LineDiffInto, sse2, LineBackendKind::Sse2);
+BENCHMARK_CAPTURE(BM_LineDiffInto, avx2, LineBackendKind::Avx2);
+
+void
+BM_LineWordDiffMask(benchmark::State &state, LineBackendKind backend)
+{
+    if (skipUnavailable(state, backend)) {
+        return;
+    }
+    const LineKernelOps &ops = *lineBackendOps(backend);
+    Rng rng(7);
+    CacheLine a, b;
+    randomLine(rng, a);
+    b = a;
+    b.setBit(37, !b.bit(37)); // sparse diff: the common write shape
+    b.setBit(300, !b.bit(300));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops.wordDiffMask(a, b, 32));
+    }
+    state.SetBytesProcessed(state.iterations() * 2 * 64);
+}
+BENCHMARK_CAPTURE(BM_LineWordDiffMask, scalar, LineBackendKind::Scalar);
+BENCHMARK_CAPTURE(BM_LineWordDiffMask, sse2, LineBackendKind::Sse2);
+BENCHMARK_CAPTURE(BM_LineWordDiffMask, avx2, LineBackendKind::Avx2);
+
+void
+BM_LineRegionPopcounts(benchmark::State &state, LineBackendKind backend)
+{
+    if (skipUnavailable(state, backend)) {
+        return;
+    }
+    const LineKernelOps &ops = *lineBackendOps(backend);
+    Rng rng(8);
+    CacheLine diff;
+    randomLine(rng, diff);
+    uint16_t counts[CacheLine::kBits];
+    for (auto _ : state) {
+        ops.regionPopcounts(diff, 128, counts); // FNW/write-slot shape
+        benchmark::DoNotOptimize(counts);
+    }
+    state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK_CAPTURE(BM_LineRegionPopcounts, scalar,
+                  LineBackendKind::Scalar);
+BENCHMARK_CAPTURE(BM_LineRegionPopcounts, sse2, LineBackendKind::Sse2);
+BENCHMARK_CAPTURE(BM_LineRegionPopcounts, avx2, LineBackendKind::Avx2);
+
+void
+BM_LineXorPopcountBatch(benchmark::State &state,
+                        LineBackendKind backend)
+{
+    if (skipUnavailable(state, backend)) {
+        return;
+    }
+    constexpr std::size_t kLines = 64;
+    const LineKernelOps &ops = *lineBackendOps(backend);
+    Rng rng(9);
+    std::vector<CacheLine> a(kLines), b(kLines);
+    for (std::size_t i = 0; i < kLines; ++i) {
+        randomLine(rng, a[i]);
+        randomLine(rng, b[i]);
+    }
+    uint32_t out[kLines];
+    for (auto _ : state) {
+        ops.xorPopcountBatch(a.data(), b.data(), out, kLines);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(state.iterations() * kLines * 2 * 64);
+}
+BENCHMARK_CAPTURE(BM_LineXorPopcountBatch, scalar,
+                  LineBackendKind::Scalar);
+BENCHMARK_CAPTURE(BM_LineXorPopcountBatch, sse2,
+                  LineBackendKind::Sse2);
+BENCHMARK_CAPTURE(BM_LineXorPopcountBatch, avx2,
+                  LineBackendKind::Avx2);
 
 void
 BM_CacheAccess(benchmark::State &state)

@@ -21,6 +21,9 @@
  *   --aes-backend <b>       AES implementation: auto (default),
  *                           scalar, ttable, or aesni (falls back with
  *                           a warning when the host lacks AES-NI)
+ *   --line-backend <b>      cache-line kernels: auto (default),
+ *                           scalar, sse2, or avx2 (falls back with a
+ *                           warning when the host lacks the ISA)
  *   --seed <n>              pad key seed
  *   --fault                 enable the end-of-life fault model
  *   --ecp <n>               ECP entries per line (with --fault)
@@ -49,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "common/line_kernels.hh"
 #include "crypto/aes_backend.hh"
 #include "obs/trace.hh"
 #include "sim/experiment.hh"
@@ -86,6 +90,7 @@ usage(const char *argv0)
               << " [--bench <name|all>] [--scheme <id[,id...]>]"
                  " [--writebacks <n>] [--timing] [--hwl] [--vwl startgap|sr]"
                  " [--fast-otp] [--aes-backend auto|scalar|ttable|aesni]"
+                 " [--line-backend auto|scalar|sse2|avx2]"
                  " [--seed <n>] [--mlp <x>] [--threads <n>]"
                  " [--fault] [--ecp <n>] [--endurance <flips>]"
                  " [--csv] [--json <path>] [--stats] [--stats-json]"
@@ -163,6 +168,13 @@ parseArgs(int argc, char **argv)
                 usage(argv[0]);
             }
             setAesBackend(*parsed);
+        } else if (arg == "--line-backend") {
+            std::optional<LineBackendKind> parsed =
+                parseLineBackendName(value());
+            if (!parsed) {
+                usage(argv[0]);
+            }
+            setLineBackend(*parsed);
         } else if (arg == "--seed") {
             cli.experiment.otpSeed =
                 std::strtoull(value(), nullptr, 10);

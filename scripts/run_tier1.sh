@@ -10,6 +10,9 @@
 #                        run the concurrency tests under it
 #   DEUCE_ASAN=1         additionally build with ASan+UBSan and run
 #                        the fault and sweep tests under it
+#   DEUCE_UBSAN=1        additionally build with UBSan alone (traps
+#                        fatal) and run the line-kernel differential
+#                        and fuzz-consistency tests under it
 
 set -euo pipefail
 
@@ -43,12 +46,13 @@ rows=$(wc -l < "$build/bench_results.json")
 echo "tier1: fault cell appended (now $rows rows)"
 
 # Perf smoke: the AES backend micro benchmarks (scalar, ttable, aesni
-# when the host has it), min-time trimmed so the whole pass is a few
-# seconds. Timings are informational — appended as BENCH_MICRO cells
-# to bench_results.json, never a pass/fail criterion: absolute numbers
-# vary with the host and a slow cipher is still a correct cipher.
+# when the host has it) plus the line-kernel backends (scalar, sse2,
+# avx2 when the host has it), min-time trimmed so the whole pass is a
+# few seconds. Timings are informational — appended as BENCH_MICRO
+# cells to bench_results.json, never a pass/fail criterion: absolute
+# numbers vary with the host and a slow kernel is still correct.
 "$build/bench/bench_micro" \
-    --benchmark_filter='BM_Aes|BM_PadForLine' \
+    --benchmark_filter='BM_Aes|BM_PadForLine|BM_Line' \
     --benchmark_min_time=0.05 \
     --benchmark_format=json > "$build/bench_micro.json" || {
         echo "tier1: FAIL — bench_micro did not run" >&2
@@ -89,7 +93,7 @@ PY
 "$build/examples/simulate" \
     --bench mcf --scheme deuce --writebacks 5000 \
     --aes-backend auto --json "$build/equiv_auto.jsonl" > /dev/null
-strip_backend='s/,"aes_backend":"[a-z-]*"//'
+strip_backend='s/,"aes_backend":"[a-z-]*"//;s/,"line_backend":"[a-z0-9]*"//'
 if ! diff \
     <(sed "$strip_backend" "$build/equiv_scalar.jsonl") \
     <(sed "$strip_backend" "$build/equiv_auto.jsonl"); then
@@ -97,6 +101,26 @@ if ! diff \
     exit 1
 fi
 echo "tier1: AES backend equivalence OK (scalar == auto)"
+
+# Same gate for the line-kernel registry: the scalar reference and the
+# auto-dispatched SIMD backend must produce byte-identical rows modulo
+# the backend-name fields. A flip-count divergence here means a SIMD
+# popcount drifted from the reference — a hard failure.
+"$build/examples/simulate" \
+    --bench mcf --scheme deuce,deuce-fnw --writebacks 5000 \
+    --fast-otp --line-backend scalar \
+    --json "$build/equiv_line_scalar.jsonl" > /dev/null
+"$build/examples/simulate" \
+    --bench mcf --scheme deuce,deuce-fnw --writebacks 5000 \
+    --fast-otp --line-backend auto \
+    --json "$build/equiv_line_auto.jsonl" > /dev/null
+if ! diff \
+    <(sed "$strip_backend" "$build/equiv_line_scalar.jsonl") \
+    <(sed "$strip_backend" "$build/equiv_line_auto.jsonl"); then
+    echo "tier1: FAIL — scalar and auto line backends disagree" >&2
+    exit 1
+fi
+echo "tier1: line backend equivalence OK (scalar == auto)"
 
 # Observability smoke: a small multi-threaded sweep with span tracing
 # and progress reporting on. The Chrome trace must be valid JSON and
@@ -187,6 +211,17 @@ if [[ "${DEUCE_ASAN:-0}" == "1" ]]; then
     "$asan/tests/test_fault_sweep"
     "$asan/tests/test_sweep"
     echo "tier1: ASan fault/sweep tests passed"
+fi
+
+if [[ "${DEUCE_UBSAN:-0}" == "1" ]]; then
+    ubsan="$build-ubsan"
+    cmake -B "$ubsan" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDEUCE_UBSAN=ON
+    cmake --build "$ubsan" -j "$(nproc)" \
+        --target test_line_kernels test_fuzz_consistency
+    "$ubsan/tests/test_line_kernels"
+    "$ubsan/tests/test_fuzz_consistency"
+    echo "tier1: UBSan line-kernel tests passed"
 fi
 
 echo "tier1: OK"

@@ -8,6 +8,7 @@
 #include <bit>
 #include <cstdio>
 
+#include "common/line_kernels.hh"
 #include "common/logging.hh"
 
 namespace deuce
@@ -57,11 +58,21 @@ CacheLine::setField(unsigned lsb, unsigned width, uint64_t value)
 unsigned
 CacheLine::popcount() const
 {
-    unsigned total = 0;
-    for (uint64_t l : limbs_) {
-        total += static_cast<unsigned>(std::popcount(l));
-    }
-    return total;
+    return lineKernels().popcount(*this);
+}
+
+unsigned
+CacheLine::flipsTo(const CacheLine &other) const
+{
+    return lineKernels().xorPopcount(*this, other);
+}
+
+CacheLine
+CacheLine::diff(const CacheLine &other) const
+{
+    CacheLine out;
+    lineKernels().diffInto(*this, other, out);
+    return out;
 }
 
 CacheLine
@@ -164,7 +175,7 @@ CacheLine::toHex() const
 unsigned
 hammingDistance(const CacheLine &a, const CacheLine &b)
 {
-    return (a ^ b).popcount();
+    return lineKernels().xorPopcount(a, b);
 }
 
 unsigned

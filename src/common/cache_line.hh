@@ -64,6 +64,12 @@ class CacheLine
     /** Mutable access to one of the eight backing limbs. */
     uint64_t &limb(unsigned i) { return limbs_[i]; }
 
+    /** Contiguous limb storage (kLimbs entries, limb 0 first). */
+    const uint64_t *limbs() const { return limbs_.data(); }
+
+    /** Mutable contiguous limb storage. */
+    uint64_t *limbs() { return limbs_.data(); }
+
     /**
      * Read a byte of the line.
      * @param i byte index in [0, 64); byte 0 holds bits 0..7.
@@ -96,6 +102,21 @@ class CacheLine
 
     /** Number of set bits in the whole line. */
     unsigned popcount() const;
+
+    /**
+     * Number of bit positions at which this line differs from
+     * @p other (the cell flips a write of @p other would cost) —
+     * fused XOR+popcount, no intermediate line. @p other may be this
+     * very object (the answer is then 0).
+     */
+    unsigned flipsTo(const CacheLine &other) const;
+
+    /**
+     * XOR difference mask against @p other (bit i set = the lines
+     * disagree at bit i). @p other may be this very object (the
+     * result is then all-zero).
+     */
+    CacheLine diff(const CacheLine &other) const;
 
     /** XOR two lines (the counter-mode encrypt/decrypt primitive). */
     CacheLine operator^(const CacheLine &other) const;

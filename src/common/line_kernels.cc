@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Line-kernel registry (CPUID detection, selection-knob resolution,
+ * the kind -> ops mapping) and the scalar reference backend — the
+ * portable limb-at-a-time loops the SIMD backends are tested against.
+ */
+
+#include "common/line_kernels.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+// ---------------------------------------------------------------------
+// Scalar reference backend.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+unsigned
+scalarPopcount(const CacheLine &a)
+{
+    unsigned total = 0;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        total += static_cast<unsigned>(std::popcount(a.limbs()[i]));
+    }
+    return total;
+}
+
+unsigned
+scalarXorPopcount(const CacheLine &a, const CacheLine &b)
+{
+    unsigned total = 0;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        total += static_cast<unsigned>(
+            std::popcount(a.limbs()[i] ^ b.limbs()[i]));
+    }
+    return total;
+}
+
+unsigned
+scalarDiffInto(const CacheLine &a, const CacheLine &b,
+               CacheLine &diff_out)
+{
+    unsigned total = 0;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        uint64_t x = a.limbs()[i] ^ b.limbs()[i];
+        diff_out.limbs()[i] = x;
+        total += static_cast<unsigned>(std::popcount(x));
+    }
+    return total;
+}
+
+uint64_t
+scalarWordDiffMask(const CacheLine &a, const CacheLine &b,
+                   unsigned word_bits)
+{
+    deuce_assert(word_bits >= 8 && word_bits <= CacheLine::kBits &&
+                 std::has_single_bit(word_bits));
+
+    uint64_t mask = 0;
+    if (word_bits >= 64) {
+        unsigned limbs_per_word = word_bits / 64;
+        for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+            if (a.limbs()[i] != b.limbs()[i]) {
+                mask |= uint64_t{1} << (i / limbs_per_word);
+            }
+        }
+        return mask;
+    }
+
+    unsigned words_per_limb = 64 / word_bits;
+    uint64_t word_mask = (uint64_t{1} << word_bits) - 1;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        uint64_t x = a.limbs()[i] ^ b.limbs()[i];
+        for (unsigned j = 0; x != 0 && j < words_per_limb; ++j) {
+            if ((x >> (j * word_bits)) & word_mask) {
+                mask |= uint64_t{1} << (i * words_per_limb + j);
+            }
+        }
+    }
+    return mask;
+}
+
+void
+scalarRegionPopcounts(const CacheLine &diff, unsigned region_bits,
+                      uint16_t *out)
+{
+    deuce_assert(region_bits >= 2 &&
+                 CacheLine::kBits % region_bits == 0);
+
+    if (region_bits >= 64) {
+        unsigned limbs_per_region = region_bits / 64;
+        unsigned regions = CacheLine::kBits / region_bits;
+        for (unsigned r = 0; r < regions; ++r) {
+            unsigned total = 0;
+            for (unsigned i = 0; i < limbs_per_region; ++i) {
+                total += static_cast<unsigned>(std::popcount(
+                    diff.limbs()[r * limbs_per_region + i]));
+            }
+            out[r] = static_cast<uint16_t>(total);
+        }
+        return;
+    }
+
+    unsigned regions_per_limb = 64 / region_bits;
+    uint64_t region_mask = (uint64_t{1} << region_bits) - 1;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        uint64_t x = diff.limbs()[i];
+        for (unsigned j = 0; j < regions_per_limb; ++j) {
+            out[i * regions_per_limb + j] =
+                static_cast<uint16_t>(std::popcount(
+                    (x >> (j * region_bits)) & region_mask));
+        }
+    }
+}
+
+unsigned
+scalarMaskedXorInto(const CacheLine &a, const CacheLine &b,
+                    const CacheLine &mask, CacheLine &out)
+{
+    unsigned total = 0;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        uint64_t x =
+            (a.limbs()[i] ^ b.limbs()[i]) & mask.limbs()[i];
+        out.limbs()[i] = x;
+        total += static_cast<unsigned>(std::popcount(x));
+    }
+    return total;
+}
+
+unsigned
+scalarAndNotInto(const CacheLine &a, const CacheLine &b,
+                 CacheLine &out)
+{
+    unsigned total = 0;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        uint64_t x = a.limbs()[i] & ~b.limbs()[i];
+        out.limbs()[i] = x;
+        total += static_cast<unsigned>(std::popcount(x));
+    }
+    return total;
+}
+
+void
+scalarAccumulateFlips(const CacheLine &diff, uint64_t *counters)
+{
+    for (unsigned limb = 0; limb < CacheLine::kLimbs; ++limb) {
+        uint64_t bits = diff.limbs()[limb];
+        while (bits) {
+            unsigned bit = static_cast<unsigned>(std::countr_zero(bits));
+            ++counters[limb * 64 + bit];
+            bits &= bits - 1;
+        }
+    }
+}
+
+void
+scalarXorPopcountBatch(const CacheLine *a, const CacheLine *b,
+                       uint32_t *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = scalarXorPopcount(a[i], b[i]);
+    }
+}
+
+constexpr LineKernelOps kScalarOps = {
+    "scalar",
+    &scalarPopcount,
+    &scalarXorPopcount,
+    &scalarDiffInto,
+    &scalarWordDiffMask,
+    &scalarRegionPopcounts,
+    &scalarMaskedXorInto,
+    &scalarAndNotInto,
+    &scalarAccumulateFlips,
+    &scalarXorPopcountBatch,
+};
+
+} // namespace
+
+const LineKernelOps *
+scalarLineKernelOps()
+{
+    return &kScalarOps;
+}
+
+// ---------------------------------------------------------------------
+// Registry and dispatch.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** CPUID-level AVX2 support (independent of whether the TU built). */
+bool
+cpuHasAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+/** Explicit override installed by setLineBackend(); Auto = none. */
+std::atomic<LineBackendKind> g_override{LineBackendKind::Auto};
+
+/** Backend named by DEUCE_LINE_BACKEND, read once (Auto when unset). */
+LineBackendKind
+envBackend()
+{
+    static const LineBackendKind kind = [] {
+        const char *env = std::getenv("DEUCE_LINE_BACKEND");
+        if (env == nullptr || *env == '\0') {
+            return LineBackendKind::Auto;
+        }
+        std::optional<LineBackendKind> parsed =
+            parseLineBackendName(env);
+        if (!parsed) {
+            deuce_fatal(std::string("DEUCE_LINE_BACKEND=") + env +
+                        ": expected auto, scalar, sse2 or avx2");
+        }
+        return *parsed;
+    }();
+    return kind;
+}
+
+/** One-time note when an explicit SIMD request has to degrade. */
+void
+warnUnavailable(const char *wanted, const char *got)
+{
+    static std::once_flag warned;
+    std::call_once(warned, [wanted, got] {
+        std::fprintf(stderr,
+                     "deuce: %s line-kernel backend requested but "
+                     "unavailable on this host; falling back to %s "
+                     "(results are bit-identical)\n",
+                     wanted, got);
+    });
+}
+
+} // namespace
+
+bool
+sse2Available()
+{
+    return sse2LineKernelOps() != nullptr;
+}
+
+bool
+avx2Compiled()
+{
+    return avx2LineKernelOps() != nullptr;
+}
+
+bool
+avx2Available()
+{
+    return avx2Compiled() && cpuHasAvx2();
+}
+
+LineBackendKind
+resolveLineBackend(LineBackendKind kind)
+{
+    switch (kind) {
+      case LineBackendKind::Auto:
+        return avx2Available()
+            ? LineBackendKind::Avx2
+            : (sse2Available() ? LineBackendKind::Sse2
+                               : LineBackendKind::Scalar);
+      case LineBackendKind::Avx2:
+        if (!avx2Available()) {
+            LineBackendKind fallback = sse2Available()
+                ? LineBackendKind::Sse2 : LineBackendKind::Scalar;
+            warnUnavailable("avx2", lineBackendName(fallback));
+            return fallback;
+        }
+        return kind;
+      case LineBackendKind::Sse2:
+        if (!sse2Available()) {
+            warnUnavailable("sse2", "scalar");
+            return LineBackendKind::Scalar;
+        }
+        return kind;
+      default:
+        return kind;
+    }
+}
+
+const LineKernelOps *
+lineBackendOps(LineBackendKind kind)
+{
+    switch (resolveLineBackend(kind)) {
+      case LineBackendKind::Avx2:
+        return avx2LineKernelOps();
+      case LineBackendKind::Sse2:
+        return sse2LineKernelOps();
+      case LineBackendKind::Scalar:
+      default:
+        return scalarLineKernelOps();
+    }
+}
+
+LineBackendKind
+defaultLineBackend()
+{
+    LineBackendKind kind = g_override.load(std::memory_order_relaxed);
+    if (kind == LineBackendKind::Auto) {
+        kind = envBackend();
+    }
+    return resolveLineBackend(kind);
+}
+
+namespace detail
+{
+
+std::atomic<const LineKernelOps *> g_activeLineOps{nullptr};
+
+namespace
+{
+/** Concrete kind behind g_activeLineOps (for row attribution). */
+std::atomic<LineBackendKind> g_activeKind{LineBackendKind::Scalar};
+} // namespace
+
+const LineKernelOps &
+resolveActiveLineOps()
+{
+    LineBackendKind kind = defaultLineBackend();
+    const LineKernelOps *ops = lineBackendOps(kind);
+    g_activeKind.store(kind, std::memory_order_relaxed);
+    g_activeLineOps.store(ops, std::memory_order_release);
+    return *ops;
+}
+
+} // namespace detail
+
+void
+setLineBackend(LineBackendKind kind)
+{
+    g_override.store(kind, std::memory_order_relaxed);
+    detail::resolveActiveLineOps();
+}
+
+LineBackendKind
+activeLineBackend()
+{
+    if (detail::g_activeLineOps.load(std::memory_order_acquire) ==
+        nullptr) {
+        detail::resolveActiveLineOps();
+    }
+    return detail::g_activeKind.load(std::memory_order_relaxed);
+}
+
+std::optional<LineBackendKind>
+parseLineBackendName(const std::string &name)
+{
+    if (name == "auto") {
+        return LineBackendKind::Auto;
+    }
+    if (name == "scalar") {
+        return LineBackendKind::Scalar;
+    }
+    if (name == "sse2") {
+        return LineBackendKind::Sse2;
+    }
+    if (name == "avx2") {
+        return LineBackendKind::Avx2;
+    }
+    return std::nullopt;
+}
+
+const char *
+lineBackendName(LineBackendKind kind)
+{
+    switch (kind) {
+      case LineBackendKind::Auto:
+        return "auto";
+      case LineBackendKind::Scalar:
+        return "scalar";
+      case LineBackendKind::Sse2:
+        return "sse2";
+      case LineBackendKind::Avx2:
+        return "avx2";
+    }
+    return "auto";
+}
+
+std::vector<LineBackendKind>
+availableLineBackends()
+{
+    std::vector<LineBackendKind> kinds{LineBackendKind::Scalar};
+    if (sse2Available()) {
+        kinds.push_back(LineBackendKind::Sse2);
+    }
+    if (avx2Available()) {
+        kinds.push_back(LineBackendKind::Avx2);
+    }
+    return kinds;
+}
+
+} // namespace deuce

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Line-kernel registry: runtime-dispatched SIMD backends for the
+ * CacheLine diff/flip primitives every simulated writeback funnels
+ * through.
+ *
+ * The library ships up to three bit-identical implementations of the
+ * fused line primitives (XOR+popcount, per-word diff masks, per-region
+ * flip counts, wear accumulation):
+ *
+ *  - "scalar"  portable limb-at-a-time reference, extracted from the
+ *              historical CacheLine/FNW/DEUCE loops (line_kernels.cc)
+ *  - "sse2"    128-bit SWAR popcount + byte-compare masks; built
+ *              whenever the target has SSE2 (baseline on x86-64,
+ *              line_kernels_sse2.cc)
+ *  - "avx2"    256-bit nibble-LUT popcount (vpshufb + vpsadbw); the
+ *              only TU compiled with -mavx2 and only dispatched to
+ *              when CPUID reports AVX2 (line_kernels_avx2.cc)
+ *
+ * Selection order for the active backend: setLineBackend() (the
+ * --line-backend CLI flag) > the DEUCE_LINE_BACKEND environment
+ * variable > Auto. Auto resolves to the fastest backend the host
+ * supports (avx2 > sse2 > scalar); an explicit request for an
+ * unavailable backend degrades down the same ladder with a one-time
+ * warning, never an error — all backends produce identical results,
+ * so a fallback changes wall-clock only. The claim is enforced by the
+ * backend-differential tests (tests/common/test_line_kernels.cc) and
+ * the golden sweep regression (tests/sim/test_sweep_golden.cc).
+ */
+
+#ifndef DEUCE_COMMON_LINE_KERNELS_HH
+#define DEUCE_COMMON_LINE_KERNELS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cache_line.hh"
+
+namespace deuce
+{
+
+/** Selectable line-kernel implementations. */
+enum class LineBackendKind
+{
+    Auto,   ///< resolve to the fastest available backend
+    Scalar, ///< portable limb-at-a-time reference implementation
+    Sse2,   ///< 128-bit SSE2 SWAR implementation
+    Avx2,   ///< 256-bit AVX2 implementation
+};
+
+/**
+ * Function table of one backend. All functions must be bit-identical
+ * to the scalar reference for every input; they differ in wall-clock
+ * only. Output parameters may alias inputs (every implementation
+ * loads a full line before storing any of it).
+ */
+struct LineKernelOps
+{
+    const char *name;
+
+    /** Number of set bits in the line. */
+    unsigned (*popcount)(const CacheLine &a);
+
+    /** popcount(a ^ b) without materializing the diff. */
+    unsigned (*xorPopcount)(const CacheLine &a, const CacheLine &b);
+
+    /**
+     * One-pass fused diff: writes a ^ b into @p diff_out (which may
+     * alias @p a or @p b) and returns its popcount.
+     */
+    unsigned (*diffInto)(const CacheLine &a, const CacheLine &b,
+                         CacheLine &diff_out);
+
+    /**
+     * Per-word diff bitmask: bit w is set iff word w of @p a and
+     * @p b differ. @p word_bits must be a power of two in [8, 512]
+     * (16 words of 32 bits is the shape the DEUCE hot path uses; BLE
+     * uses 4 words of 128 bits).
+     */
+    uint64_t (*wordDiffMask)(const CacheLine &a, const CacheLine &b,
+                             unsigned word_bits);
+
+    /**
+     * Masked per-region flip counts: out[r] = popcount of region r of
+     * @p diff. @p region_bits must divide 512 (FNW regions are 16
+     * bits; the device write slots are 4x128 bits). @p out must hold
+     * 512 / region_bits entries.
+     */
+    void (*regionPopcounts)(const CacheLine &diff, unsigned region_bits,
+                            uint16_t *out);
+
+    /**
+     * Fused stuck-cell conflict scan: out = (a ^ b) & mask, returning
+     * its popcount. @p out may alias any input.
+     */
+    unsigned (*maskedXorInto)(const CacheLine &a, const CacheLine &b,
+                              const CacheLine &mask, CacheLine &out);
+
+    /** out = a & ~b, returning its popcount. @p out may alias. */
+    unsigned (*andNotInto)(const CacheLine &a, const CacheLine &b,
+                           CacheLine &out);
+
+    /**
+     * Wear accumulation: counters[i] += 1 for every set bit i of
+     * @p diff. @p counters must hold CacheLine::kBits entries. The
+     * strategy (sparse bit-scan vs dense add) is the backend's
+     * choice; the resulting counter values are identical.
+     */
+    void (*accumulateFlips)(const CacheLine &diff, uint64_t *counters);
+
+    /**
+     * Batched multi-line diff for sweep cells: out[i] =
+     * popcount(a[i] ^ b[i]) for i in [0, n).
+     */
+    void (*xorPopcountBatch)(const CacheLine *a, const CacheLine *b,
+                             uint32_t *out, std::size_t n);
+};
+
+/** True when the SSE2 TU was compiled for a target with SSE2. */
+bool sse2Available();
+
+/** True when the AVX2 TU was compiled in (CMake DEUCE_AVX2). */
+bool avx2Compiled();
+
+/** True when AVX2 is both compiled in and reported by CPUID. */
+bool avx2Available();
+
+/**
+ * Resolve @p kind to a concrete, available backend: Auto picks the
+ * best available; an explicit but unavailable request degrades
+ * (avx2 -> sse2 -> scalar) with a one-time stderr note.
+ */
+LineBackendKind resolveLineBackend(LineBackendKind kind);
+
+/** Ops table for @p kind (resolved first; never returns null). */
+const LineKernelOps *lineBackendOps(LineBackendKind kind);
+
+/**
+ * Process-wide default backend: setLineBackend() override if any,
+ * else DEUCE_LINE_BACKEND, else Auto — resolved to a concrete
+ * backend.
+ */
+LineBackendKind defaultLineBackend();
+
+/**
+ * Override the default backend (the --line-backend flag). Takes
+ * effect immediately: the next lineKernels() call anywhere in the
+ * process dispatches through the new table.
+ */
+void setLineBackend(LineBackendKind kind);
+
+/** Concrete backend the process is currently dispatching to. */
+LineBackendKind activeLineBackend();
+
+/** Parse "auto"/"scalar"/"sse2"/"avx2"; nullopt on anything else. */
+std::optional<LineBackendKind> parseLineBackendName(
+    const std::string &name);
+
+/** Canonical lowercase name of @p kind ("auto" for Auto). */
+const char *lineBackendName(LineBackendKind kind);
+
+/**
+ * The concrete backends this process can dispatch to (scalar always,
+ * sse2/avx2 when available) — what the differential tests and the
+ * per-backend micro benchmarks iterate over.
+ */
+std::vector<LineBackendKind> availableLineBackends();
+
+/** Scalar reference ops table (defined in line_kernels.cc). */
+const LineKernelOps *scalarLineKernelOps();
+
+/**
+ * The SSE2 ops table, or null when the target lacks SSE2. Defined in
+ * line_kernels_sse2.cc (the TU compiles to the null stub on
+ * non-SSE2 targets).
+ */
+const LineKernelOps *sse2LineKernelOps();
+
+/**
+ * The AVX2 ops table, or null when not compiled in. Defined by
+ * line_kernels_avx2.cc (real) or line_kernels_avx2_stub.cc (null)
+ * depending on the DEUCE_AVX2 CMake option; everything else goes
+ * through lineBackendOps().
+ */
+const LineKernelOps *avx2LineKernelOps();
+
+namespace detail
+{
+
+/** Cached active ops table; null until first resolution. */
+extern std::atomic<const LineKernelOps *> g_activeLineOps;
+
+/** Slow path: resolve the default backend and cache its table. */
+const LineKernelOps &resolveActiveLineOps();
+
+} // namespace detail
+
+/**
+ * The active backend's ops table — the one-load fast path every hot
+ * call site (CacheLine::popcount, makeWriteResult, applyFnw, ...)
+ * dispatches through.
+ */
+inline const LineKernelOps &
+lineKernels()
+{
+    const LineKernelOps *ops =
+        detail::g_activeLineOps.load(std::memory_order_acquire);
+    return ops != nullptr ? *ops : detail::resolveActiveLineOps();
+}
+
+} // namespace deuce
+
+#endif // DEUCE_COMMON_LINE_KERNELS_HH

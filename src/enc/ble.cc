@@ -8,6 +8,7 @@
 #include <bit>
 #include <sstream>
 
+#include "common/line_kernels.hh"
 #include "common/logging.hh"
 
 namespace deuce
@@ -119,9 +120,10 @@ BlockLevelEncryption::write(uint64_t line_addr, const CacheLine &plaintext,
     unsigned dirty_mask = 0;
     unsigned tctr_mask = 0;
     uint64_t new_ctrs[kBlocks] = {};
+    const uint64_t dirty_blocks =
+        lineKernels().wordDiffMask(plaintext, cur_plain, kBlockBits);
     for (unsigned b = 0; b < kBlocks; ++b) {
-        if (hammingDistance(plaintext, cur_plain, b * kBlockBits,
-                            kBlockBits) == 0) {
+        if (!(dirty_blocks & (uint64_t{1} << b))) {
             continue; // counter and ciphertext untouched
         }
         dirty_mask |= 1u << b;

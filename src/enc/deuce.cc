@@ -8,6 +8,7 @@
 #include <bit>
 #include <sstream>
 
+#include "common/line_kernels.hh"
 #include "common/logging.hh"
 #include "pcm/fnw.hh"
 
@@ -85,17 +86,11 @@ Deuce::encryptStep(uint64_t line_addr, const CacheLine &plaintext,
     }
 
     // Mark words that this write changes relative to current contents.
-    uint64_t modified = old_modified;
-    for (unsigned w = 0; w < numWords_; ++w) {
-        if (modified & (uint64_t{1} << w)) {
-            continue; // already tracked since the epoch start
-        }
-        unsigned lsb = w * wordBits_;
-        if (plaintext.field(lsb, wordBits_) !=
-            cur_plain.field(lsb, wordBits_)) {
-            modified |= uint64_t{1} << w;
-        }
-    }
+    // Words already tracked since the epoch start stay marked, so the
+    // full diff mask can simply be OR-ed in.
+    uint64_t modified =
+        old_modified |
+        lineKernels().wordDiffMask(plaintext, cur_plain, wordBits_);
 
     // Modified words take the fresh LCTR pad; unmodified words keep
     // their epoch-start (TCTR) ciphertext. Since an unmodified word's

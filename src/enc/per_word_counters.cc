@@ -5,8 +5,10 @@
 
 #include "enc/per_word_counters.hh"
 
+#include <bit>
 #include <sstream>
 
+#include "common/line_kernels.hh"
 #include "common/logging.hh"
 
 namespace deuce
@@ -118,11 +120,12 @@ PerWordCounters::write(uint64_t line_addr, const CacheLine &plaintext,
     CacheLine cur = read(line_addr, state);
 
     // First pass: does any modified word overflow its counter?
+    const uint64_t dirty_words =
+        lineKernels().wordDiffMask(plaintext, cur, wordBits_);
     bool overflow = false;
-    for (unsigned w = 0; w < numWords_; ++w) {
-        unsigned lsb = w * wordBits_;
-        if (plaintext.field(lsb, wordBits_) != cur.field(lsb, wordBits_)
-            && ctrs.value[w] >= counterMax_) {
+    for (uint64_t bits = dirty_words; bits; bits &= bits - 1) {
+        unsigned w = static_cast<unsigned>(__builtin_ctzll(bits));
+        if (ctrs.value[w] >= counterMax_) {
             overflow = true;
             break;
         }
@@ -158,17 +161,13 @@ PerWordCounters::write(uint64_t line_addr, const CacheLine &plaintext,
     unsigned mod_words[64] = {};
     uint64_t mod_ctrs[64] = {};
     unsigned n_mod = 0;
-    for (unsigned w = 0; w < numWords_; ++w) {
-        unsigned lsb = w * wordBits_;
-        if (plaintext.field(lsb, wordBits_) ==
-            cur.field(lsb, wordBits_)) {
-            continue; // untouched word: ciphertext unchanged
-        }
+    for (uint64_t bits = dirty_words; bits; bits &= bits - 1) {
+        unsigned w = static_cast<unsigned>(__builtin_ctzll(bits));
         uint64_t old_ctr = ctrs.value[w];
         uint64_t new_ctr = old_ctr + 1;
         ctrs.value[w] = static_cast<uint16_t>(new_ctr);
         counter_flips += static_cast<unsigned>(
-            __builtin_popcountll((old_ctr ^ new_ctr) & counterMax_));
+            std::popcount((old_ctr ^ new_ctr) & counterMax_));
         mod_words[n_mod] = w;
         mod_ctrs[n_mod] = new_ctr;
         ++n_mod;

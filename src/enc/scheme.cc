@@ -7,6 +7,7 @@
 
 #include <bit>
 
+#include "common/line_kernels.hh"
 #include "obs/registry.hh"
 
 namespace deuce
@@ -30,8 +31,10 @@ makeWriteResult(const StoredLineState &before,
                 const StoredLineState &after)
 {
     WriteResult r;
-    r.dataDiff = before.data ^ after.data;
-    r.dataFlips = r.dataDiff.popcount();
+    // One fused pass (XOR + popcount) over the hottest diff in the
+    // simulator: every writeback of every scheme funnels through here.
+    r.dataFlips = lineKernels().diffInto(before.data, after.data,
+                                         r.dataDiff);
 
     constexpr uint64_t ctr_mask = (uint64_t{1} << kLineCounterBits) - 1;
 

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "common/line_kernels.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 
@@ -89,15 +90,14 @@ CellFaultMap::recordWrite(uint64_t line, const CacheLine &flips,
     // Conflicts are judged against the cells that were stuck *before*
     // this write: a cell dying on this very write freezes at the value
     // the write leaves behind, so it cannot conflict yet.
-    for (unsigned limb = 0; limb < CacheLine::kLimbs; ++limb) {
-        effect.conflicts.limb(limb) =
-            (image.limb(limb) ^ state.stuckValue.limb(limb)) &
-            state.stuck.limb(limb);
-    }
+    lineKernels().maskedXorInto(image, state.stuckValue, state.stuck,
+                                effect.conflicts);
 
+    // Stuck cells no longer flip; their wear is complete.
+    CacheLine live;
+    lineKernels().andNotInto(flips, state.stuck, live);
     for (unsigned limb = 0; limb < CacheLine::kLimbs; ++limb) {
-        // Stuck cells no longer flip; their wear is complete.
-        uint64_t bits = flips.limb(limb) & ~state.stuck.limb(limb);
+        uint64_t bits = live.limb(limb);
         while (bits) {
             unsigned bit = static_cast<unsigned>(__builtin_ctzll(bits));
             bits &= bits - 1;

@@ -5,8 +5,7 @@
 
 #include "pcm/fnw.hh"
 
-#include <bit>
-
+#include "common/line_kernels.hh"
 #include "common/logging.hh"
 
 namespace deuce
@@ -24,26 +23,31 @@ applyFnw(const CacheLine &old_stored, uint64_t old_flip_bits,
     FnwResult result;
     result.stored = logical;
 
-    for (unsigned r = 0; r < regions; ++r) {
-        unsigned lsb = r * region_bits;
-        uint64_t old_bits = old_stored.field(lsb, region_bits);
-        uint64_t new_bits = logical.field(lsb, region_bits);
-        uint64_t mask = (region_bits == 64)
-            ? ~uint64_t{0} : ((uint64_t{1} << region_bits) - 1);
+    // One fused pass over the line gives every region's as-is flip
+    // count; the inverted candidate's count follows for free, since
+    // XOR-ing a region with its all-ones mask flips every bit:
+    // popcount(old ^ ~new) == region_bits - popcount(old ^ new).
+    uint16_t plain_counts[CacheLine::kBits / 2];
+    const CacheLine diff = old_stored.diff(logical);
+    lineKernels().regionPopcounts(diff, region_bits, plain_counts);
 
+    uint64_t mask = (region_bits == 64)
+        ? ~uint64_t{0} : ((uint64_t{1} << region_bits) - 1);
+    for (unsigned r = 0; r < regions; ++r) {
         bool old_flip = (old_flip_bits >> r) & 1;
 
         // Candidate 0: store as-is; candidate 1: store inverted.
-        auto plain_flips = static_cast<unsigned>(
-            std::popcount(old_bits ^ new_bits));
-        auto inverted_flips = static_cast<unsigned>(
-            std::popcount(old_bits ^ (new_bits ^ mask)));
+        unsigned plain_flips = plain_counts[r];
+        unsigned inverted_flips = region_bits - plain_flips;
         unsigned cost0 = plain_flips + (old_flip ? 1u : 0u);
         unsigned cost1 = inverted_flips + (old_flip ? 0u : 1u);
 
         bool invert = cost1 < cost0;
         if (invert) {
-            result.stored.setField(lsb, region_bits, new_bits ^ mask);
+            unsigned lsb = r * region_bits;
+            result.stored.setField(
+                lsb, region_bits,
+                logical.field(lsb, region_bits) ^ mask);
             result.flipBits |= uint64_t{1} << r;
             result.dataFlips += inverted_flips;
         } else {

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "common/line_kernels.hh"
+
 namespace deuce
 {
 
@@ -26,15 +28,8 @@ WearTracker::recordWrite(const CacheLine &diff, uint64_t meta_diff,
     const CacheLine physical =
         rotation ? diff.rotl(rotation % CacheLine::kBits) : diff;
 
-    for (unsigned limb = 0; limb < CacheLine::kLimbs; ++limb) {
-        uint64_t bits = physical.limb(limb);
-        while (bits) {
-            unsigned bit = static_cast<unsigned>(__builtin_ctzll(bits));
-            ++dataFlips_[limb * 64 + bit];
-            ++totalDataFlips_;
-            bits &= bits - 1;
-        }
-    }
+    lineKernels().accumulateFlips(physical, dataFlips_.data());
+    totalDataFlips_ += physical.popcount();
 
     while (meta_diff) {
         unsigned bit = static_cast<unsigned>(__builtin_ctzll(meta_diff));

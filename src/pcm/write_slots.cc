@@ -5,6 +5,7 @@
 
 #include "pcm/write_slots.hh"
 
+#include "common/line_kernels.hh"
 #include "common/logging.hh"
 
 namespace deuce
@@ -18,10 +19,12 @@ slotsForWrite(const CacheLine &diff, unsigned meta_flips,
                  CacheLine::kBits % cfg.slotBits == 0);
     unsigned regions = CacheLine::kBits / cfg.slotBits;
 
+    uint16_t region_flips[CacheLine::kBits];
+    lineKernels().regionPopcounts(diff, cfg.slotBits, region_flips);
+
     unsigned slots = 0;
     for (unsigned r = 0; r < regions; ++r) {
-        unsigned flips = hammingDistance(diff, CacheLine{},
-                                         r * cfg.slotBits, cfg.slotBits);
+        unsigned flips = region_flips[r];
         if (r == 0) {
             flips += meta_flips;
         }

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "common/line_kernels.hh"
 #include "common/logging.hh"
 #include "enc/scheme_factory.hh"
 #include "obs/trace.hh"
@@ -146,6 +147,7 @@ runExperiment(const BenchmarkProfile &profile,
     std::unique_ptr<EncryptionScheme> scheme = factory(*otp);
     ExperimentRow row = runExperiment(profile, *scheme, options);
     row.aesBackend = otp->backendName();
+    row.lineBackend = lineBackendName(activeLineBackend());
     return row;
 }
 

@@ -71,6 +71,15 @@ struct ExperimentRow
      */
     std::string aesBackend;
 
+    /**
+     * Line-kernel backend the cell ran on ("scalar", "sse2", or
+     * "avx2" — the resolved --line-backend / DEUCE_LINE_BACKEND
+     * selection). Populated by the factory-based runExperiment
+     * overloads alongside aesBackend; empty for borrowed-scheme runs
+     * and omitted from the JSON row when empty.
+     */
+    std::string lineBackend;
+
     /** Average bits modified per write, percent of the 512 line bits. */
     double flipPct = 0.0;
 

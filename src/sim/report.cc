@@ -165,6 +165,10 @@ experimentRowJson(const ExperimentRow &row)
         os << ",\"aes_backend\":\"" << jsonEscape(row.aesBackend)
            << '"';
     }
+    if (!row.lineBackend.empty()) {
+        os << ",\"line_backend\":\"" << jsonEscape(row.lineBackend)
+           << '"';
+    }
     // Fault counters are appended only when the fault model ran, so
     // fault-disabled rows stay byte-identical to the pre-fault format.
     if (row.faultEnabled) {

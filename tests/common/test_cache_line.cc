@@ -234,5 +234,74 @@ TEST(CacheLine, FieldBoundsChecked)
     EXPECT_THROW(line.setField(512, 1, 0), PanicError);
 }
 
+TEST(CacheLine, LastBitRoundTrips)
+{
+    // Bit 511 is the MSB of the last limb: the position where an
+    // off-by-one in limb indexing or shift width would corrupt state.
+    CacheLine line;
+    line.setBit(511, true);
+    EXPECT_TRUE(line.bit(511));
+    EXPECT_EQ(line.popcount(), 1u);
+    EXPECT_EQ(line.limb(7), uint64_t{1} << 63);
+    EXPECT_EQ(line.field(511, 1), 1u);
+
+    line.setBit(511, false);
+    EXPECT_FALSE(line.bit(511));
+    EXPECT_EQ(line.popcount(), 0u);
+}
+
+TEST(CacheLine, LimbBoundaryBitsRoundTrip)
+{
+    // Every limb boundary, both sides: setting one must never leak
+    // into its neighbour.
+    CacheLine line;
+    for (unsigned limb = 1; limb < CacheLine::kLimbs; ++limb) {
+        unsigned boundary = limb * 64;
+        line.setBit(boundary - 1, true);
+        line.setBit(boundary, true);
+        EXPECT_TRUE(line.bit(boundary - 1));
+        EXPECT_TRUE(line.bit(boundary));
+        EXPECT_EQ(line.popcount(), 2u * limb);
+    }
+    for (unsigned limb = 1; limb < CacheLine::kLimbs; ++limb) {
+        unsigned boundary = limb * 64;
+        line.setBit(boundary - 1, false);
+        EXPECT_FALSE(line.bit(boundary - 1));
+        EXPECT_TRUE(line.bit(boundary));
+        line.setBit(boundary, false);
+    }
+    EXPECT_EQ(line.popcount(), 0u);
+}
+
+TEST(CacheLine, DiffAndFlipsToOnAliasedArguments)
+{
+    Rng rng(99);
+    CacheLine line = randomLine(rng);
+
+    // A line diffed or distanced against itself is exactly zero —
+    // including when both arguments are the same object.
+    EXPECT_EQ(line.flipsTo(line), 0u);
+    EXPECT_EQ(line.diff(line), CacheLine{});
+    EXPECT_EQ(hammingDistance(line, line), 0u);
+
+    // Aliased diff must not be confused by partial writes: compare
+    // against a distinct-object copy.
+    CacheLine copy = line;
+    EXPECT_EQ(line.diff(copy), CacheLine{});
+    EXPECT_EQ(line.flipsTo(copy), 0u);
+}
+
+TEST(CacheLine, FlipsToMatchesManualXorPopcount)
+{
+    Rng rng(100);
+    for (int trial = 0; trial < 32; ++trial) {
+        CacheLine a = randomLine(rng);
+        CacheLine b = randomLine(rng);
+        EXPECT_EQ(a.flipsTo(b), (a ^ b).popcount());
+        EXPECT_EQ(a.flipsTo(b), b.flipsTo(a));
+        EXPECT_EQ(a.diff(b), a ^ b);
+    }
+}
+
 } // namespace
 } // namespace deuce

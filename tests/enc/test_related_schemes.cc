@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <map>
 
 #include "common/logging.hh"
@@ -204,6 +205,39 @@ TEST_F(PerWordTest, NarrowCountersForceRekeys)
     // 20 writes to one word through 2-bit counters: several full
     // line re-keys were unavoidable.
     EXPECT_GE(scheme.overflowRekeys(), 4u);
+}
+
+TEST_F(PerWordTest, CounterFlipAccountingIsExactThroughOverflow)
+{
+    // Non-overflow writes leave every StoredLineState metadata field
+    // untouched, so r.metaFlips is exactly the counter churn: the
+    // popcount of (old ^ new) & counterMax for each bumped counter.
+    PerWordCounters scheme(*otp_, 2, 4); // 4-bit counters, max 15
+    Rng rng(6);
+    CacheLine plain = randomLine(rng);
+    StoredLineState state;
+    scheme.install(6, plain, state);
+
+    for (uint64_t c = 0; c < 15; ++c) {
+        plain.setField(0, 16, plain.field(0, 16) ^ 0x1);
+        WriteResult r = scheme.write(6, plain, state);
+        unsigned expected = static_cast<unsigned>(
+            std::popcount((c ^ (c + 1)) & uint64_t{0xf}));
+        EXPECT_EQ(r.metaFlips, expected) << "transition " << c;
+        ASSERT_EQ(scheme.read(6, state), plain);
+    }
+
+    // The 16th write finds the counter saturated at 15: the line
+    // re-keys (epoch bump = 1 meta flip from the line counter field,
+    // no per-word counter churn charged) and re-encrypts fully.
+    EXPECT_EQ(scheme.overflowRekeys(), 0u);
+    plain.setField(0, 16, plain.field(0, 16) ^ 0x1);
+    WriteResult r = scheme.write(6, plain, state);
+    EXPECT_EQ(scheme.overflowRekeys(), 1u);
+    EXPECT_EQ(r.metaFlips, 1u);
+    // A full re-key re-encrypts even untouched words.
+    EXPECT_GT(r.dataFlips, 16u);
+    ASSERT_EQ(scheme.read(6, state), plain);
 }
 
 TEST_F(PerWordTest, FlipsComparableToDeuceButStorageIsNot)

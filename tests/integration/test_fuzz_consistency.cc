@@ -2,13 +2,18 @@
  * @file
  * Fuzz-style cross-component consistency checks: long random traffic
  * through the full stack, with every internal accounting channel
- * cross-validated against every other on each step.
+ * cross-validated against every other on each step. The whole fuzz
+ * runs once per (scheme, line-kernel backend) pair, so a backend
+ * whose popcounts drift from the scalar reference fails here, not
+ * just in the unit-level differential tests.
  */
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <tuple>
 
+#include "common/line_kernels.hh"
 #include "common/rng.hh"
 #include "crypto/otp_engine.hh"
 #include "enc/scheme_factory.hh"
@@ -30,14 +35,26 @@ randomLine(Rng &rng)
     return line;
 }
 
-class FuzzConsistencyTest : public ::testing::TestWithParam<std::string>
+class FuzzConsistencyTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, LineBackendKind>>
 {
+  protected:
+    void SetUp() override
+    {
+        setLineBackend(std::get<1>(GetParam()));
+    }
+    void TearDown() override
+    {
+        setLineBackend(LineBackendKind::Auto);
+    }
 };
 
 TEST_P(FuzzConsistencyTest, AllAccountingChannelsAgree)
 {
+    const std::string &scheme_id = std::get<0>(GetParam());
     auto otp = std::make_unique<FastOtpEngine>(77);
-    auto scheme = makeScheme(GetParam(), *otp);
+    auto scheme = makeScheme(scheme_id, *otp);
     WearLevelingConfig wl;
     wl.verticalEnabled = true;
     wl.numLines = 64;
@@ -86,7 +103,7 @@ TEST_P(FuzzConsistencyTest, AllAccountingChannelsAgree)
         // Channel 4: decrypt returns ground truth.
         if (step % 25 == 0) {
             for (const auto &[a, d] : truth) {
-                ASSERT_EQ(memory.read(a), d) << GetParam();
+                ASSERT_EQ(memory.read(a), d) << scheme_id;
             }
         }
     }
@@ -112,17 +129,20 @@ TEST_P(FuzzConsistencyTest, AllAccountingChannelsAgree)
 
 INSTANTIATE_TEST_SUITE_P(
     AllSchemes, FuzzConsistencyTest,
-    ::testing::Values("nodcw", "nofnw", "encr", "encr-fnw", "ble",
-                      "ble-deuce", "deuce", "deuce-fnw", "dyndeuce",
-                      "addrpad"),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        std::string name = info.param;
+    ::testing::Combine(
+        ::testing::Values("nodcw", "nofnw", "encr", "encr-fnw", "ble",
+                          "ble-deuce", "deuce", "deuce-fnw",
+                          "dyndeuce", "addrpad"),
+        ::testing::ValuesIn(availableLineBackends())),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, LineBackendKind>> &info) {
+        std::string name = std::get<0>(info.param);
         for (char &c : name) {
             if (c == '-') {
                 c = '_';
             }
         }
-        return name;
+        return name + '_' + lineBackendName(std::get<1>(info.param));
     });
 
 } // namespace
