@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Serving benchmark: sustained throughput and tail latency of the
+ * sharded, queue-driven secure-memory core.
+ *
+ * For every (shards x tenants) cell the bench generates a fixed,
+ * seed-deterministic request stream (tenants partitioned across
+ * client threads so every line has a single writer — the condition
+ * under which the sharded path is bit-deterministic), drives it
+ * through a ShardedMemorySystem with per-request latency stamping,
+ * then replays the identical stream on one single-threaded
+ * MemorySystem and requires the aggregate integer counters (writes,
+ * reads, flips, slots, energy, wear totals, per-bank counters,
+ * histogram buckets) to be bit-identical. A signature mismatch is a
+ * hard failure.
+ *
+ * Reported per cell: sustained ops/sec (serving and sequential) and
+ * p50/p99/p999 completion latency.
+ *
+ *   $ ./bench_serving [--shards 1,4,8] [--tenants 1,4] [--clients 2]
+ *                     [--ops N] [--read-pct 50] [--scheme deuce]
+ *                     [--fast-otp] [--working-set 4096] [--seed S]
+ *                     [--queue 1024] [--burst 64] [--json rows.jsonl]
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "serve/sharded_memory_system.hh"
+#include "sim/report.hh"
+
+namespace
+{
+
+using namespace deuce;
+using namespace deuce::serve;
+
+struct Args
+{
+    std::vector<unsigned> shards{1, 4, 8};
+    std::vector<unsigned> tenants{1, 4};
+    unsigned clients = 2;
+    uint64_t ops = 100000;
+    unsigned readPct = 50;
+    unsigned workingSet = 4096;
+    std::string scheme = "deuce";
+    bool fastOtp = false;
+    uint64_t seed = 0xfeedface;
+    size_t queue = 1024;
+    unsigned burst = 64;
+    std::string json;
+};
+
+std::vector<unsigned>
+parseCsv(const std::string &s)
+{
+    std::vector<unsigned> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        out.push_back(static_cast<unsigned>(
+            std::strtoul(item.c_str(), nullptr, 10)));
+    }
+    deuce_assert(!out.empty());
+    return out;
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            deuce_assert(i + 1 < argc);
+            return argv[++i];
+        };
+        if (a == "--shards") {
+            args.shards = parseCsv(next());
+        } else if (a == "--tenants") {
+            args.tenants = parseCsv(next());
+        } else if (a == "--clients") {
+            args.clients = parseCsv(next())[0];
+        } else if (a == "--ops") {
+            args.ops = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (a == "--read-pct") {
+            args.readPct = parseCsv(next())[0];
+        } else if (a == "--working-set") {
+            args.workingSet = parseCsv(next())[0];
+        } else if (a == "--scheme") {
+            args.scheme = next();
+        } else if (a == "--fast-otp") {
+            args.fastOtp = true;
+        } else if (a == "--seed") {
+            args.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (a == "--queue") {
+            args.queue = parseCsv(next())[0];
+        } else if (a == "--burst") {
+            args.burst = parseCsv(next())[0];
+        } else if (a == "--json") {
+            args.json = next();
+        } else {
+            std::cerr << "unknown argument: " << a << "\n";
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+/**
+ * One client's seed-deterministic request stream. Client c drives
+ * tenants {t : t % clients == c}, so no line is ever written from two
+ * queues and per-line order equals trace order.
+ */
+std::vector<Request>
+makeClientTrace(const Args &args, unsigned shards, unsigned tenants,
+                unsigned clients, unsigned client, uint64_t ops)
+{
+    Rng rng(args.seed ^ (0x5bd1e995ull * (shards + 1)) ^
+            (0x9e3779b9ull * (tenants + 1)) ^
+            (0xc2b2ae35ull * (client + 1)));
+    std::vector<unsigned> owned;
+    for (unsigned t = client; t < tenants; t += clients) {
+        owned.push_back(t);
+    }
+    ZipfSampler addrs(args.workingSet, 0.9);
+    std::vector<Request> trace;
+    trace.reserve(ops);
+    for (uint64_t i = 0; i < ops; ++i) {
+        Request req;
+        req.tenant = static_cast<uint16_t>(
+            owned[rng.nextBounded(owned.size())]);
+        req.addr = addrs.sample(rng);
+        req.seq = client * ops + i;
+        if (rng.nextBounded(100) < args.readPct) {
+            req.op = ReqOp::Read;
+        } else {
+            req.op = ReqOp::Write;
+            for (unsigned l = 0; l < CacheLine::kLimbs; ++l) {
+                req.data.limb(l) = rng.next();
+            }
+        }
+        trace.push_back(req);
+    }
+    return trace;
+}
+
+struct CellResult
+{
+    double servingOpsPerSec = 0.0;
+    double sequentialOpsPerSec = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    MemoryCounters aggregate;
+    bool deterministic = false;
+};
+
+double
+percentileUs(std::vector<uint64_t> &latencies, double q)
+{
+    deuce_assert(!latencies.empty());
+    size_t idx = static_cast<size_t>(
+        q * static_cast<double>(latencies.size()));
+    idx = std::min(idx, latencies.size() - 1);
+    return static_cast<double>(latencies[idx]) / 1e3;
+}
+
+CellResult
+runCell(const Args &args, unsigned shards, unsigned tenants)
+{
+    unsigned clients = std::min(args.clients, tenants);
+    uint64_t opsPerClient = args.ops / clients;
+
+    ServeConfig cfg;
+    cfg.scheme = args.scheme;
+    cfg.shards = shards;
+    cfg.tenants = tenants;
+    cfg.fastOtp = args.fastOtp;
+    cfg.masterSeed = args.seed;
+    cfg.queueCapacity = args.queue;
+    cfg.maxBurst = args.burst;
+
+    std::vector<std::vector<Request>> traces;
+    for (unsigned c = 0; c < clients; ++c) {
+        traces.push_back(makeClientTrace(args, shards, tenants,
+                                         clients, c, opsPerClient));
+    }
+
+    ShardedMemorySystem srv(cfg);
+    std::vector<ShardedMemorySystem::ClientPort> ports;
+    ports.reserve(clients);
+    for (unsigned c = 0; c < clients; ++c) {
+        ports.push_back(srv.addClient());
+    }
+    srv.start();
+
+    std::vector<std::vector<uint64_t>> latencies(clients);
+    uint64_t startNs = nowNs();
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            auto &port = ports[c];
+            auto &lats = latencies[c];
+            lats.reserve(traces[c].size());
+            uint64_t reaped = 0;
+            Completion done;
+            auto reap = [&] {
+                while (port.tryPoll(done)) {
+                    lats.push_back(nowNs() - done.submitNs);
+                    ++reaped;
+                }
+            };
+            for (Request &req : traces[c]) {
+                req.submitNs = nowNs();
+                while (!port.trySubmit(req)) {
+                    reap(); // SQ full: make room by reaping
+                }
+                reap();
+            }
+            while (reaped < traces[c].size()) {
+                reap();
+            }
+        });
+    }
+    for (auto &t : threads) {
+        t.join();
+    }
+    uint64_t servingNs = nowNs() - startNs;
+    srv.stop();
+
+    CellResult result;
+    uint64_t totalOps = opsPerClient * clients;
+    result.servingOpsPerSec =
+        static_cast<double>(totalOps) * 1e9 /
+        static_cast<double>(servingNs);
+    result.aggregate = srv.aggregateCounters();
+
+    std::vector<uint64_t> all;
+    for (auto &lats : latencies) {
+        all.insert(all.end(), lats.begin(), lats.end());
+    }
+    std::sort(all.begin(), all.end());
+    result.p50Us = percentileUs(all, 0.50);
+    result.p99Us = percentileUs(all, 0.99);
+    result.p999Us = percentileUs(all, 0.999);
+
+    // Sequential reference: the same stream, round-robin interleaved
+    // across the clients (any fixed interleave works — per-line order
+    // is per-client order), applied on one MemorySystem.
+    std::vector<Request> sequential;
+    sequential.reserve(totalOps);
+    for (uint64_t i = 0; i < opsPerClient; ++i) {
+        for (unsigned c = 0; c < clients; ++c) {
+            sequential.push_back(traces[c][i]);
+        }
+    }
+    uint64_t seqStart = nowNs();
+    MemoryCounters reference = replaySequential(cfg, sequential);
+    uint64_t seqNs = nowNs() - seqStart;
+    result.sequentialOpsPerSec = static_cast<double>(totalOps) * 1e9 /
+                                 static_cast<double>(seqNs);
+
+    result.deterministic = result.aggregate.deterministicSignature() ==
+                           reference.deterministicSignature();
+    return result;
+}
+
+void
+appendJsonRow(const Args &args, unsigned shards, unsigned tenants,
+              const CellResult &result)
+{
+    std::string path = args.json;
+    if (path.empty()) {
+        if (const char *env = std::getenv("DEUCE_BENCH_JSON")) {
+            path = env;
+        }
+    }
+    if (path.empty()) {
+        return;
+    }
+    std::ofstream out(path, std::ios::app);
+    out << "{\"bench\":\"SERVING\",\"scheme\":\"" << args.scheme
+        << "\",\"shards\":" << shards << ",\"tenants\":" << tenants
+        << ",\"clients\":" << std::min(args.clients, tenants)
+        << ",\"ops\":" << args.ops << ",\"read_pct\":" << args.readPct
+        << ",\"ops_per_sec\":" << result.servingOpsPerSec
+        << ",\"seq_ops_per_sec\":" << result.sequentialOpsPerSec
+        << ",\"p50_us\":" << result.p50Us
+        << ",\"p99_us\":" << result.p99Us
+        << ",\"p999_us\":" << result.p999Us << ",\"flip_pct\":"
+        << result.aggregate.flipStat().mean() * 100.0
+        << ",\"bit_flips\":" << result.aggregate.energy().flips()
+        << ",\"deterministic\":"
+        << (result.deterministic ? "true" : "false") << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+
+    printBanner(std::cout, "Serving",
+                "sharded queue-driven secure-memory core — sustained "
+                "ops/sec and tail latency");
+    std::cout << "scheme " << args.scheme << ", " << args.ops
+              << " ops/cell, " << args.readPct << "% reads, "
+              << args.clients << " client threads"
+              << (args.fastOtp ? ", fast pads" : ", AES pads")
+              << "\n\n";
+
+    Table table({"cell", "ops/s", "seq ops/s", "speedup", "p50 us",
+                 "p99 us", "p999 us", "flip %", "ok"});
+    bool allDeterministic = true;
+    for (unsigned shards : args.shards) {
+        for (unsigned tenants : args.tenants) {
+            CellResult r = runCell(args, shards, tenants);
+            allDeterministic = allDeterministic && r.deterministic;
+            table.addRow({
+                std::to_string(shards) + "s x " +
+                    std::to_string(tenants) + "t",
+                fmt(r.servingOpsPerSec / 1e3, 0) + "k",
+                fmt(r.sequentialOpsPerSec / 1e3, 0) + "k",
+                fmt(r.servingOpsPerSec / r.sequentialOpsPerSec, 2),
+                fmt(r.p50Us, 1),
+                fmt(r.p99Us, 1),
+                fmt(r.p999Us, 1),
+                fmt(r.aggregate.flipStat().mean() * 100.0, 1),
+                r.deterministic ? "=" : "DIVERGED",
+            });
+            appendJsonRow(args, shards, tenants, r);
+            if (!r.deterministic) {
+                std::cerr << "FAIL: sharded aggregate diverged from "
+                             "sequential replay at "
+                          << shards << " shards x " << tenants
+                          << " tenants\n";
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\n'=' marks cells whose aggregate flip/slot/energy "
+                 "counters are bit-identical to the sequential "
+                 "replay of the same request stream.\n";
+    return allDeterministic ? 0 : 1;
+}

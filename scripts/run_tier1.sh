@@ -190,14 +190,37 @@ print(f"tier1: trace overhead cells appended "
       f"(on vs off: {pct:+.1f}%, informational)")
 PY
 
+# Serving smoke: the sharded queue-driven core at 1, 4 and 8 shards.
+# bench_serving itself gates bit-identical aggregate counters between
+# the sharded run and a single-threaded sequential replay (exit 1 on
+# divergence); its ops/sec + tail-latency cells append to the BENCH
+# trajectory via DEUCE_BENCH_JSON.
+DEUCE_BENCH_JSON="$build/bench_results.json" "$build/bench/bench_serving" \
+    --shards 1,4,8 --tenants 1,4 --clients 2 \
+    --ops 20000 --fast-otp \
+    > /dev/null || {
+        echo "tier1: FAIL — serving determinism gate" >&2
+        exit 1
+    }
+rows=$(wc -l < "$build/bench_results.json")
+echo "tier1: serving smoke OK at 1/4/8 shards (now $rows rows)"
+
 if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
     tsan="$build-tsan"
     cmake -B "$tsan" -S "$repo" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDEUCE_TSAN=ON
     cmake --build "$tsan" -j "$(nproc)" \
-        --target test_thread_pool test_sweep
+        --target test_thread_pool test_sweep test_spsc_queue \
+                 test_serving bench_serving
     "$tsan/tests/test_thread_pool"
     "$tsan/tests/test_sweep"
+    "$tsan/tests/test_spsc_queue"
+    "$tsan/tests/test_serving"
+    # Serving smoke under TSan: client threads + 4 shard workers
+    # hammering the SPSC queue-pairs, determinism gate still on.
+    "$tsan/bench/bench_serving" \
+        --shards 4 --tenants 4 --clients 2 \
+        --ops 5000 --fast-otp > /dev/null
     echo "tier1: TSan concurrency tests passed"
 fi
 

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Bounded lock-free single-producer/single-consumer ring queue.
+ *
+ * The serving core (serve/sharded_memory_system.hh) connects every
+ * client thread to every shard worker with one submission queue and
+ * one completion queue, NVMe SQ/CQ style. Each queue has exactly one
+ * producer and one consumer by construction, so a wait-free ring with
+ * two monotonically increasing indices is sufficient: the producer
+ * owns the tail, the consumer owns the head, and each side publishes
+ * its index with a release store that the other side acquires.
+ *
+ * Both sides keep a cached copy of the opposite index so the common
+ * case (queue neither full nor empty) touches only one shared cache
+ * line per operation. Capacity is rounded up to a power of two so the
+ * ring position is a mask, never a modulo.
+ *
+ * Payloads are moved in and out; move-only types (e.g. a request
+ * carrying a unique_ptr) work as long as they are default- and
+ * move-constructible.
+ */
+
+#ifndef DEUCE_COMMON_SPSC_QUEUE_HH
+#define DEUCE_COMMON_SPSC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+/** Bounded wait-free SPSC FIFO over a power-of-two ring. */
+template <typename T>
+class SpscQueue
+{
+  public:
+    /**
+     * @param capacity minimum number of in-flight elements the queue
+     *                 must hold; rounded up to a power of two.
+     */
+    explicit SpscQueue(size_t capacity)
+        : slots_(roundUpPow2(capacity)), mask_(slots_.size() - 1)
+    {
+        deuce_assert(capacity > 0);
+    }
+
+    SpscQueue(const SpscQueue &) = delete;
+    SpscQueue &operator=(const SpscQueue &) = delete;
+
+    /**
+     * Enqueue one element (producer side only).
+     * @return false when the queue is full; the value is untouched.
+     */
+    bool
+    tryPush(T &&value)
+    {
+        size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - headCache_ == slots_.size()) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            if (tail - headCache_ == slots_.size()) {
+                return false;
+            }
+        }
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Enqueue a copy (copyable payloads only). */
+    bool
+    tryPush(const T &value)
+    {
+        T copy = value;
+        return tryPush(std::move(copy));
+    }
+
+    /**
+     * Dequeue one element into @p out (consumer side only).
+     * @return false when the queue is empty; @p out is untouched.
+     */
+    bool
+    tryPop(T &out)
+    {
+        size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tailCache_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (head == tailCache_) {
+                return false;
+            }
+        }
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Elements currently queued. Exact from either endpoint thread;
+     * a racing snapshot from elsewhere may be one element stale.
+     */
+    size_t
+    size() const
+    {
+        size_t tail = tail_.load(std::memory_order_acquire);
+        size_t head = head_.load(std::memory_order_acquire);
+        return tail - head;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Usable capacity (the rounded-up power of two). */
+    size_t capacity() const { return slots_.size(); }
+
+  private:
+    static size_t
+    roundUpPow2(size_t n)
+    {
+        size_t p = 1;
+        while (p < n) {
+            p <<= 1;
+        }
+        return p;
+    }
+
+    std::vector<T> slots_;
+    size_t mask_;
+
+    /** Consumer-owned position of the next pop. */
+    alignas(64) std::atomic<size_t> head_{0};
+    /** Producer's cached copy of head_ (producer-thread private). */
+    alignas(64) size_t headCache_ = 0;
+    /** Producer-owned position of the next push. */
+    alignas(64) std::atomic<size_t> tail_{0};
+    /** Consumer's cached copy of tail_ (consumer-thread private). */
+    alignas(64) size_t tailCache_ = 0;
+};
+
+} // namespace deuce
+
+#endif // DEUCE_COMMON_SPSC_QUEUE_HH

@@ -29,6 +29,28 @@ RunningStat::add(double x)
     }
 }
 
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t total = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double w = static_cast<double>(other.count_) /
+               static_cast<double>(total);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) * w;
+    mean_ += delta * w;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = total;
+}
+
 double
 RunningStat::min() const
 {

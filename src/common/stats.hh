@@ -21,6 +21,17 @@ class RunningStat
     /** Add one sample. */
     void add(double x);
 
+    /**
+     * Fold another accumulator's samples into this one (Chan et al.
+     * pairwise update of mean and M2). Merging shard-local
+     * accumulators in a fixed shard order gives run-to-run
+     * reproducible aggregates; the floating-point mean may differ in
+     * the last ulps from a single accumulator fed the union of the
+     * samples, which is why the serving determinism gate compares
+     * integer counters, never merged means.
+     */
+    void merge(const RunningStat &other);
+
     /** Number of samples added. */
     uint64_t count() const { return count_; }
 

@@ -172,6 +172,18 @@ Log2Histogram::add(double x)
     ++buckets_[bucket];
 }
 
+void
+Log2Histogram::mergeFrom(const Log2Histogram &other)
+{
+    stat_.merge(other.stat_);
+    if (other.buckets_.size() > buckets_.size()) {
+        buckets_.resize(other.buckets_.size(), 0);
+    }
+    for (size_t i = 0; i < other.buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+}
+
 uint64_t
 Log2Histogram::bucketCount(unsigned i) const
 {

@@ -151,6 +151,13 @@ class Log2Histogram
     /** Add one sample. */
     void add(double x);
 
+    /**
+     * Fold another histogram's samples into this one: bucket counts
+     * add exactly (order-independent); the summary RunningStat merges
+     * per RunningStat::merge().
+     */
+    void mergeFrom(const Log2Histogram &other);
+
     uint64_t count() const { return stat_.count(); }
     double mean() const { return stat_.mean(); }
     double min() const { return stat_.min(); } ///< panics when empty

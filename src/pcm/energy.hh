@@ -38,6 +38,20 @@ class EnergyAccumulator
     /** Charge one line read. */
     void addRead() { ++reads_; }
 
+    /**
+     * Fold another accumulator's counters into this one. Both must
+     * share the device parameters; the energy formulas then agree on
+     * the merged integer totals (and, being computed from integers,
+     * are bit-identical regardless of merge order).
+     */
+    void
+    mergeFrom(const EnergyAccumulator &other)
+    {
+        writes_ += other.writes_;
+        reads_ += other.reads_;
+        flips_ += other.flips_;
+    }
+
     uint64_t writes() const { return writes_; }
     uint64_t reads() const { return reads_; }
     uint64_t flips() const { return flips_; }

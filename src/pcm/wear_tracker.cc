@@ -76,6 +76,20 @@ WearTracker::normalizedProfile() const
 }
 
 void
+WearTracker::mergeFrom(const WearTracker &other)
+{
+    for (unsigned i = 0; i < CacheLine::kBits; ++i) {
+        dataFlips_[i] += other.dataFlips_[i];
+    }
+    for (unsigned i = 0; i < kMetaBits; ++i) {
+        metaFlips_[i] += other.metaFlips_[i];
+    }
+    writes_ += other.writes_;
+    totalDataFlips_ += other.totalDataFlips_;
+    totalMetaFlips_ += other.totalMetaFlips_;
+}
+
+void
 WearTracker::clear()
 {
     dataFlips_.fill(0);

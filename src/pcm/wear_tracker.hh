@@ -81,6 +81,13 @@ class WearTracker
      */
     std::vector<double> normalizedProfile() const;
 
+    /**
+     * Fold another tracker's counters into this one (exact integer
+     * addition, order-independent). Used to merge per-shard trackers
+     * into one aggregate view.
+     */
+    void mergeFrom(const WearTracker &other);
+
     /** Reset all counters. */
     void clear();
 

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The request/completion records flowing through the serving core's
+ * submission and completion queues (NVMe SQ/CQ entries, line-sized).
+ *
+ * A client fills a Request (tenant, tenant-local line address, op,
+ * payload for writes), stamps submitNs, and submits it through its
+ * ClientPort; the owning shard worker applies it to the shard's
+ * MemorySystem and pushes back a Completion echoing the request's
+ * identity plus the per-write accounting (or the decrypted data for
+ * reads) and the service timestamp.
+ */
+
+#ifndef DEUCE_SERVE_REQUEST_HH
+#define DEUCE_SERVE_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/cache_line.hh"
+
+namespace deuce
+{
+namespace serve
+{
+
+/** Operation kind of a serving request. */
+enum class ReqOp : uint8_t
+{
+    Read,
+    Write,
+};
+
+/** One submission-queue entry. */
+struct Request
+{
+    ReqOp op = ReqOp::Read;
+
+    /** Key domain / namespace the address lives in. */
+    uint16_t tenant = 0;
+
+    /** Tenant-local line address. */
+    uint64_t addr = 0;
+
+    /** Client-assigned id, echoed verbatim in the completion. */
+    uint64_t seq = 0;
+
+    /** Client clock (steady, ns) at submission; latency base. */
+    uint64_t submitNs = 0;
+
+    /** Write payload (ignored for reads). */
+    CacheLine data;
+};
+
+/** One completion-queue entry. */
+struct Completion
+{
+    ReqOp op = ReqOp::Read;
+    uint16_t tenant = 0;
+    uint64_t addr = 0;
+    uint64_t seq = 0;
+
+    /** Echoed from the request. */
+    uint64_t submitNs = 0;
+
+    /** Shard worker clock (steady, ns) when the op was applied. */
+    uint64_t completeNs = 0;
+
+    /** Write slots consumed (writes; 0 for reads). */
+    unsigned slots = 0;
+
+    /** Cell flips charged (writes; 0 for reads). */
+    unsigned flips = 0;
+
+    /** Decrypted line contents (reads; zero for writes). */
+    CacheLine data;
+};
+
+} // namespace serve
+} // namespace deuce
+
+#endif // DEUCE_SERVE_REQUEST_HH

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * ShardedMemorySystem implementation.
+ */
+
+#include "serve/sharded_memory_system.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "obs/registry.hh"
+
+namespace deuce
+{
+namespace serve
+{
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+MemoryCounters
+replaySequential(const ServeConfig &cfg,
+                 const std::vector<Request> &trace)
+{
+    TenantKeyTable keys(cfg.masterSeed, cfg.tenants, cfg.fastOtp);
+    TenantScheme scheme(keys, cfg.scheme, cfg.tenantAddrBits);
+    MemorySystem system(scheme, cfg.wearLeveling, cfg.pcm,
+                        [](uint64_t) { return CacheLine{}; });
+    for (const Request &req : trace) {
+        uint64_t addr = TenantScheme::globalAddr(req.tenant, req.addr,
+                                                 cfg.tenantAddrBits);
+        if (req.op == ReqOp::Write) {
+            system.write(addr, req.data);
+        } else {
+            system.read(addr);
+        }
+    }
+    return system.counters();
+}
+
+ShardedMemorySystem::ShardedMemorySystem(const ServeConfig &cfg)
+    : cfg_(cfg), keys_(cfg.masterSeed, cfg.tenants, cfg.fastOtp)
+{
+    deuce_assert(cfg_.shards >= 1);
+    deuce_assert(cfg_.tenants >= 1 && cfg_.tenants <= 65536);
+    deuce_assert(cfg_.maxBurst >= 1);
+    shards_.reserve(cfg_.shards);
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        auto scheme = std::make_unique<TenantScheme>(
+            keys_, cfg_.scheme, cfg_.tenantAddrBits);
+        // The scheme sits behind a stable heap pointer, so the system
+        // may hold a reference to it across the moves below.
+        MemorySystem system(*scheme, cfg_.wearLeveling, cfg_.pcm,
+                            [](uint64_t) { return CacheLine{}; });
+        shards_.emplace_back(std::move(scheme), std::move(system));
+    }
+}
+
+ShardedMemorySystem::~ShardedMemorySystem()
+{
+    stop();
+}
+
+ShardedMemorySystem::ClientPort
+ShardedMemorySystem::addClient()
+{
+    deuce_assert(!running_);
+    unsigned client = numClients_++;
+    for (Shard &shard : shards_) {
+        shard.ports.push_back(
+            std::make_unique<QueuePair>(cfg_.queueCapacity));
+    }
+    return ClientPort(*this, client);
+}
+
+void
+ShardedMemorySystem::start()
+{
+    deuce_assert(!running_);
+    deuce_assert(numClients_ >= 1);
+    stop_.store(false, std::memory_order_release);
+    for (unsigned s = 0; s < numShards(); ++s) {
+        shards_[s].worker = std::thread([this, s] { workerLoop(s); });
+    }
+    running_ = true;
+}
+
+void
+ShardedMemorySystem::stop()
+{
+    if (!running_) {
+        return;
+    }
+    stop_.store(true, std::memory_order_release);
+    for (Shard &shard : shards_) {
+        if (shard.worker.joinable()) {
+            shard.worker.join();
+        }
+    }
+    running_ = false;
+}
+
+const MemorySystem &
+ShardedMemorySystem::shard(unsigned s) const
+{
+    deuce_assert(s < shards_.size());
+    return shards_[s].system;
+}
+
+uint64_t
+ShardedMemorySystem::requestsServed() const
+{
+    uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+        total += shard.served;
+    }
+    return total;
+}
+
+MemoryCounters
+ShardedMemorySystem::aggregateCounters() const
+{
+    deuce_assert(!running_);
+    MemoryCounters aggregate(cfg_.pcm);
+    for (const Shard &shard : shards_) {
+        aggregate.mergeFrom(shard.system.counters());
+    }
+    return aggregate;
+}
+
+void
+ShardedMemorySystem::registerStats(obs::StatRegistry &reg,
+                                   const std::string &prefix) const
+{
+    for (unsigned s = 0; s < numShards(); ++s) {
+        const Shard &shard = shards_[s];
+        std::string base = prefix + ".shard" + std::to_string(s);
+        shard.system.registerStats(reg, base + ".pcm");
+        reg.addIntValue(base + ".served",
+                        "requests applied by the shard worker",
+                        [&shard] { return shard.served; });
+        reg.addHistogram(base + ".sqDepth",
+                         "submission-queue depth sampled per visit",
+                         shard.sqDepth);
+        reg.addHistogram(base + ".burst",
+                         "requests drained per burst", shard.burst);
+    }
+    keys_.registerStats(reg, prefix + ".tenant");
+}
+
+Completion
+ShardedMemorySystem::apply(Shard &shard, Request &req)
+{
+    deuce_assert(req.tenant < cfg_.tenants);
+    Completion c;
+    c.op = req.op;
+    c.tenant = req.tenant;
+    c.addr = req.addr;
+    c.seq = req.seq;
+    c.submitNs = req.submitNs;
+    uint64_t addr = TenantScheme::globalAddr(req.tenant, req.addr,
+                                             cfg_.tenantAddrBits);
+    if (req.op == ReqOp::Write) {
+        WriteOutcome outcome = shard.system.write(addr, req.data);
+        c.slots = outcome.slots;
+        c.flips = outcome.result.totalFlips();
+    } else {
+        c.data = shard.system.read(addr);
+    }
+    c.completeNs = nowNs();
+    return c;
+}
+
+void
+ShardedMemorySystem::workerLoop(unsigned s)
+{
+    Shard &shard = shards_[s];
+    for (;;) {
+        bool any = false;
+        for (auto &port : shard.ports) {
+            size_t depth = port->sq.size();
+            if (depth == 0) {
+                continue;
+            }
+            shard.sqDepth.add(static_cast<double>(depth));
+            unsigned n = 0;
+            Request req;
+            while (n < cfg_.maxBurst && port->sq.tryPop(req)) {
+                Completion c = apply(shard, req);
+                // CQ full means the client is slow to reap; spin with
+                // yields — backpressure, the entry is never dropped.
+                while (!port->cq.tryPush(std::move(c))) {
+                    std::this_thread::yield();
+                }
+                ++n;
+            }
+            shard.burst.add(static_cast<double>(n));
+            shard.served += n;
+            any = true;
+        }
+        if (!any) {
+            // Only quit once stopping AND every SQ drained, so stop()
+            // never strands a submitted request.
+            if (stop_.load(std::memory_order_acquire)) {
+                return;
+            }
+            std::this_thread::yield();
+        }
+    }
+}
+
+bool
+ShardedMemorySystem::ClientPort::trySubmit(Request req)
+{
+    uint64_t addr = TenantScheme::globalAddr(
+        req.tenant, req.addr, owner_->cfg_.tenantAddrBits);
+    Shard &shard = owner_->shards_[owner_->shardOf(addr)];
+    return shard.ports[client_]->sq.tryPush(std::move(req));
+}
+
+bool
+ShardedMemorySystem::ClientPort::tryPoll(Completion &out)
+{
+    unsigned shards = owner_->numShards();
+    for (unsigned i = 0; i < shards; ++i) {
+        unsigned s = (pollCursor_ + i) % shards;
+        if (owner_->shards_[s].ports[client_]->cq.tryPop(out)) {
+            pollCursor_ = (s + 1) % shards;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace serve
+} // namespace deuce

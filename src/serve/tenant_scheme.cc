@@ -1,0 +1,74 @@
+/**
+ * @file
+ * TenantScheme implementation.
+ */
+
+#include "serve/tenant_scheme.hh"
+
+#include "common/logging.hh"
+#include "enc/scheme_factory.hh"
+
+namespace deuce
+{
+namespace serve
+{
+
+TenantScheme::TenantScheme(const TenantKeyTable &keys,
+                           const std::string &scheme_id,
+                           unsigned tenant_addr_bits)
+    : addrBits_(tenant_addr_bits),
+      localMask_((uint64_t{1} << tenant_addr_bits) - 1)
+{
+    deuce_assert(tenant_addr_bits >= 1 && tenant_addr_bits < 48);
+    schemes_.reserve(keys.tenants());
+    for (unsigned t = 0; t < keys.tenants(); ++t) {
+        schemes_.push_back(makeScheme(scheme_id, keys.engine(t)));
+    }
+}
+
+const EncryptionScheme &
+TenantScheme::tenantScheme(unsigned tenant) const
+{
+    deuce_assert(tenant < schemes_.size());
+    return *schemes_[tenant];
+}
+
+std::string
+TenantScheme::name() const
+{
+    return schemes_[0]->name() + "/" +
+           std::to_string(schemes_.size()) + "T";
+}
+
+unsigned
+TenantScheme::trackingBitsPerLine() const
+{
+    return schemes_[0]->trackingBitsPerLine();
+}
+
+void
+TenantScheme::install(uint64_t line_addr, const CacheLine &plaintext,
+                      StoredLineState &state) const
+{
+    tenantScheme(tenantOf(line_addr))
+        .install(localOf(line_addr), plaintext, state);
+}
+
+WriteResult
+TenantScheme::write(uint64_t line_addr, const CacheLine &plaintext,
+                    StoredLineState &state) const
+{
+    return tenantScheme(tenantOf(line_addr))
+        .write(localOf(line_addr), plaintext, state);
+}
+
+CacheLine
+TenantScheme::read(uint64_t line_addr,
+                   const StoredLineState &state) const
+{
+    return tenantScheme(tenantOf(line_addr))
+        .read(localOf(line_addr), state);
+}
+
+} // namespace serve
+} // namespace deuce

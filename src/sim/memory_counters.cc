@@ -1,0 +1,127 @@
+/**
+ * @file
+ * MemoryCounters implementation.
+ */
+
+#include "sim/memory_counters.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace deuce
+{
+
+MemoryCounters::MemoryCounters(const PcmConfig &pcm)
+    : energy_(pcm), banks_(pcm.totalBanks())
+{
+}
+
+void
+MemoryCounters::noteWrite(uint64_t line_addr, const WriteResult &result,
+                          unsigned slots, double flip_fraction,
+                          unsigned rotation)
+{
+    wear_.recordWrite(result.dataDiff,
+                      result.modifiedDiff | result.flipDiff, rotation);
+    energy_.addWrite(result.totalFlips());
+    flipStat_.add(flip_fraction);
+    slotStat_.add(static_cast<double>(slots));
+    slotHist_.add(static_cast<double>(slots));
+    flipHist_.add(static_cast<double>(result.totalFlips()));
+
+    // Same address interleave the timing model uses (lineAddr % banks).
+    BankCounters &bank = banks_[line_addr % banks_.size()];
+    ++bank.writes;
+    bank.flips += result.totalFlips();
+    bank.slots += slots;
+}
+
+void
+MemoryCounters::noteRead(uint64_t line_addr)
+{
+    energy_.addRead();
+    ++banks_[line_addr % banks_.size()].reads;
+}
+
+const BankCounters &
+MemoryCounters::bank(unsigned bank) const
+{
+    deuce_assert(bank < banks_.size());
+    return banks_[bank];
+}
+
+uint64_t
+MemoryCounters::totalWriteSlots() const
+{
+    uint64_t total = 0;
+    for (const BankCounters &b : banks_) {
+        total += b.slots;
+    }
+    return total;
+}
+
+uint64_t
+MemoryCounters::totalReads() const
+{
+    uint64_t total = 0;
+    for (const BankCounters &b : banks_) {
+        total += b.reads;
+    }
+    return total;
+}
+
+void
+MemoryCounters::mergeFrom(const MemoryCounters &other)
+{
+    deuce_assert(banks_.size() == other.banks_.size());
+    energy_.mergeFrom(other.energy_);
+    wear_.mergeFrom(other.wear_);
+    flipStat_.merge(other.flipStat_);
+    slotStat_.merge(other.slotStat_);
+    slotHist_.mergeFrom(other.slotHist_);
+    flipHist_.mergeFrom(other.flipHist_);
+    for (size_t b = 0; b < banks_.size(); ++b) {
+        banks_[b].writes += other.banks_[b].writes;
+        banks_[b].reads += other.banks_[b].reads;
+        banks_[b].flips += other.banks_[b].flips;
+        banks_[b].slots += other.banks_[b].slots;
+    }
+}
+
+std::string
+MemoryCounters::deterministicSignature() const
+{
+    std::ostringstream os;
+    os << "writes=" << energy_.writes() << " reads=" << energy_.reads()
+       << " flips=" << energy_.flips()
+       << " slots=" << totalWriteSlots();
+
+    // The energy is a function of the integer flip/read totals, so it
+    // is bit-identical whenever they are; print every significant
+    // digit so a mismatch cannot hide in rounding.
+    char energy[64];
+    std::snprintf(energy, sizeof(energy), " energyPj=%.17g",
+                  energy_.dynamicEnergyPj());
+    os << energy;
+
+    os << " wearData=" << wear_.totalDataFlips()
+       << " wearMeta=" << wear_.totalMetaFlips();
+    for (size_t b = 0; b < banks_.size(); ++b) {
+        os << " b" << b << "=" << banks_[b].writes << ","
+           << banks_[b].reads << "," << banks_[b].flips << ","
+           << banks_[b].slots;
+    }
+    os << " slotHist=";
+    for (unsigned i = 0; i < slotHist_.numBuckets(); ++i) {
+        os << slotHist_.bucketCount(i) << ",";
+    }
+    os << " flipHist=";
+    for (unsigned i = 0; i < flipHist_.numBuckets(); ++i) {
+        os << flipHist_.bucketCount(i) << ",";
+    }
+    return os.str();
+}
+
+} // namespace deuce

@@ -17,8 +17,7 @@ MemorySystem::MemorySystem(const EncryptionScheme &scheme,
                            std::function<CacheLine(uint64_t)> initial,
                            const FaultConfig &fault)
     : scheme_(scheme), wlCfg_(wl), pcm_(pcm),
-      initial_(std::move(initial)), energy_(pcm),
-      banks_(pcm.totalBanks())
+      initial_(std::move(initial)), counters_(pcm)
 {
     if (fault.enabled) {
         fault_ = std::make_unique<FaultDomain>(fault);
@@ -85,10 +84,6 @@ MemorySystem::write(uint64_t line_addr, const CacheLine &plaintext)
     outcome.result = scheme_.write(line_addr, plaintext, state);
 
     unsigned rotation = rotation_->rotationFor(line_addr);
-    wear_.recordWrite(outcome.result.dataDiff,
-                      outcome.result.modifiedDiff |
-                          outcome.result.flipDiff,
-                      rotation);
     rotation_->onWrite(line_addr);
 
     // The fault domain sees the same physical view as the wear
@@ -111,17 +106,8 @@ MemorySystem::write(uint64_t line_addr, const CacheLine &plaintext)
         static_cast<double>(outcome.result.totalFlips()) /
         CacheLine::kBits;
 
-    energy_.addWrite(outcome.result.totalFlips());
-    flipStat_.add(outcome.flipFraction);
-    slotStat_.add(static_cast<double>(outcome.slots));
-    slotHist_.add(static_cast<double>(outcome.slots));
-    flipHist_.add(static_cast<double>(outcome.result.totalFlips()));
-
-    // Same address interleave the timing model uses (lineAddr % banks).
-    BankCounters &bank = banks_[line_addr % banks_.size()];
-    ++bank.writes;
-    bank.flips += outcome.result.totalFlips();
-    bank.slots += outcome.slots;
+    counters_.noteWrite(line_addr, outcome.result, outcome.slots,
+                        outcome.flipFraction, rotation);
     return outcome;
 }
 
@@ -129,7 +115,7 @@ CacheLine
 MemorySystem::read(uint64_t line_addr)
 {
     StoredLineState &state = install(line_addr);
-    energy_.addRead();
+    counters_.noteRead(line_addr);
     return scheme_.read(line_addr, state);
 }
 
@@ -147,21 +133,14 @@ MemorySystem::storedState(uint64_t line_addr) const
     return it->second;
 }
 
-const MemorySystem::BankCounters &
-MemorySystem::bankCounters(unsigned bank) const
-{
-    deuce_assert(bank < banks_.size());
-    return banks_[bank];
-}
-
 void
 MemorySystem::registerStats(obs::StatRegistry &reg,
                             const std::string &prefix) const
 {
     // Line-for-line the historical hand-written stats_dump output:
     // same names, descriptions, order, and Int/Float formatting.
-    const EnergyAccumulator &energy = energy_;
-    const WearTracker &wear = wear_;
+    const EnergyAccumulator &energy = counters_.energy();
+    const WearTracker &wear = counters_.wear();
 
     reg.addIntValue(prefix + ".writes", "line writebacks serviced",
                     [&energy] { return energy.writes(); });
@@ -172,10 +151,10 @@ MemorySystem::registerStats(obs::StatRegistry &reg,
                     [&energy] { return energy.flips(); });
     reg.addFormula(prefix + ".avgFlipPct",
                    "mean bits modified per write (% of 512)",
-                   [this] { return flipStat_.mean() * 100.0; });
+                   [this] { return counters_.flipStat().mean() * 100.0; });
     reg.addFormula(prefix + ".avgWriteSlots",
                    "mean 128-bit write slots per write",
-                   [this] { return slotStat_.mean(); });
+                   [this] { return counters_.slotStat().mean(); });
     reg.addValue(prefix + ".dynamicEnergyPj",
                  "dynamic memory energy (pJ)",
                  [&energy] { return energy.dynamicEnergyPj(); });
@@ -206,16 +185,20 @@ MemorySystem::registerDetailStats(obs::StatRegistry &reg,
                                   const std::string &prefix) const
 {
     reg.addHistogram(prefix + ".writeSlotsHist",
-                     "write slots per write", slotHist_);
+                     "write slots per write",
+                     counters_.slotHistogram());
     reg.addHistogram(prefix + ".bitFlipsHist",
-                     "cell flips per write", flipHist_);
+                     "cell flips per write", counters_.flipHistogram());
 
-    for (size_t b = 0; b < banks_.size(); ++b) {
-        const BankCounters &bank = banks_[b];
+    for (unsigned b = 0; b < counters_.numBanks(); ++b) {
+        const BankCounters &bank = counters_.bank(b);
         std::string base = prefix + ".bank" + std::to_string(b);
         reg.addIntValue(base + ".writes",
                         "line writebacks landing on the bank",
                         [&bank] { return bank.writes; });
+        reg.addIntValue(base + ".reads",
+                        "line reads serviced by the bank",
+                        [&bank] { return bank.reads; });
         reg.addIntValue(base + ".bitFlips",
                         "cell flips charged to the bank",
                         [&bank] { return bank.flips; });

@@ -33,6 +33,7 @@
 #include "pcm/energy.hh"
 #include "pcm/wear_tracker.hh"
 #include "pcm/write_slots.hh"
+#include "sim/memory_counters.hh"
 #include "wear/rotation.hh"
 #include "wear/security_refresh.hh"
 #include "wear/start_gap.hh"
@@ -102,6 +103,20 @@ class MemorySystem
                  std::function<CacheLine(uint64_t)> initial = {},
                  const FaultConfig &fault = FaultConfig{});
 
+    /**
+     * Move-only handle: shards live directly in a std::vector with no
+     * unique_ptr indirection. Moving transfers the line store and all
+     * counters; internal cross-references (the rotation policy's view
+     * of the VWL engine) stay valid because both live behind stable
+     * heap pointers. Stats registered via registerStats() bind to the
+     * object's address — register only once the system has reached
+     * its final home.
+     */
+    MemorySystem(MemorySystem &&) noexcept = default;
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+    MemorySystem &operator=(MemorySystem &&) = delete;
+
     /** Write back a line (installing it first if never seen). */
     WriteOutcome write(uint64_t line_addr, const CacheLine &plaintext);
 
@@ -115,38 +130,45 @@ class MemorySystem
     const StoredLineState &storedState(uint64_t line_addr) const;
 
     const EncryptionScheme &scheme() const { return scheme_; }
-    const WearTracker &wearTracker() const { return wear_; }
-    const EnergyAccumulator &energy() const { return energy_; }
+    const WearTracker &wearTracker() const { return counters_.wear(); }
+    const EnergyAccumulator &energy() const
+    {
+        return counters_.energy();
+    }
     const PcmConfig &pcmConfig() const { return pcm_; }
 
     /** Running mean of flip fraction per write. */
-    const RunningStat &flipStat() const { return flipStat_; }
+    const RunningStat &flipStat() const { return counters_.flipStat(); }
 
     /** Running mean of write slots per write. */
-    const RunningStat &slotStat() const { return slotStat_; }
+    const RunningStat &slotStat() const { return counters_.slotStat(); }
 
     /** Distribution of write slots per write (log2 buckets). */
     const obs::Log2Histogram &slotHistogram() const
     {
-        return slotHist_;
+        return counters_.slotHistogram();
     }
 
     /** Distribution of total cell flips per write (log2 buckets). */
     const obs::Log2Histogram &flipHistogram() const
     {
-        return flipHist_;
+        return counters_.flipHistogram();
     }
 
-    /** Per-bank accounting (address-interleaved, lineAddr % banks). */
-    struct BankCounters
-    {
-        uint64_t writes = 0; ///< line writebacks landing on the bank
-        uint64_t flips = 0;  ///< cell flips charged to the bank
-        uint64_t slots = 0;  ///< write slots the bank serviced
-    };
+    /** Per-bank accounting (see sim/memory_counters.hh). */
+    using BankCounters = deuce::BankCounters;
 
     /** Counters of bank @p bank (0 .. pcmConfig().totalBanks()-1). */
-    const BankCounters &bankCounters(unsigned bank) const;
+    const BankCounters &bankCounters(unsigned bank) const
+    {
+        return counters_.bank(bank);
+    }
+
+    /**
+     * The full shard-local accounting state (mergeable across shards;
+     * see MemoryCounters).
+     */
+    const MemoryCounters &counters() const { return counters_; }
 
     /**
      * Register the classic counters under @p prefix (dotted, e.g.
@@ -200,13 +222,7 @@ class MemorySystem
     std::unique_ptr<FaultDomain> fault_;
 
     std::unordered_map<uint64_t, StoredLineState> lines_;
-    WearTracker wear_;
-    EnergyAccumulator energy_;
-    RunningStat flipStat_;
-    RunningStat slotStat_;
-    obs::Log2Histogram slotHist_;
-    obs::Log2Histogram flipHist_;
-    std::vector<BankCounters> banks_;
+    MemoryCounters counters_;
 };
 
 } // namespace deuce

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the bounded lock-free SPSC queue: capacity rounding,
+ * empty/full edges, FIFO order across index wrap-around, move-only
+ * payloads, and a producer/consumer stress run (the latter is what
+ * the DEUCE_TSAN=1 tier-1 branch exercises under ThreadSanitizer).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/spsc_queue.hh"
+
+namespace deuce
+{
+namespace
+{
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(SpscQueue<int>(1).capacity(), 1u);
+    EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+    EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+    EXPECT_EQ(SpscQueue<int>(5).capacity(), 8u);
+    EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+    EXPECT_EQ(SpscQueue<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscQueueTest, PopOnEmptyFails)
+{
+    SpscQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    int out = -1;
+    EXPECT_FALSE(q.tryPop(out));
+    EXPECT_EQ(out, -1);
+}
+
+TEST(SpscQueueTest, PushOnFullFailsWithoutLosingEntries)
+{
+    SpscQueue<int> q(4);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(q.tryPush(i));
+    }
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_FALSE(q.tryPush(99));
+
+    // One pop frees exactly one slot.
+    int out = -1;
+    EXPECT_TRUE(q.tryPop(out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(q.tryPush(4));
+    EXPECT_FALSE(q.tryPush(5));
+
+    for (int expect = 1; expect <= 4; ++expect) {
+        EXPECT_TRUE(q.tryPop(out));
+        EXPECT_EQ(out, expect);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueueTest, FifoOrderAcrossWrapAround)
+{
+    SpscQueue<uint64_t> q(8);
+    uint64_t pushed = 0;
+    uint64_t popped = 0;
+    // Push/pop in bursts of 5 over a capacity-8 ring: head and tail
+    // wrap many times, and every popped value must still be in order.
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 5; ++i) {
+            ASSERT_TRUE(q.tryPush(pushed));
+            ++pushed;
+        }
+        uint64_t out;
+        for (int i = 0; i < 5; ++i) {
+            ASSERT_TRUE(q.tryPop(out));
+            ASSERT_EQ(out, popped);
+            ++popped;
+        }
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(pushed, 500u);
+}
+
+TEST(SpscQueueTest, MoveOnlyPayloads)
+{
+    SpscQueue<std::unique_ptr<int>> q(4);
+    ASSERT_TRUE(q.tryPush(std::make_unique<int>(7)));
+    ASSERT_TRUE(q.tryPush(std::make_unique<int>(11)));
+
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(q.tryPop(out));
+    ASSERT_TRUE(out);
+    EXPECT_EQ(*out, 7);
+    ASSERT_TRUE(q.tryPop(out));
+    ASSERT_TRUE(out);
+    EXPECT_EQ(*out, 11);
+    EXPECT_FALSE(q.tryPop(out));
+}
+
+TEST(SpscQueueTest, CopyPushLeavesSourceIntact)
+{
+    SpscQueue<std::vector<int>> q(2);
+    std::vector<int> v{1, 2, 3};
+    ASSERT_TRUE(q.tryPush(v));
+    EXPECT_EQ(v.size(), 3u); // copied, not moved from
+
+    std::vector<int> out;
+    ASSERT_TRUE(q.tryPop(out));
+    EXPECT_EQ(out, v);
+}
+
+TEST(SpscQueueTest, ProducerConsumerStress)
+{
+    // Two threads hammer a small ring so full/empty edges and
+    // wrap-around happen constantly. Run under TSan via the tier-1
+    // DEUCE_TSAN branch; single-threaded builds still check FIFO
+    // integrity and conservation.
+    constexpr uint64_t kItems = 200000;
+    SpscQueue<uint64_t> q(16);
+
+    std::thread producer([&] {
+        for (uint64_t i = 0; i < kItems; ++i) {
+            while (!q.tryPush(i)) {
+                std::this_thread::yield();
+            }
+        }
+    });
+
+    uint64_t received = 0;
+    uint64_t sum = 0;
+    while (received < kItems) {
+        uint64_t out;
+        if (q.tryPop(out)) {
+            // SPSC FIFO: values arrive exactly in push order.
+            ASSERT_EQ(out, received);
+            sum += out;
+            ++received;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+    producer.join();
+
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+}
+
+TEST(SpscQueueTest, StressWithLargePayload)
+{
+    // Same stress with a multi-word payload: TSan flags any torn
+    // slot publication where the consumer reads a slot before the
+    // producer's release store.
+    struct Payload
+    {
+        uint64_t seq;
+        uint64_t body[7];
+    };
+    constexpr uint64_t kItems = 50000;
+    SpscQueue<Payload> q(8);
+
+    std::thread producer([&] {
+        for (uint64_t i = 0; i < kItems; ++i) {
+            Payload p;
+            p.seq = i;
+            for (auto &w : p.body) {
+                w = i * 3;
+            }
+            while (!q.tryPush(std::move(p))) {
+                std::this_thread::yield();
+            }
+        }
+    });
+
+    for (uint64_t i = 0; i < kItems; ++i) {
+        Payload out;
+        while (!q.tryPop(out)) {
+            std::this_thread::yield();
+        }
+        ASSERT_EQ(out.seq, i);
+        for (auto w : out.body) {
+            ASSERT_EQ(w, i * 3);
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+} // namespace deuce

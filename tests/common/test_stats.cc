@@ -88,6 +88,45 @@ TEST(RunningStat, NumericallyStableOnLargeOffsets)
     EXPECT_NEAR(s.variance(), 0.25, 1e-3);
 }
 
+TEST(RunningStat, MergeMatchesUnionOfSamples)
+{
+    // a holds 1..4, b holds 5..10; merging must agree with one
+    // accumulator fed the union (exactly for the integer-ish count /
+    // sum / min / max; to ulps for mean and variance).
+    RunningStat a, b, whole;
+    for (int i = 1; i <= 10; ++i) {
+        (i <= 4 ? a : b).add(i);
+        whole.add(i);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_EQ(a.sum(), whole.sum());
+    EXPECT_EQ(a.min(), whole.min());
+    EXPECT_EQ(a.max(), whole.max());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+}
+
+TEST(RunningStat, MergeWithEmptySides)
+{
+    RunningStat a, empty;
+    a.add(2.0);
+    a.add(4.0);
+
+    RunningStat intoEmpty;
+    intoEmpty.merge(a); // empty.merge(filled) copies
+    EXPECT_EQ(intoEmpty.count(), 2u);
+    EXPECT_EQ(intoEmpty.mean(), 3.0);
+    EXPECT_EQ(intoEmpty.min(), 2.0);
+
+    a.merge(empty); // filled.merge(empty) is a no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), 3.0);
+
+    empty.merge(RunningStat{}); // empty.merge(empty) stays empty
+    EXPECT_TRUE(empty.empty());
+}
+
 TEST(Histogram, BinsAndEdges)
 {
     Histogram h(0.0, 10.0, 10);

@@ -121,6 +121,39 @@ TEST(Log2Histogram, EmptyAndClear)
     EXPECT_EQ(h.numBuckets(), 0u);
 }
 
+TEST(Log2Histogram, MergeFromAddsBucketsExactly)
+{
+    Log2Histogram a, b, whole;
+    for (double x : {0.5, 1.0, 3.0, 3.0}) {
+        a.add(x);
+        whole.add(x);
+    }
+    for (double x : {2.0, 100.0}) {
+        b.add(x);
+        whole.add(x);
+    }
+    a.mergeFrom(b);
+    // Bucket counts add exactly — the property the serving
+    // determinism gate relies on when merging shard histograms.
+    ASSERT_EQ(a.numBuckets(), whole.numBuckets());
+    for (unsigned i = 0; i < whole.numBuckets(); ++i) {
+        EXPECT_EQ(a.bucketCount(i), whole.bucketCount(i));
+    }
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_EQ(a.min(), whole.min());
+    EXPECT_EQ(a.max(), whole.max());
+
+    // Merging an empty histogram changes nothing; merging into an
+    // empty one copies.
+    Log2Histogram empty;
+    a.mergeFrom(empty);
+    EXPECT_EQ(a.count(), whole.count());
+    Log2Histogram fresh;
+    fresh.mergeFrom(whole);
+    EXPECT_EQ(fresh.count(), whole.count());
+    EXPECT_EQ(fresh.bucketCount(2), whole.bucketCount(2));
+}
+
 TEST(Histogram, TextDumpEmitsSummaryLines)
 {
     Histogram h("x.slots", "write slots per write");
