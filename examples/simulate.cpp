@@ -29,6 +29,12 @@
  *   --ecp <n>               ECP entries per line (with --fault)
  *   --endurance <flips>     mean cell endurance (with --fault;
  *                           scaled down from 1e8 for tractable runs)
+ *   --persist <policy>      enable the counter-persistence model:
+ *                           wt (write-through), lazy, or battery
+ *   --flush-epoch <n>       writes between lazy counter flushes
+ *   --persist-queue <n>     battery-backed write-queue depth
+ *   --no-persist-integrity  drop the MAC/Merkle metadata (models the
+ *                           naive controller persistence attacks hit)
  *   --threads <n>           worker threads (default DEUCE_BENCH_THREADS
  *                           or hardware concurrency)
  *   --csv                   machine-readable one-line-per-cell output
@@ -93,6 +99,8 @@ usage(const char *argv0)
                  " [--line-backend auto|scalar|sse2|avx2]"
                  " [--seed <n>] [--mlp <x>] [--threads <n>]"
                  " [--fault] [--ecp <n>] [--endurance <flips>]"
+                 " [--persist wt|lazy|battery] [--flush-epoch <n>]"
+                 " [--persist-queue <n>] [--no-persist-integrity]"
                  " [--csv] [--json <path>] [--stats] [--stats-json]"
                  " [--trace-out <path>] [--trace-level phase|verbose]"
                  " [--progress]\n";
@@ -186,6 +194,29 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--endurance") {
             cli.experiment.fault.meanEndurance =
                 std::strtod(value(), nullptr);
+        } else if (arg == "--persist") {
+            std::string policy = value();
+            cli.experiment.persist.enabled = true;
+            if (policy == "wt") {
+                cli.experiment.persist.policy =
+                    PersistConfig::Policy::WriteThrough;
+            } else if (policy == "lazy") {
+                cli.experiment.persist.policy =
+                    PersistConfig::Policy::Lazy;
+            } else if (policy == "battery") {
+                cli.experiment.persist.policy =
+                    PersistConfig::Policy::BatteryBacked;
+            } else {
+                usage(argv[0]);
+            }
+        } else if (arg == "--flush-epoch") {
+            cli.experiment.persist.flushEpoch =
+                std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--persist-queue") {
+            cli.experiment.persist.queueDepth = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--no-persist-integrity") {
+            cli.experiment.persist.integrity = false;
         } else if (arg == "--mlp") {
             cli.experiment.timingCfg.mlp =
                 std::strtod(value(), nullptr);

@@ -205,17 +205,37 @@ DEUCE_BENCH_JSON="$build/bench_results.json" "$build/bench/bench_serving" \
 rows=$(wc -l < "$build/bench_results.json")
 echo "tier1: serving smoke OK at 1/4/8 shards (now $rows rows)"
 
+# Crash-consistency smoke: bench_crash's Part A (persistence-policy
+# runtime cost) and Part B (crash at a seeded write index + recovery)
+# with their hard gates on — write-through must cost more runtime
+# than lazy and show a zero pad-reuse window, lazy must show a
+# non-zero one. CRASH cells append to the trajectory file.
+DEUCE_BENCH_JSON="$build/bench_results.json" \
+DEUCE_BENCH_WB=4000 "$build/bench/bench_crash" \
+    --benchmark_filter='^$' \
+    > /dev/null || {
+        echo "tier1: FAIL — crash/recovery gate" >&2
+        exit 1
+    }
+rows=$(wc -l < "$build/bench_results.json")
+echo "tier1: crash/recovery smoke OK (now $rows rows)"
+
 if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
     tsan="$build-tsan"
     cmake -B "$tsan" -S "$repo" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDEUCE_TSAN=ON
     cmake --build "$tsan" -j "$(nproc)" \
         --target test_thread_pool test_sweep test_spsc_queue \
-                 test_serving bench_serving
+                 test_serving test_persist stolen_dimm_attack \
+                 bench_serving
     "$tsan/tests/test_thread_pool"
     "$tsan/tests/test_sweep"
     "$tsan/tests/test_spsc_queue"
     "$tsan/tests/test_serving"
+    # Crash-at-every-index determinism races recovery cells across
+    # threads; the attack example is a one-crash recovery smoke.
+    "$tsan/tests/test_persist"
+    "$tsan/examples/stolen_dimm_attack" > /dev/null
     # Serving smoke under TSan: client threads + 4 shard workers
     # hammering the SPSC queue-pairs, determinism gate still on.
     "$tsan/bench/bench_serving" \
@@ -241,10 +261,13 @@ if [[ "${DEUCE_UBSAN:-0}" == "1" ]]; then
     cmake -B "$ubsan" -S "$repo" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDEUCE_UBSAN=ON
     cmake --build "$ubsan" -j "$(nproc)" \
-        --target test_line_kernels test_fuzz_consistency
+        --target test_line_kernels test_fuzz_consistency \
+                 test_persist stolen_dimm_attack
     "$ubsan/tests/test_line_kernels"
     "$ubsan/tests/test_fuzz_consistency"
-    echo "tier1: UBSan line-kernel tests passed"
+    "$ubsan/tests/test_persist"
+    "$ubsan/examples/stolen_dimm_attack" > /dev/null
+    echo "tier1: UBSan line-kernel and persist tests passed"
 fi
 
 echo "tier1: OK"

@@ -25,7 +25,8 @@ SecureMemory::SecureMemory(const SecureMemoryConfig &cfg) : cfg_(cfg)
     // A fresh memory installs lines as all-zero plaintext.
     memory_ = std::make_unique<MemorySystem>(
         *scheme_, cfg_.wearLeveling, cfg_.pcm,
-        [](uint64_t) { return CacheLine{}; });
+        [](uint64_t) { return CacheLine{}; }, FaultConfig{},
+        cfg_.persist);
 }
 
 SecureMemory::~SecureMemory() = default;

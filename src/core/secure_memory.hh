@@ -55,6 +55,10 @@ struct SecureMemoryConfig
      * option; never use for real data).
      */
     bool fastOtp = false;
+
+    /** Counter-persistence / crash-consistency model (off by
+     *  default; see persist/persist_config.hh). */
+    PersistConfig persist;
 };
 
 /** Aggregate statistics of a SecureMemory. */
@@ -113,6 +117,10 @@ class SecureMemory
 
     /** The composed memory system (full inspection surface). */
     const MemorySystem &memory() const { return *memory_; }
+
+    /** Mutable access (crash/recovery drills need the crash() and
+     *  adoptRecovery() seams). */
+    MemorySystem &memory() { return *memory_; }
 
     /** Active scheme. */
     const EncryptionScheme &scheme() const { return *scheme_; }

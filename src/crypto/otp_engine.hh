@@ -40,6 +40,19 @@ struct PadRequest
     unsigned block;   ///< 16-byte block index within the line, 0..3
 };
 
+/**
+ * Observable pad-generation counter state of an OtpEngine, for
+ * crash/recovery simulation: capture before a simulated power loss,
+ * restore to model the controller resuming from a checkpoint.
+ */
+struct OtpCounterSnapshot
+{
+    uint64_t pads = 0;       ///< padsGenerated() at capture
+    uint64_t padBatches = 0; ///< padBatches() at capture
+
+    bool operator==(const OtpCounterSnapshot &) const = default;
+};
+
 /** Abstract pad generator: (address, counter, block) -> 128-bit pad. */
 class OtpEngine
 {
@@ -99,6 +112,25 @@ class OtpEngine
      */
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Capture the engine's pad-generation counters. */
+    OtpCounterSnapshot snapshotCounters() const
+    {
+        OtpCounterSnapshot snap;
+        snap.pads = pads_.load(std::memory_order_relaxed);
+        snap.padBatches = batches_.load(std::memory_order_relaxed);
+        return snap;
+    }
+
+    /**
+     * Restore counters from a snapshot (crash/recovery simulation:
+     * the host-side view rolls back to the captured instant).
+     */
+    void restoreCounters(const OtpCounterSnapshot &snap)
+    {
+        pads_.store(snap.pads, std::memory_order_relaxed);
+        batches_.store(snap.padBatches, std::memory_order_relaxed);
+    }
 
   protected:
     /** Concrete engines charge each generated pad here. */

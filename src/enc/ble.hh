@@ -53,6 +53,8 @@ class BlockLevelEncryption : public EncryptionScheme
     CacheLine read(uint64_t line_addr,
                    const StoredLineState &state) const override;
 
+    bool usesBlockCounters() const override { return true; }
+
   private:
     /**
      * Pads for a set of blocks of one line in a single cipher batch

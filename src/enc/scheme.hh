@@ -133,6 +133,15 @@ class EncryptionScheme
                            const StoredLineState &state) const = 0;
 
     /**
+     * Whether the design encrypts under per-block counters
+     * (StoredLineState::blockCounters) rather than the single line
+     * counter. Crash recovery needs this: a MAC over the effective
+     * (summed) counter can reconstruct a stale line counter by
+     * search, but never the split across block counters.
+     */
+    virtual bool usesBlockCounters() const { return false; }
+
+    /**
      * Register the scheme's stats under @p prefix (dotted, e.g.
      * "system.pcm.scheme"). The base registers the tracking-bit
      * overhead; schemes with richer internal counters override and

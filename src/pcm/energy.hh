@@ -39,6 +39,18 @@ class EnergyAccumulator
     void addRead() { ++reads_; }
 
     /**
+     * Charge metadata-array traffic from the counter-persistence
+     * model: @p meta_writes counter/tree-line writes (28 counter bits
+     * programmed each) and @p meta_reads metadata line reads.
+     */
+    void
+    addPersist(uint64_t meta_reads, uint64_t meta_writes)
+    {
+        metaReads_ += meta_reads;
+        metaWrites_ += meta_writes;
+    }
+
+    /**
      * Fold another accumulator's counters into this one. Both must
      * share the device parameters; the energy formulas then agree on
      * the merged integer totals (and, being computed from integers,
@@ -50,18 +62,27 @@ class EnergyAccumulator
         writes_ += other.writes_;
         reads_ += other.reads_;
         flips_ += other.flips_;
+        metaReads_ += other.metaReads_;
+        metaWrites_ += other.metaWrites_;
     }
 
     uint64_t writes() const { return writes_; }
     uint64_t reads() const { return reads_; }
     uint64_t flips() const { return flips_; }
+    uint64_t persistMetaReads() const { return metaReads_; }
+    uint64_t persistMetaWrites() const { return metaWrites_; }
 
     /** Dynamic energy in picojoules. */
     double
     dynamicEnergyPj() const
     {
+        // The persist terms are exactly zero when the model is off,
+        // so adding them leaves the result bit-identical (x + 0.0).
         return static_cast<double>(flips_) * cfg_.writeEnergyPerBitPj +
-               static_cast<double>(reads_) * cfg_.readEnergyPerLinePj;
+               static_cast<double>(reads_) * cfg_.readEnergyPerLinePj +
+               static_cast<double>(metaWrites_) * kPersistMetaBits *
+                   cfg_.writeEnergyPerBitPj +
+               static_cast<double>(metaReads_) * cfg_.readEnergyPerLinePj;
     }
 
     /** Total energy in picojoules over an execution of @p ns. */
@@ -90,10 +111,16 @@ class EnergyAccumulator
     }
 
   private:
+    /** Cells programmed per metadata-array write (one 28-bit counter
+     *  or tree-leaf slot rewritten). */
+    static constexpr double kPersistMetaBits = 28.0;
+
     PcmConfig cfg_;
     uint64_t writes_ = 0;
     uint64_t reads_ = 0;
     uint64_t flips_ = 0;
+    uint64_t metaReads_ = 0;
+    uint64_t metaWrites_ = 0;
 };
 
 } // namespace deuce

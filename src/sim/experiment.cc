@@ -5,6 +5,7 @@
 
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/line_kernels.hh"
@@ -68,12 +69,19 @@ runExperiment(const BenchmarkProfile &profile,
     // a first writeback the workload's current contents are already
     // mutated, but the pre-image is exactly the deterministic initial
     // contents (lines change only via writebacks).
+    // The persist tree must cover every line a write can touch.
+    PersistConfig persist = options.persist;
+    if (persist.enabled) {
+        persist.numLines =
+            std::max(persist.numLines, profile.workingSetLines);
+    }
+
     MemorySystem memory(
         scheme, options.wl, options.pcm,
         [&workload](uint64_t addr) {
             return workload.initialContents(addr);
         },
-        options.fault);
+        options.fault, persist);
 
     ExperimentRow row;
     row.bench = profile.name;
@@ -120,6 +128,18 @@ runExperiment(const BenchmarkProfile &profile,
                                                 options.pcm);
         row.maxFlipRate = est.maxFlipRate;
         row.wearNonUniformity = est.nonUniformity;
+    }
+    if (const PersistDomain *pd = memory.persist()) {
+        const PersistStats &ps = pd->stats();
+        row.persistEnabled = true;
+        row.persistPolicy = pd->policy().name();
+        row.persistFlushEpoch =
+            (pd->config().policy == PersistConfig::Policy::Lazy)
+                ? pd->config().flushEpoch : 0;
+        row.persistVolatileCounters = pd->volatileCounters();
+        row.persistCounterFlushes = ps.counterFlushes;
+        row.persistMetaWrites = ps.metaWrites;
+        row.persistMetaReads = ps.metaReads;
     }
     if (const FaultDomain *fault = memory.fault()) {
         const FaultStats &fs = fault->stats();

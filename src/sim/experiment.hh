@@ -15,6 +15,7 @@
 #include "enc/scheme.hh"
 #include "enc/scheme_factory.hh"
 #include "fault/fault_config.hh"
+#include "persist/persist_config.hh"
 #include "sim/memory_system.hh"
 #include "sim/timing.hh"
 #include "trace/profile.hh"
@@ -45,6 +46,11 @@ struct ExperimentOptions
 
     /** End-of-life fault model (off by default). */
     FaultConfig fault;
+
+    /** Counter-persistence / crash-consistency model (off by
+     *  default). numLines is grown automatically to cover the
+     *  profile's working set. */
+    PersistConfig persist;
 
     /**
      * Use the fast hash-based pad generator instead of real AES
@@ -130,6 +136,27 @@ struct ExperimentRow
 
     /** 1-based write index of the first uncorrectable error (0=none). */
     uint64_t writesToFirstUncorrectable = 0;
+
+    /** Persist counters (populated only when the persist model ran). */
+    bool persistEnabled = false;
+
+    /** Persistence policy the cell ran ("write-through", ...). */
+    std::string persistPolicy;
+
+    /** Lazy flush epoch (0 for other policies). */
+    uint64_t persistFlushEpoch = 0;
+
+    /** Lines with volatile counter state at the end of the run. */
+    uint64_t persistVolatileCounters = 0;
+
+    /** Counter flush events. */
+    uint64_t persistCounterFlushes = 0;
+
+    /** Metadata-array writes charged to the runtime. */
+    uint64_t persistMetaWrites = 0;
+
+    /** Metadata-array reads charged to the runtime. */
+    uint64_t persistMetaReads = 0;
 };
 
 /** Run one (benchmark, scheme) cell. */

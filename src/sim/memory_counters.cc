@@ -45,6 +45,12 @@ MemoryCounters::noteRead(uint64_t line_addr)
     ++banks_[line_addr % banks_.size()].reads;
 }
 
+void
+MemoryCounters::notePersist(uint64_t meta_reads, uint64_t meta_writes)
+{
+    energy_.addPersist(meta_reads, meta_writes);
+}
+
 const BankCounters &
 MemoryCounters::bank(unsigned bank) const
 {
@@ -108,6 +114,15 @@ MemoryCounters::deterministicSignature() const
 
     os << " wearData=" << wear_.totalDataFlips()
        << " wearMeta=" << wear_.totalMetaFlips();
+
+    // Persist traffic is appended only when the model generated any,
+    // so persist-disabled signatures stay byte-identical to the
+    // pre-persist format.
+    if (energy_.persistMetaReads() != 0 ||
+        energy_.persistMetaWrites() != 0) {
+        os << " persist=" << energy_.persistMetaReads() << ","
+           << energy_.persistMetaWrites();
+    }
     for (size_t b = 0; b < banks_.size(); ++b) {
         os << " b" << b << "=" << banks_[b].writes << ","
            << banks_[b].reads << "," << banks_[b].flips << ","

@@ -61,6 +61,13 @@ class MemoryCounters
     /** Charge one line read. */
     void noteRead(uint64_t line_addr);
 
+    /**
+     * Charge metadata-array traffic from the counter-persistence
+     * model. No-op totals when the persist model is off, leaving
+     * every existing number (and the signature) untouched.
+     */
+    void notePersist(uint64_t meta_reads, uint64_t meta_writes);
+
     const EnergyAccumulator &energy() const { return energy_; }
     const WearTracker &wear() const { return wear_; }
     const RunningStat &flipStat() const { return flipStat_; }

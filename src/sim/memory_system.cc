@@ -15,12 +15,16 @@ MemorySystem::MemorySystem(const EncryptionScheme &scheme,
                            const WearLevelingConfig &wl,
                            const PcmConfig &pcm,
                            std::function<CacheLine(uint64_t)> initial,
-                           const FaultConfig &fault)
+                           const FaultConfig &fault,
+                           const PersistConfig &persist)
     : scheme_(scheme), wlCfg_(wl), pcm_(pcm),
       initial_(std::move(initial)), counters_(pcm)
 {
     if (fault.enabled) {
         fault_ = std::make_unique<FaultDomain>(fault);
+    }
+    if (persist.enabled) {
+        persist_ = std::make_unique<PersistDomain>(persist);
     }
     if (wlCfg_.verticalEnabled) {
         if (wlCfg_.engine == WearLevelingConfig::Engine::StartGap) {
@@ -108,6 +112,13 @@ MemorySystem::write(uint64_t line_addr, const CacheLine &plaintext)
 
     counters_.noteWrite(line_addr, outcome.result, outcome.slots,
                         outcome.flipFraction, rotation);
+
+    if (persist_) {
+        PersistTraffic t = persist_->onWrite(line_addr, state);
+        outcome.persistMetaWrites =
+            static_cast<unsigned>(t.criticalMetaWrites);
+        counters_.notePersist(t.metaReads, t.metaWrites);
+    }
     return outcome;
 }
 
@@ -116,7 +127,41 @@ MemorySystem::read(uint64_t line_addr)
 {
     StoredLineState &state = install(line_addr);
     counters_.noteRead(line_addr);
+    if (persist_) {
+        PersistTraffic t = persist_->onRead(line_addr);
+        counters_.notePersist(t.metaReads, t.metaWrites);
+    }
     return scheme_.read(line_addr, state);
+}
+
+CrashImage
+MemorySystem::crash(bool mid_flush)
+{
+    deuce_assert(persist_);
+    CrashImage image = persist_->crash(lines_, mid_flush);
+    lines_.clear();
+    return image;
+}
+
+void
+MemorySystem::adoptLine(uint64_t line_addr,
+                        const StoredLineState &state)
+{
+    lines_[line_addr] = state;
+    if (persist_) {
+        persist_->adopt(line_addr, state);
+    }
+}
+
+void
+MemorySystem::adoptRecovery(const RecoveryOutcome &outcome)
+{
+    for (const auto &[line, state] : outcome.lines) {
+        adoptLine(line, state);
+    }
+    if (persist_) {
+        persist_->noteRecoveryRepairs(outcome.report.repairedLines);
+    }
 }
 
 bool
@@ -209,6 +254,9 @@ MemorySystem::registerDetailStats(obs::StatRegistry &reg,
 
     if (fault_) {
         fault_->registerStats(reg, prefix + ".fault");
+    }
+    if (persist_) {
+        persist_->registerStats(reg, prefix + ".persist");
     }
 }
 

@@ -30,6 +30,9 @@
 #include "obs/stat.hh"
 #include "fault/fault_domain.hh"
 #include "pcm/config.hh"
+#include "persist/crash.hh"
+#include "persist/persist_domain.hh"
+#include "persist/recovery.hh"
 #include "pcm/energy.hh"
 #include "pcm/wear_tracker.hh"
 #include "pcm/write_slots.hh"
@@ -81,6 +84,12 @@ struct WriteOutcome
 
     /** This write exceeded ECP capacity; the line was retired. */
     bool faultUncorrectable = false;
+
+    /** Critical-path metadata-array writes the counter-persistence
+     *  model charged to this store (synchronous write-through
+     *  flushes; 0 for write-behind policies or when the model is
+     *  off). */
+    unsigned persistMetaWrites = 0;
 };
 
 /** A secure PCM main memory for one scheme + wear-leveling combo. */
@@ -96,12 +105,16 @@ class MemorySystem
      * @param fault    end-of-life fault model (disabled by default;
      *                 a disabled system is bit-identical to one built
      *                 before the fault subsystem existed)
+     * @param persist  counter-persistence / crash-consistency model
+     *                 (disabled by default, same bit-identical
+     *                 guarantee)
      */
     MemorySystem(const EncryptionScheme &scheme,
                  const WearLevelingConfig &wl = WearLevelingConfig{},
                  const PcmConfig &pcm = PcmConfig{},
                  std::function<CacheLine(uint64_t)> initial = {},
-                 const FaultConfig &fault = FaultConfig{});
+                 const FaultConfig &fault = FaultConfig{},
+                 const PersistConfig &persist = PersistConfig{});
 
     /**
      * Move-only handle: shards live directly in a std::vector with no
@@ -194,6 +207,35 @@ class MemorySystem
     /** The fault domain (null when faults are disabled). */
     const FaultDomain *fault() const { return fault_.get(); }
 
+    /** The persistence domain (null when the model is disabled). */
+    const PersistDomain *persist() const { return persist_.get(); }
+
+    /**
+     * Power loss (persist model required). Captures the durable image
+     * — data/tracking bits current, counters rolled back to their
+     * last durable values — and clears the volatile line store; the
+     * system then represents the rebooted controller, ready to have
+     * recovered lines adopted back.
+     *
+     * @param mid_flush land the crash mid counter-flush (torn flush:
+     *        the image's tree fails verification for that leaf group)
+     */
+    CrashImage crash(bool mid_flush = false);
+
+    /**
+     * Adopt one line's stored state verbatim (recovery, or a test
+     * seam). The persist domain, when present, records the state as
+     * both live and durable and rebuilds the line's MAC/tree path.
+     * No flips or traffic are charged.
+     */
+    void adoptLine(uint64_t line_addr, const StoredLineState &state);
+
+    /**
+     * Adopt a RecoveryEngine's outcome wholesale and credit the
+     * repairs to the persist.* stats.
+     */
+    void adoptRecovery(const RecoveryOutcome &outcome);
+
     /** The wear-leveling configuration this system was built with. */
     const WearLevelingConfig &wlConfig() const { return wlCfg_; }
 
@@ -220,6 +262,7 @@ class MemorySystem
     std::unique_ptr<VerticalWearLeveler> vwl_;
     std::unique_ptr<RotationPolicy> rotation_;
     std::unique_ptr<FaultDomain> fault_;
+    std::unique_ptr<PersistDomain> persist_;
 
     std::unordered_map<uint64_t, StoredLineState> lines_;
     MemoryCounters counters_;

@@ -181,6 +181,20 @@ experimentRowJson(const ExperimentRow &row)
            << "\"writes_to_first_uncorrectable\":"
            << row.writesToFirstUncorrectable;
     }
+    // Persist counters likewise append only when the model ran.
+    if (row.persistEnabled) {
+        os << ",\"persist_policy\":\""
+           << jsonEscape(row.persistPolicy) << "\","
+           << "\"persist_flush_epoch\":" << row.persistFlushEpoch
+           << ','
+           << "\"persist_volatile_counters\":"
+           << row.persistVolatileCounters << ','
+           << "\"persist_counter_flushes\":"
+           << row.persistCounterFlushes << ','
+           << "\"persist_meta_writes\":" << row.persistMetaWrites
+           << ','
+           << "\"persist_meta_reads\":" << row.persistMetaReads;
+    }
     os << '}';
     return os.str();
 }

@@ -56,6 +56,15 @@ TimingSimulator::run(TraceSource &source, MemorySystem &memory)
     const double ns_per_instr =
         cfg_.cpiBase / (cfg_.cores * cfg_.coreGhz);
 
+    // Integrity-metadata read traffic: with the persist model's MAC
+    // enabled, every demand read fetches the line's MAC from the
+    // metadata array before it can be verified. Exactly 0.0 when the
+    // model is off, leaving all timing bit-identical.
+    const PersistDomain *persist = memory.persist();
+    const double mac_fetch_ns =
+        (persist && persist->config().integrity) ? pcm_.readLatencyNs
+                                                 : 0.0;
+
     double now = 0.0;
     uint64_t last_icount = 0;
     RunningStat read_latency;
@@ -96,8 +105,12 @@ TimingSimulator::run(TraceSource &source, MemorySystem &memory)
 
         if (ev.kind == EventKind::Writeback) {
             WriteOutcome out = memory.write(ev.lineAddr, ev.data);
+            // Counter/tree flushes occupy the same bank as metadata
+            // line writes behind the demand write (0 when the persist
+            // model is off).
             double service =
-                out.slots * pcm_.writeSlotNs + counter_penalty;
+                out.slots * pcm_.writeSlotNs + counter_penalty +
+                out.persistMetaWrites * pcm_.writeSlotNs;
 
             if (cfg_.scheduler == TimingConfig::Scheduler::Fcfs) {
                 double start = std::max(bank.busyUntil, now);
@@ -144,7 +157,8 @@ TimingSimulator::run(TraceSource &source, MemorySystem &memory)
                 break;
             }
             double finish = start + pcm_.readLatencyNs +
-                            counter_penalty + decrypt_penalty;
+                            counter_penalty + decrypt_penalty +
+                            mac_fetch_ns;
             bank.busyUntil = finish;
 
             double latency = finish - now;
