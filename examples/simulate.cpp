@@ -19,11 +19,17 @@
  *   --vwl <startgap|sr>     vertical wear-leveling engine
  *   --fast-otp              hash-based pads instead of AES
  *   --aes-backend <b>       AES implementation: auto (default),
- *                           scalar, ttable, or aesni (falls back with
- *                           a warning when the host lacks AES-NI)
+ *                           scalar, ttable, aesni, vaes, or neon
+ *                           (falls back with a warning when the host
+ *                           lacks the ISA)
  *   --line-backend <b>      cache-line kernels: auto (default),
- *                           scalar, sse2, or avx2 (falls back with a
- *                           warning when the host lacks the ISA)
+ *                           scalar, sse2, avx2, or neon (falls back
+ *                           with a warning when the host lacks the
+ *                           ISA)
+ *   --batch <n>             writeback burst size for the batched
+ *                           write pipeline (default 64; 1 replays
+ *                           one write at a time; results are
+ *                           bit-identical at any value)
  *   --seed <n>              pad key seed
  *   --fault                 enable the end-of-life fault model
  *   --ecp <n>               ECP entries per line (with --fault)
@@ -95,8 +101,10 @@ usage(const char *argv0)
     std::cerr << "usage: " << argv0
               << " [--bench <name|all>] [--scheme <id[,id...]>]"
                  " [--writebacks <n>] [--timing] [--hwl] [--vwl startgap|sr]"
-                 " [--fast-otp] [--aes-backend auto|scalar|ttable|aesni]"
-                 " [--line-backend auto|scalar|sse2|avx2]"
+                 " [--fast-otp]"
+                 " [--aes-backend auto|scalar|ttable|aesni|vaes|neon]"
+                 " [--line-backend auto|scalar|sse2|avx2|neon]"
+                 " [--batch <n>]"
                  " [--seed <n>] [--mlp <x>] [--threads <n>]"
                  " [--fault] [--ecp <n>] [--endurance <flips>]"
                  " [--persist wt|lazy|battery] [--flush-epoch <n>]"
@@ -183,6 +191,12 @@ parseArgs(int argc, char **argv)
                 usage(argv[0]);
             }
             setLineBackend(*parsed);
+        } else if (arg == "--batch") {
+            cli.experiment.writeBatch = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+            if (cli.experiment.writeBatch == 0) {
+                usage(argv[0]);
+            }
         } else if (arg == "--seed") {
             cli.experiment.otpSeed =
                 std::strtoull(value(), nullptr, 10);

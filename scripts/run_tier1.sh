@@ -93,7 +93,7 @@ PY
 "$build/examples/simulate" \
     --bench mcf --scheme deuce --writebacks 5000 \
     --aes-backend auto --json "$build/equiv_auto.jsonl" > /dev/null
-strip_backend='s/,"aes_backend":"[a-z-]*"//;s/,"line_backend":"[a-z0-9]*"//'
+strip_backend='s/,"aes_backend":"[a-z-]*"//;s/,"line_backend":"[a-z0-9]*"//;s/,"write_batch":[0-9]*//'
 if ! diff \
     <(sed "$strip_backend" "$build/equiv_scalar.jsonl") \
     <(sed "$strip_backend" "$build/equiv_auto.jsonl"); then
@@ -121,6 +121,62 @@ if ! diff \
     exit 1
 fi
 echo "tier1: line backend equivalence OK (scalar == auto)"
+
+# Batch-pipeline equivalence gate: replaying the same cells one write
+# at a time (--batch 1) and through 64-line bursts must produce
+# byte-identical rows modulo the write_batch/backend-name fields. A
+# divergence means the batched pad stream or the deferred wear landing
+# drifted from the sequential reference — a hard failure.
+"$build/examples/simulate" \
+    --bench mcf --scheme deuce,deuce-fnw,dyndeuce --writebacks 5000 \
+    --fast-otp --batch 1 \
+    --json "$build/equiv_batch_seq.jsonl" > /dev/null
+"$build/examples/simulate" \
+    --bench mcf --scheme deuce,deuce-fnw,dyndeuce --writebacks 5000 \
+    --fast-otp --batch 64 \
+    --json "$build/equiv_batch_64.jsonl" > /dev/null
+if ! diff \
+    <(sed "$strip_backend" "$build/equiv_batch_seq.jsonl") \
+    <(sed "$strip_backend" "$build/equiv_batch_64.jsonl"); then
+    echo "tier1: FAIL — batched and sequential write paths disagree" >&2
+    exit 1
+fi
+echo "tier1: batch pipeline equivalence OK (batch 1 == batch 64)"
+
+# Write-path throughput: lines/sec per scheme at batch {1,16,64} on
+# the auto cipher backend. bench_throughput itself enforces two hard
+# gates — bit-identical counter signatures across batch sizes, and
+# >= 1.5x lines/sec for encr and deuce at batch >= 16. Cells append
+# to the BENCH trajectory, and the auto-backend lines/sec per scheme
+# land in BENCH_THROUGHPUT.json.
+DEUCE_BENCH_JSON="$build/bench_results.json" "$build/bench/bench_throughput" \
+    --writes 100000 \
+    > /dev/null || {
+        echo "tier1: FAIL — throughput bit-identity/speedup gate" >&2
+        exit 1
+    }
+python3 - "$build/bench_results.json" \
+    "$build/BENCH_THROUGHPUT.json" <<'PY'
+import json
+import sys
+
+summary = {}
+for line in open(sys.argv[1]):
+    row = json.loads(line)
+    if row.get("bench") != "THROUGHPUT":
+        continue
+    per = summary.setdefault(row["scheme"], {})
+    per[f"batch{row['write_batch']}_lines_per_sec"] = \
+        row["lines_per_sec"]
+    per["aes_backend"] = row["aes_backend"]
+with open(sys.argv[2], "w") as out:
+    json.dump(summary, out, indent=2, sort_keys=True)
+    out.write("\n")
+print(f"tier1: throughput summary for {len(summary)} schemes "
+      f"-> {sys.argv[2]}")
+PY
+rows=$(wc -l < "$build/bench_results.json")
+echo "tier1: throughput gate OK (now $rows rows)"
 
 # Observability smoke: a small multi-threaded sweep with span tracing
 # and progress reporting on. The Chrome trace must be valid JSON and
@@ -226,12 +282,16 @@ if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDEUCE_TSAN=ON
     cmake --build "$tsan" -j "$(nproc)" \
         --target test_thread_pool test_sweep test_spsc_queue \
-                 test_serving test_persist stolen_dimm_attack \
-                 bench_serving
+                 test_serving test_persist test_write_batch \
+                 stolen_dimm_attack bench_serving
     "$tsan/tests/test_thread_pool"
     "$tsan/tests/test_sweep"
     "$tsan/tests/test_spsc_queue"
     "$tsan/tests/test_serving"
+    # The batch pipeline itself is single-threaded per shard, but the
+    # serving workers drive it concurrently — run its bit-identity
+    # suite under TSan alongside the worker tests.
+    "$tsan/tests/test_write_batch"
     # Crash-at-every-index determinism races recovery cells across
     # threads; the attack example is a one-crash recovery smoke.
     "$tsan/tests/test_persist"
@@ -262,10 +322,16 @@ if [[ "${DEUCE_UBSAN:-0}" == "1" ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDEUCE_UBSAN=ON
     cmake --build "$ubsan" -j "$(nproc)" \
         --target test_line_kernels test_fuzz_consistency \
-                 test_persist stolen_dimm_attack
+                 test_persist test_write_batch test_otp \
+                 stolen_dimm_attack
     "$ubsan/tests/test_line_kernels"
     "$ubsan/tests/test_fuzz_consistency"
     "$ubsan/tests/test_persist"
+    # Batch-path coverage: the cross-line pad stream (test_otp) and
+    # the writeBatch bit-identity suite, checked for UB (the wide
+    # cipher and kernel TUs do unaligned loads behind intrinsics).
+    "$ubsan/tests/test_otp"
+    "$ubsan/tests/test_write_batch"
     "$ubsan/examples/stolen_dimm_attack" > /dev/null
     echo "tier1: UBSan line-kernel and persist tests passed"
 fi

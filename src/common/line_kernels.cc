@@ -171,6 +171,27 @@ scalarXorPopcountBatch(const CacheLine *a, const CacheLine *b,
     }
 }
 
+void
+scalarPopcountBatch(const CacheLine *lines, uint32_t *out,
+                    std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = scalarPopcount(lines[i]);
+    }
+}
+
+void
+scalarAccumulateFlipsBatch(const CacheLine *diffs, std::size_t n,
+                           uint64_t *counters)
+{
+    // The reference is the naive per-line scan — what the batched
+    // write path must stay bit-identical to. SIMD backends route
+    // through detail::positionalFlipAccumulate instead.
+    for (std::size_t i = 0; i < n; ++i) {
+        scalarAccumulateFlips(diffs[i], counters);
+    }
+}
+
 constexpr LineKernelOps kScalarOps = {
     "scalar",
     &scalarPopcount,
@@ -182,6 +203,8 @@ constexpr LineKernelOps kScalarOps = {
     &scalarAndNotInto,
     &scalarAccumulateFlips,
     &scalarXorPopcountBatch,
+    &scalarPopcountBatch,
+    &scalarAccumulateFlipsBatch,
 };
 
 } // namespace
@@ -226,7 +249,7 @@ envBackend()
             parseLineBackendName(env);
         if (!parsed) {
             deuce_fatal(std::string("DEUCE_LINE_BACKEND=") + env +
-                        ": expected auto, scalar, sse2 or avx2");
+                        ": expected auto, scalar, sse2, avx2 or neon");
         }
         return *parsed;
     }();
@@ -267,15 +290,29 @@ avx2Available()
     return avx2Compiled() && cpuHasAvx2();
 }
 
+bool
+neonLineKernelsAvailable()
+{
+    // The NEON TU only builds for aarch64 targets, where the vector
+    // unit is architecturally guaranteed: compiled-in means usable.
+    return neonLineKernelOps() != nullptr;
+}
+
 LineBackendKind
 resolveLineBackend(LineBackendKind kind)
 {
     switch (kind) {
       case LineBackendKind::Auto:
-        return avx2Available()
-            ? LineBackendKind::Avx2
-            : (sse2Available() ? LineBackendKind::Sse2
-                               : LineBackendKind::Scalar);
+        if (avx2Available()) {
+            return LineBackendKind::Avx2;
+        }
+        if (sse2Available()) {
+            return LineBackendKind::Sse2;
+        }
+        if (neonLineKernelsAvailable()) {
+            return LineBackendKind::Neon;
+        }
+        return LineBackendKind::Scalar;
       case LineBackendKind::Avx2:
         if (!avx2Available()) {
             LineBackendKind fallback = sse2Available()
@@ -287,6 +324,12 @@ resolveLineBackend(LineBackendKind kind)
       case LineBackendKind::Sse2:
         if (!sse2Available()) {
             warnUnavailable("sse2", "scalar");
+            return LineBackendKind::Scalar;
+        }
+        return kind;
+      case LineBackendKind::Neon:
+        if (!neonLineKernelsAvailable()) {
+            warnUnavailable("neon", "scalar");
             return LineBackendKind::Scalar;
         }
         return kind;
@@ -303,6 +346,8 @@ lineBackendOps(LineBackendKind kind)
         return avx2LineKernelOps();
       case LineBackendKind::Sse2:
         return sse2LineKernelOps();
+      case LineBackendKind::Neon:
+        return neonLineKernelOps();
       case LineBackendKind::Scalar:
       default:
         return scalarLineKernelOps();
@@ -321,6 +366,51 @@ defaultLineBackend()
 
 namespace detail
 {
+
+void
+positionalFlipAccumulate(const CacheLine *diffs, std::size_t n,
+                         uint64_t *counters)
+{
+    // Carry-save addition: fold up to seven diffs into ones/twos/
+    // fours bit-planes per limb with full-adder chains, then scatter
+    // each plane once with weight 1/2/4. Per-bit counts within a
+    // group never exceed 7, so three planes are exact, and counter
+    // addition commutes, so the result matches n sequential
+    // accumulateFlips() scans bit for bit.
+    while (n > 0) {
+        std::size_t g = n < 7 ? n : 7;
+        uint64_t ones[CacheLine::kLimbs] = {};
+        uint64_t twos[CacheLine::kLimbs] = {};
+        uint64_t fours[CacheLine::kLimbs] = {};
+        for (std::size_t i = 0; i < g; ++i) {
+            for (unsigned l = 0; l < CacheLine::kLimbs; ++l) {
+                uint64_t x = diffs[i].limbs()[l];
+                uint64_t t = ones[l] & x;
+                ones[l] ^= x;
+                uint64_t c = twos[l] & t;
+                twos[l] ^= t;
+                fours[l] |= c;
+            }
+        }
+        auto scatter = [counters](const uint64_t *plane,
+                                  uint64_t weight) {
+            for (unsigned l = 0; l < CacheLine::kLimbs; ++l) {
+                uint64_t bits = plane[l];
+                while (bits) {
+                    unsigned bit = static_cast<unsigned>(
+                        std::countr_zero(bits));
+                    counters[l * 64 + bit] += weight;
+                    bits &= bits - 1;
+                }
+            }
+        };
+        scatter(ones, 1);
+        scatter(twos, 2);
+        scatter(fours, 4);
+        diffs += g;
+        n -= g;
+    }
+}
 
 std::atomic<const LineKernelOps *> g_activeLineOps{nullptr};
 
@@ -374,6 +464,9 @@ parseLineBackendName(const std::string &name)
     if (name == "avx2") {
         return LineBackendKind::Avx2;
     }
+    if (name == "neon") {
+        return LineBackendKind::Neon;
+    }
     return std::nullopt;
 }
 
@@ -389,6 +482,8 @@ lineBackendName(LineBackendKind kind)
         return "sse2";
       case LineBackendKind::Avx2:
         return "avx2";
+      case LineBackendKind::Neon:
+        return "neon";
     }
     return "auto";
 }
@@ -402,6 +497,9 @@ availableLineBackends()
     }
     if (avx2Available()) {
         kinds.push_back(LineBackendKind::Avx2);
+    }
+    if (neonLineKernelsAvailable()) {
+        kinds.push_back(LineBackendKind::Neon);
     }
     return kinds;
 }

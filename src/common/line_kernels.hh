@@ -4,9 +4,9 @@
  * CacheLine diff/flip primitives every simulated writeback funnels
  * through.
  *
- * The library ships up to three bit-identical implementations of the
+ * The library ships up to four bit-identical implementations of the
  * fused line primitives (XOR+popcount, per-word diff masks, per-region
- * flip counts, wear accumulation):
+ * flip counts, wear accumulation, cross-line batch sweeps):
  *
  *  - "scalar"  portable limb-at-a-time reference, extracted from the
  *              historical CacheLine/FNW/DEUCE loops (line_kernels.cc)
@@ -16,11 +16,13 @@
  *  - "avx2"    256-bit nibble-LUT popcount (vpshufb + vpsadbw); the
  *              only TU compiled with -mavx2 and only dispatched to
  *              when CPUID reports AVX2 (line_kernels_avx2.cc)
+ *  - "neon"    128-bit CNT/ADDLP/ADDV popcount; baseline on AArch64,
+ *              stubbed out elsewhere (line_kernels_neon.cc)
  *
  * Selection order for the active backend: setLineBackend() (the
  * --line-backend CLI flag) > the DEUCE_LINE_BACKEND environment
  * variable > Auto. Auto resolves to the fastest backend the host
- * supports (avx2 > sse2 > scalar); an explicit request for an
+ * supports (avx2 > sse2 > neon > scalar); an explicit request for an
  * unavailable backend degrades down the same ladder with a one-time
  * warning, never an error — all backends produce identical results,
  * so a fallback changes wall-clock only. The claim is enforced by the
@@ -50,6 +52,7 @@ enum class LineBackendKind
     Scalar, ///< portable limb-at-a-time reference implementation
     Sse2,   ///< 128-bit SSE2 SWAR implementation
     Avx2,   ///< 256-bit AVX2 implementation
+    Neon,   ///< 128-bit ARMv8 NEON implementation
 };
 
 /**
@@ -118,6 +121,23 @@ struct LineKernelOps
      */
     void (*xorPopcountBatch)(const CacheLine *a, const CacheLine *b,
                              uint32_t *out, std::size_t n);
+
+    /**
+     * Batched per-line popcount for write bursts: out[i] =
+     * popcount(lines[i]) for i in [0, n).
+     */
+    void (*popcountBatch)(const CacheLine *lines, uint32_t *out,
+                          std::size_t n);
+
+    /**
+     * Cross-line wear accumulation: counters[i] += number of diffs
+     * among @p diffs with bit i set — exactly n accumulateFlips()
+     * calls folded into one pass so the 512 wear counters are walked
+     * once per burst, not once per line. @p counters must hold
+     * CacheLine::kBits entries.
+     */
+    void (*accumulateFlipsBatch)(const CacheLine *diffs, std::size_t n,
+                                 uint64_t *counters);
 };
 
 /** True when the SSE2 TU was compiled for a target with SSE2. */
@@ -128,6 +148,9 @@ bool avx2Compiled();
 
 /** True when AVX2 is both compiled in and reported by CPUID. */
 bool avx2Available();
+
+/** True when the NEON line-kernel TU was compiled in (DEUCE_NEON). */
+bool neonLineKernelsAvailable();
 
 /**
  * Resolve @p kind to a concrete, available backend: Auto picks the
@@ -156,7 +179,10 @@ void setLineBackend(LineBackendKind kind);
 /** Concrete backend the process is currently dispatching to. */
 LineBackendKind activeLineBackend();
 
-/** Parse "auto"/"scalar"/"sse2"/"avx2"; nullopt on anything else. */
+/**
+ * Parse "auto"/"scalar"/"sse2"/"avx2"/"neon"; nullopt on anything
+ * else.
+ */
 std::optional<LineBackendKind> parseLineBackendName(
     const std::string &name);
 
@@ -188,6 +214,13 @@ const LineKernelOps *sse2LineKernelOps();
  */
 const LineKernelOps *avx2LineKernelOps();
 
+/**
+ * The NEON ops table, or null when not compiled in. Defined by
+ * line_kernels_neon.cc (real) or line_kernels_neon_stub.cc (null)
+ * depending on the DEUCE_NEON CMake option.
+ */
+const LineKernelOps *neonLineKernelOps();
+
 namespace detail
 {
 
@@ -196,6 +229,18 @@ extern std::atomic<const LineKernelOps *> g_activeLineOps;
 
 /** Slow path: resolve the default backend and cache its table. */
 const LineKernelOps &resolveActiveLineOps();
+
+/**
+ * Shared carry-save positional flip accumulator: the portable core
+ * of every SIMD backend's accumulateFlipsBatch. Groups of up to
+ * seven diffs are folded into ones/twos/fours bit-planes with
+ * full-adder chains, then each plane is scattered into @p counters
+ * with weight 1/2/4 — one sparse scan per plane instead of one per
+ * line. Bit-identical to n sequential accumulateFlips() calls
+ * because counter addition commutes.
+ */
+void positionalFlipAccumulate(const CacheLine *diffs, std::size_t n,
+                              uint64_t *counters);
 
 } // namespace detail
 

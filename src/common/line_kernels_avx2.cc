@@ -264,6 +264,22 @@ avx2XorPopcountBatch(const CacheLine *a, const CacheLine *b,
     }
 }
 
+void
+avx2PopcountBatch(const CacheLine *lines, uint32_t *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = avx2Popcount(lines[i]);
+    }
+}
+
+void
+avx2AccumulateFlipsBatch(const CacheLine *diffs, std::size_t n,
+                         uint64_t *counters)
+{
+    // Carry-save planes + weighted scatter (shared portable core).
+    detail::positionalFlipAccumulate(diffs, n, counters);
+}
+
 constexpr LineKernelOps kAvx2Ops = {
     "avx2",
     &avx2Popcount,
@@ -275,6 +291,8 @@ constexpr LineKernelOps kAvx2Ops = {
     &avx2AndNotInto,
     &avx2AccumulateFlips,
     &avx2XorPopcountBatch,
+    &avx2PopcountBatch,
+    &avx2AccumulateFlipsBatch,
 };
 
 } // namespace

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Stand-in for line_kernels_neon.cc when the NEON TU is not built
+ * (DEUCE_NEON=OFF or a non-ARM toolchain). Reporting "no ops" makes
+ * neonLineKernelsAvailable() false, so dispatch cleanly falls back
+ * to the other backends.
+ */
+
+#include "common/line_kernels.hh"
+
+namespace deuce
+{
+
+const LineKernelOps *
+neonLineKernelOps()
+{
+    return nullptr;
+}
+
+} // namespace deuce

@@ -293,6 +293,22 @@ sse2XorPopcountBatch(const CacheLine *a, const CacheLine *b,
     }
 }
 
+void
+sse2PopcountBatch(const CacheLine *lines, uint32_t *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = sse2Popcount(lines[i]);
+    }
+}
+
+void
+sse2AccumulateFlipsBatch(const CacheLine *diffs, std::size_t n,
+                         uint64_t *counters)
+{
+    // Carry-save planes + weighted scatter (shared portable core).
+    detail::positionalFlipAccumulate(diffs, n, counters);
+}
+
 constexpr LineKernelOps kSse2Ops = {
     "sse2",
     &sse2Popcount,
@@ -304,6 +320,8 @@ constexpr LineKernelOps kSse2Ops = {
     &sse2AndNotInto,
     &sse2AccumulateFlips,
     &sse2XorPopcountBatch,
+    &sse2PopcountBatch,
+    &sse2AccumulateFlipsBatch,
 };
 
 } // namespace

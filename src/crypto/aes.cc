@@ -168,6 +168,7 @@ constexpr AesBackendOps kScalarOps = {
     scalarDecrypt1,
     scalarEncrypt4,
     nullptr,
+    nullptr,
 };
 
 } // namespace
@@ -280,6 +281,15 @@ Aes128::decrypt(const AesBlock &ciphertext) const
 void
 Aes128::encryptBlocks(const AesBlock *in, AesBlock *out, size_t n) const
 {
+    // AesBlock arrays are contiguous 16-byte buffers, so a backend's
+    // wide hook (when present) can eat the whole run in one call.
+    if (n == 0) {
+        return;
+    }
+    if (ops_->encryptMany) {
+        ops_->encryptMany(*this, in[0].data(), out[0].data(), n);
+        return;
+    }
     while (n >= 4) {
         ops_->encrypt4(*this, in[0].data(), out[0].data());
         in += 4;

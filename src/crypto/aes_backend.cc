@@ -31,6 +31,32 @@ cpuHasAesni()
 #endif
 }
 
+/** CPUID-level VAES + AVX-512F support (512-bit AESENC forms). */
+bool
+cpuHasVaes()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("vaes") &&
+           __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw");
+#else
+    return false;
+#endif
+}
+
+/** ARMv8 crypto-extension support. The TU only builds for aarch64
+ *  targets with +crypto, so compiled-in implies the instructions
+ *  exist on every CPU the binary runs on. */
+bool
+cpuHasNeonAes()
+{
+#if defined(__aarch64__)
+    return true;
+#else
+    return false;
+#endif
+}
+
 /** Explicit override installed by setAesBackend(); Auto = none. */
 std::atomic<AesBackendKind> g_override{AesBackendKind::Auto};
 
@@ -47,7 +73,8 @@ envBackend()
             parseAesBackendName(env);
         if (!parsed) {
             deuce_fatal(std::string("DEUCE_AES_BACKEND=") + env +
-                        ": expected auto, scalar, ttable or aesni");
+                        ": expected auto, scalar, ttable, aesni, "
+                        "vaes or neon");
         }
         return *parsed;
     }();
@@ -72,6 +99,37 @@ warnAesniUnavailable()
     });
 }
 
+/** One-time note when an explicit vaes request has to degrade. */
+void
+warnVaesUnavailable()
+{
+    static std::once_flag warned;
+    std::call_once(warned, [] {
+        std::fprintf(stderr,
+                     "deuce: vaes backend requested but %s; "
+                     "falling back down the ladder (results are "
+                     "bit-identical)\n",
+                     vaesCompiled() ? "CPU lacks VAES/AVX-512"
+                                    : "not compiled in");
+    });
+}
+
+/** One-time note when an explicit neon request has to degrade. */
+void
+warnNeonUnavailable()
+{
+    static std::once_flag warned;
+    std::call_once(warned, [] {
+        std::fprintf(stderr,
+                     "deuce: neon AES backend requested but %s; "
+                     "falling back down the ladder (results are "
+                     "bit-identical)\n",
+                     aesNeonCompiled()
+                         ? "CPU lacks the crypto extensions"
+                         : "not compiled in");
+    });
+}
+
 } // namespace
 
 bool
@@ -86,17 +144,63 @@ aesniAvailable()
     return aesniCompiled() && cpuHasAesni();
 }
 
+bool
+vaesCompiled()
+{
+    return vaesBackendOps() != nullptr;
+}
+
+bool
+vaesAvailable()
+{
+    return vaesCompiled() && cpuHasVaes();
+}
+
+bool
+aesNeonCompiled()
+{
+    return aesNeonBackendOps() != nullptr;
+}
+
+bool
+aesNeonAvailable()
+{
+    return aesNeonCompiled() && cpuHasNeonAes();
+}
+
 AesBackendKind
 resolveAesBackend(AesBackendKind kind)
 {
+    // Availability ladder: vaes > aesni > neon > ttable. An explicit
+    // but unavailable request warns once and re-enters at Auto.
     switch (kind) {
       case AesBackendKind::Auto:
-        return aesniAvailable() ? AesBackendKind::AesNi
-                                : AesBackendKind::TTable;
+        if (vaesAvailable()) {
+            return AesBackendKind::Vaes;
+        }
+        if (aesniAvailable()) {
+            return AesBackendKind::AesNi;
+        }
+        if (aesNeonAvailable()) {
+            return AesBackendKind::Neon;
+        }
+        return AesBackendKind::TTable;
+      case AesBackendKind::Vaes:
+        if (!vaesAvailable()) {
+            warnVaesUnavailable();
+            return resolveAesBackend(AesBackendKind::Auto);
+        }
+        return kind;
       case AesBackendKind::AesNi:
         if (!aesniAvailable()) {
             warnAesniUnavailable();
             return AesBackendKind::TTable;
+        }
+        return kind;
+      case AesBackendKind::Neon:
+        if (!aesNeonAvailable()) {
+            warnNeonUnavailable();
+            return resolveAesBackend(AesBackendKind::Auto);
         }
         return kind;
       default:
@@ -112,6 +216,10 @@ aesBackendOps(AesBackendKind kind)
         return scalarBackendOps();
       case AesBackendKind::AesNi:
         return aesniBackendOps();
+      case AesBackendKind::Vaes:
+        return vaesBackendOps();
+      case AesBackendKind::Neon:
+        return aesNeonBackendOps();
       case AesBackendKind::TTable:
       default:
         return ttableBackendOps();
@@ -149,6 +257,12 @@ parseAesBackendName(const std::string &name)
     if (name == "aesni") {
         return AesBackendKind::AesNi;
     }
+    if (name == "vaes") {
+        return AesBackendKind::Vaes;
+    }
+    if (name == "neon") {
+        return AesBackendKind::Neon;
+    }
     return std::nullopt;
 }
 
@@ -164,6 +278,10 @@ aesBackendName(AesBackendKind kind)
         return "ttable";
       case AesBackendKind::AesNi:
         return "aesni";
+      case AesBackendKind::Vaes:
+        return "vaes";
+      case AesBackendKind::Neon:
+        return "neon";
     }
     return "auto";
 }

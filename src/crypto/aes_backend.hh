@@ -2,7 +2,7 @@
  * @file
  * AES backend registry and runtime dispatch.
  *
- * The library ships up to three bit-identical implementations of the
+ * The library ships up to five bit-identical implementations of the
  * FIPS-197 cipher:
  *
  *  - "scalar"  byte-oriented reference (aes.cc)
@@ -11,19 +11,24 @@
  *  - "aesni"   hardware AESENC/AESDEC via x86 AES-NI, compiled in a
  *              separately-flagged TU and only dispatched to when
  *              CPUID reports support (aes_aesni.cc)
+ *  - "vaes"    512-bit VAES/AVX-512: four blocks per AESENC, sixteen
+ *              blocks in flight, for cross-line pad bursts
+ *              (aes_vaes.cc)
+ *  - "neon"    ARMv8 AESE/AESMC crypto extensions (aes_neon.cc)
  *
  * Selection order for the default backend: setAesBackend() (the
  * --aes-backend CLI flag) > the DEUCE_AES_BACKEND environment
  * variable > Auto. Auto resolves to the fastest backend the host
- * supports (aesni > ttable); an explicit request for an unavailable
- * backend falls back down the same ladder with a one-time warning,
- * never an error — all backends produce identical bytes, so a
- * fallback changes wall-clock only.
+ * supports (vaes > aesni > neon > ttable); an explicit request for an
+ * unavailable backend falls back down the same ladder with a one-time
+ * warning, never an error — all backends produce identical bytes, so
+ * a fallback changes wall-clock only.
  */
 
 #ifndef DEUCE_CRYPTO_AES_BACKEND_HH
 #define DEUCE_CRYPTO_AES_BACKEND_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -40,6 +45,8 @@ enum class AesBackendKind
     Scalar, ///< byte-oriented reference implementation
     TTable, ///< 32-bit T-table software implementation
     AesNi,  ///< x86 AES-NI hardware instructions
+    Vaes,   ///< x86 VAES/AVX-512 (512-bit, 4 blocks per instruction)
+    Neon,   ///< ARMv8 AESE/AESMC crypto extensions
 };
 
 /**
@@ -64,6 +71,16 @@ struct AesBackendOps
      * runs instead; when set it must produce the same bytes.
      */
     void (*expandKeys)(Aes128 &aes, const uint8_t key[16]);
+
+    /**
+     * Optional wide-batch hook: encrypt @p nblocks independent
+     * contiguous 16-byte blocks (in[16*n] -> out[16*n]). Null means
+     * the caller strip-mines through encrypt4/encrypt1; when set it
+     * must be bit-identical to that loop. Backends wider than four
+     * blocks (VAES) live here.
+     */
+    void (*encryptMany)(const Aes128 &aes, const uint8_t *in,
+                        uint8_t *out, std::size_t nblocks);
 };
 
 /** True when the AES-NI TU was compiled in (CMake DEUCE_AESNI). */
@@ -71,6 +88,18 @@ bool aesniCompiled();
 
 /** True when AES-NI is both compiled in and reported by CPUID. */
 bool aesniAvailable();
+
+/** True when the VAES TU was compiled in (CMake DEUCE_VAES). */
+bool vaesCompiled();
+
+/** True when VAES+AVX-512 is compiled in and reported by CPUID. */
+bool vaesAvailable();
+
+/** True when the NEON AES TU was compiled in (CMake DEUCE_NEON). */
+bool aesNeonCompiled();
+
+/** True when the ARMv8 crypto extensions are compiled in and present. */
+bool aesNeonAvailable();
 
 /**
  * Resolve @p kind to a concrete, available backend: Auto picks the
@@ -96,7 +125,10 @@ AesBackendKind defaultAesBackend();
  */
 void setAesBackend(AesBackendKind kind);
 
-/** Parse "auto"/"scalar"/"ttable"/"aesni"; nullopt on anything else. */
+/**
+ * Parse "auto"/"scalar"/"ttable"/"aesni"/"vaes"/"neon"; nullopt on
+ * anything else.
+ */
 std::optional<AesBackendKind> parseAesBackendName(
     const std::string &name);
 
@@ -116,6 +148,20 @@ const AesBackendOps *ttableBackendOps();
  * aesBackendOps().
  */
 const AesBackendOps *aesniBackendOps();
+
+/**
+ * The VAES/AVX-512 ops table, or null when not compiled in. Defined
+ * by aes_vaes.cc (real) or aes_vaes_stub.cc (null) under the
+ * DEUCE_VAES CMake option.
+ */
+const AesBackendOps *vaesBackendOps();
+
+/**
+ * The ARMv8 NEON crypto ops table, or null when not compiled in.
+ * Defined by aes_neon.cc (real) or aes_neon_stub.cc (null) under the
+ * DEUCE_NEON CMake option.
+ */
+const AesBackendOps *aesNeonBackendOps();
 
 } // namespace deuce
 

@@ -263,6 +263,7 @@ constexpr AesBackendOps kTtableOps = {
     ttableDecrypt1,
     ttableEncrypt4,
     nullptr,
+    nullptr,
 };
 
 } // namespace

@@ -41,6 +41,18 @@ struct PadRequest
 };
 
 /**
+ * One entry of a cross-line batched pad request: the full
+ * (address, counter, block) triple, so pads for many lines can run
+ * through one cipher stream.
+ */
+struct LinePadRequest
+{
+    uint64_t lineAddr = 0; ///< line address (line index)
+    uint64_t counter = 0;  ///< write counter value the pad is bound to
+    unsigned block = 0;    ///< 16-byte block index within the line
+};
+
+/**
  * Observable pad-generation counter state of an OtpEngine, for
  * crash/recovery simulation: capture before a simulated power loss,
  * restore to model the controller resuming from a checkpoint.
@@ -79,6 +91,16 @@ class OtpEngine
     virtual void padForBlocks(uint64_t line_addr,
                               const PadRequest *requests,
                               AesBlock *pads, unsigned n) const;
+
+    /**
+     * Generate pads for @p n (address, counter, block) triples
+     * spanning many lines in one batch — the cross-line extension of
+     * padForBlocks(). Bit-identical to n padForBlock() calls; the AES
+     * engine streams the whole burst through one cipher pipeline so
+     * a batched write path amortizes per-call overhead across lines.
+     */
+    virtual void padForLines(const LinePadRequest *requests,
+                             AesBlock *pads, unsigned n) const;
 
     /**
      * Generate the full 512-bit pad for a line (blocks 0..3 at one
@@ -168,6 +190,10 @@ class AesOtpEngine : public OtpEngine
     /** Batched: all nonces run through the cipher pipeline together. */
     void padForBlocks(uint64_t line_addr, const PadRequest *requests,
                       AesBlock *pads, unsigned n) const override;
+
+    /** Cross-line batched: one cipher stream for the whole burst. */
+    void padForLines(const LinePadRequest *requests, AesBlock *pads,
+                     unsigned n) const override;
 
     const char *backendName() const override
     {

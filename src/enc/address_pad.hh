@@ -62,6 +62,36 @@ class AddressPadEncryption : public EncryptionScheme
         return state.data ^ otp_.padForLine(line_addr, 0);
     }
 
+    /** The counterless pad is always known: one line pad at 0. */
+    bool supportsBatchedWrites() const override { return true; }
+
+    unsigned
+    planWritePads(uint64_t line_addr, const StoredLineState &,
+                  LinePadRequest *requests) const override
+    {
+        for (unsigned block = 0; block < 4; ++block) {
+            requests[block] = LinePadRequest{line_addr, 0, block};
+        }
+        return 1;
+    }
+
+    void
+    generatePads(const LinePadRequest *requests, AesBlock *pads,
+                 unsigned n) const override
+    {
+        otp_.padForLines(requests, pads, n);
+    }
+
+    WriteResult
+    writeWithPads(uint64_t, const CacheLine &plaintext,
+                  StoredLineState &state,
+                  const CacheLine *line_pads) const override
+    {
+        StoredLineState before = state;
+        state.data = plaintext ^ line_pads[0];
+        return makeWriteResult(before, state);
+    }
+
   private:
     const OtpEngine &otp_;
 };

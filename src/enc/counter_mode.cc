@@ -42,11 +42,19 @@ CounterModeEncryption::write(uint64_t line_addr,
                              const CacheLine &plaintext,
                              StoredLineState &state) const
 {
+    return applyWrite(plaintext, state,
+                      otp_.padForLine(line_addr, state.counter + 1));
+}
+
+WriteResult
+CounterModeEncryption::applyWrite(const CacheLine &plaintext,
+                                  StoredLineState &state,
+                                  const CacheLine &pad) const
+{
     StoredLineState before = state;
 
     ++state.counter;
-    CacheLine cipher =
-        plaintext ^ otp_.padForLine(line_addr, state.counter);
+    CacheLine cipher = plaintext ^ pad;
 
     if (useFnw_) {
         FnwResult fnw = applyFnw(before.data, before.flipBits, cipher,
@@ -57,6 +65,33 @@ CounterModeEncryption::write(uint64_t line_addr,
         state.data = cipher;
     }
     return makeWriteResult(before, state);
+}
+
+unsigned
+CounterModeEncryption::planWritePads(uint64_t line_addr,
+                                     const StoredLineState &state,
+                                     LinePadRequest *requests) const
+{
+    for (unsigned block = 0; block < 4; ++block) {
+        requests[block] =
+            LinePadRequest{line_addr, state.counter + 1, block};
+    }
+    return 1;
+}
+
+void
+CounterModeEncryption::generatePads(const LinePadRequest *requests,
+                                    AesBlock *pads, unsigned n) const
+{
+    otp_.padForLines(requests, pads, n);
+}
+
+WriteResult
+CounterModeEncryption::writeWithPads(uint64_t, const CacheLine &plaintext,
+                                     StoredLineState &state,
+                                     const CacheLine *line_pads) const
+{
+    return applyWrite(plaintext, state, line_pads[0]);
 }
 
 CacheLine

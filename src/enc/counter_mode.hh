@@ -38,7 +38,24 @@ class CounterModeEncryption : public EncryptionScheme
     CacheLine read(uint64_t line_addr,
                    const StoredLineState &state) const override;
 
+    /** Pad need is one line pad at counter+1 — always plannable. */
+    bool supportsBatchedWrites() const override { return true; }
+    unsigned planWritePads(uint64_t line_addr,
+                           const StoredLineState &state,
+                           LinePadRequest *requests) const override;
+    void generatePads(const LinePadRequest *requests, AesBlock *pads,
+                      unsigned n) const override;
+    WriteResult writeWithPads(uint64_t line_addr,
+                              const CacheLine &plaintext,
+                              StoredLineState &state,
+                              const CacheLine *line_pads) const override;
+
   private:
+    /** The write() body, with the (single) pad already in hand. */
+    WriteResult applyWrite(const CacheLine &plaintext,
+                           StoredLineState &state,
+                           const CacheLine &pad) const;
+
     const OtpEngine &otp_;
     bool useFnw_;
     unsigned fnwRegionBits_;

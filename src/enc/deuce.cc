@@ -79,11 +79,34 @@ Deuce::encryptStep(uint64_t line_addr, const CacheLine &plaintext,
     CacheLine pad_lctr = otp_.padForLine(line_addr, new_counter);
 
     if (isEpochStart(new_counter)) {
+        encryptStepWithPads(plaintext, cur_plain, new_counter,
+                            old_modified, pad_lctr, nullptr, cipher_out,
+                            modified_out);
+        return;
+    }
+
+    CacheLine pad_tctr =
+        otp_.padForLine(line_addr, trailingCounter(new_counter));
+    encryptStepWithPads(plaintext, cur_plain, new_counter, old_modified,
+                        pad_lctr, &pad_tctr, cipher_out, modified_out);
+}
+
+void
+Deuce::encryptStepWithPads(const CacheLine &plaintext,
+                           const CacheLine &cur_plain,
+                           uint64_t new_counter, uint64_t old_modified,
+                           const CacheLine &pad_lctr,
+                           const CacheLine *pad_tctr,
+                           CacheLine &cipher_out,
+                           uint64_t &modified_out) const
+{
+    if (isEpochStart(new_counter)) {
         // Epoch start: full re-encryption, tracking bits reset.
         cipher_out = plaintext ^ pad_lctr;
         modified_out = 0;
         return;
     }
+    deuce_assert(pad_tctr != nullptr);
 
     // Mark words that this write changes relative to current contents.
     // Words already tracked since the epoch start stay marked, so the
@@ -96,13 +119,11 @@ Deuce::encryptStep(uint64_t line_addr, const CacheLine &plaintext,
     // their epoch-start (TCTR) ciphertext. Since an unmodified word's
     // plaintext equals the current plaintext, XORing it with the TCTR
     // pad reproduces the stored ciphertext bit-for-bit.
-    CacheLine pad_tctr =
-        otp_.padForLine(line_addr, trailingCounter(new_counter));
     CacheLine cipher;
     for (unsigned w = 0; w < numWords_; ++w) {
         unsigned lsb = w * wordBits_;
         const CacheLine &pad =
-            (modified & (uint64_t{1} << w)) ? pad_lctr : pad_tctr;
+            (modified & (uint64_t{1} << w)) ? pad_lctr : *pad_tctr;
         cipher.setField(lsb, wordBits_,
                         plaintext.field(lsb, wordBits_) ^
                         pad.field(lsb, wordBits_));
@@ -149,7 +170,14 @@ Deuce::decryptWith(uint64_t line_addr, const CacheLine &cipher,
     CacheLine pad_lctr = otp_.padForLine(line_addr, counter);
     CacheLine pad_tctr =
         otp_.padForLine(line_addr, trailingCounter(counter));
+    return decryptWithPads(cipher, modified, pad_lctr, pad_tctr);
+}
 
+CacheLine
+Deuce::decryptWithPads(const CacheLine &cipher, uint64_t modified,
+                       const CacheLine &pad_lctr,
+                       const CacheLine &pad_tctr) const
+{
     CacheLine plain;
     for (unsigned w = 0; w < numWords_; ++w) {
         unsigned lsb = w * wordBits_;
@@ -160,6 +188,75 @@ Deuce::decryptWith(uint64_t line_addr, const CacheLine &cipher,
                        pad.field(lsb, wordBits_));
     }
     return plain;
+}
+
+unsigned
+Deuce::planWritePads(uint64_t line_addr, const StoredLineState &state,
+                     LinePadRequest *requests) const
+{
+    unsigned n = 0;
+    auto addLine = [&](uint64_t counter) {
+        for (unsigned block = 0; block < 4; ++block) {
+            requests[n * 4 + block] =
+                LinePadRequest{line_addr, counter, block};
+        }
+        ++n;
+    };
+    // Read-back decryption of the current contents...
+    addLine(state.counter);
+    addLine(trailingCounter(state.counter));
+    // ...then the new image: LCTR pad always, TCTR pad unless the
+    // write starts an epoch (full re-encryption needs no TCTR pad).
+    uint64_t new_counter = state.counter + 1;
+    addLine(new_counter);
+    if (!isEpochStart(new_counter)) {
+        addLine(trailingCounter(new_counter));
+    }
+    return n;
+}
+
+void
+Deuce::generatePads(const LinePadRequest *requests, AesBlock *pads,
+                    unsigned n) const
+{
+    otp_.padForLines(requests, pads, n);
+}
+
+WriteResult
+Deuce::writeWithPads(uint64_t, const CacheLine &plaintext,
+                     StoredLineState &state,
+                     const CacheLine *line_pads) const
+{
+    StoredLineState before = state;
+
+    // Same read-back as write(), but decrypting with the pre-generated
+    // pads: line_pads[0] = LCTR(c), [1] = TCTR(c).
+    CacheLine cur_cipher = cfg_.withFnw
+        ? fnwDecode(state.data, state.flipBits, cfg_.fnwRegionBits)
+        : state.data;
+    CacheLine cur_plain = decryptWithPads(cur_cipher, state.modifiedBits,
+                                          line_pads[0], line_pads[1]);
+
+    uint64_t new_counter = state.counter + 1;
+    CacheLine cipher;
+    uint64_t modified = 0;
+    encryptStepWithPads(plaintext, cur_plain, new_counter,
+                        state.modifiedBits, line_pads[2],
+                        isEpochStart(new_counter) ? nullptr
+                                                  : &line_pads[3],
+                        cipher, modified);
+
+    state.counter = new_counter;
+    state.modifiedBits = modified;
+    if (cfg_.withFnw) {
+        FnwResult fnw = applyFnw(before.data, before.flipBits, cipher,
+                                 cfg_.fnwRegionBits);
+        state.data = fnw.stored;
+        state.flipBits = fnw.flipBits;
+    } else {
+        state.data = cipher;
+    }
+    return makeWriteResult(before, state);
 }
 
 CacheLine

@@ -96,6 +96,22 @@ class Deuce : public EncryptionScheme
 
     const DeuceConfig &config() const { return cfg_; }
 
+    /**
+     * Pad plan: [LCTR(c), TCTR(c)] for the read-back, [c+1] for the
+     * new image, plus [TCTR(c+1)] unless the write starts an epoch —
+     * the exact pads (and order) the sequential path generates.
+     */
+    bool supportsBatchedWrites() const override { return true; }
+    unsigned planWritePads(uint64_t line_addr,
+                           const StoredLineState &state,
+                           LinePadRequest *requests) const override;
+    void generatePads(const LinePadRequest *requests, AesBlock *pads,
+                      unsigned n) const override;
+    WriteResult writeWithPads(uint64_t line_addr,
+                              const CacheLine &plaintext,
+                              StoredLineState &state,
+                              const CacheLine *line_pads) const override;
+
   private:
     /**
      * Build the new logical ciphertext image and updated modified bits
@@ -107,9 +123,28 @@ class Deuce : public EncryptionScheme
                      uint64_t old_modified, CacheLine &cipher_out,
                      uint64_t &modified_out) const;
 
+    /**
+     * encryptStep with the pads already generated: @p pad_lctr is the
+     * pad of @p new_counter; @p pad_tctr the pad of its trailing
+     * counter, or nullptr iff the write starts an epoch (the TCTR pad
+     * is not generated — nor needed — on a full re-encryption).
+     */
+    void encryptStepWithPads(const CacheLine &plaintext,
+                             const CacheLine &cur_plain,
+                             uint64_t new_counter, uint64_t old_modified,
+                             const CacheLine &pad_lctr,
+                             const CacheLine *pad_tctr,
+                             CacheLine &cipher_out,
+                             uint64_t &modified_out) const;
+
     /** Decrypt given explicit counter/modified-bit values. */
     CacheLine decryptWith(uint64_t line_addr, const CacheLine &cipher,
                           uint64_t counter, uint64_t modified) const;
+
+    /** decryptWith, consuming pre-generated LCTR/TCTR pads. */
+    CacheLine decryptWithPads(const CacheLine &cipher, uint64_t modified,
+                              const CacheLine &pad_lctr,
+                              const CacheLine &pad_tctr) const;
 
     const OtpEngine &otp_;
     DeuceConfig cfg_;

@@ -56,8 +56,17 @@ DynDeuce::fnwCandidate(uint64_t line_addr, const CacheLine &plaintext,
     // cell image it compares against is `before.data` as-is (in DEUCE
     // mode nothing was inverted, in FNW mode the comparison against
     // the inverted image is precisely FNW's behaviour).
-    CacheLine cipher =
-        plaintext ^ otp_.padForLine(line_addr, new_counter);
+    return fnwCandidateWithPad(plaintext, before, new_counter,
+                               otp_.padForLine(line_addr, new_counter));
+}
+
+StoredLineState
+DynDeuce::fnwCandidateWithPad(const CacheLine &plaintext,
+                              const StoredLineState &before,
+                              uint64_t new_counter,
+                              const CacheLine &pad) const
+{
+    CacheLine cipher = plaintext ^ pad;
     FnwResult fnw = applyFnw(before.data, before.modifiedBits, cipher,
                              deuce_.wordBits());
 
@@ -110,6 +119,93 @@ DynDeuce::write(uint64_t line_addr, const CacheLine &plaintext,
     }
     StoredLineState fnw_after =
         fnwCandidate(line_addr, plaintext, before, new_counter);
+
+    unsigned deuce_cost =
+        makeWriteResult(before, deuce_after).totalFlips();
+    unsigned fnw_cost = makeWriteResult(before, fnw_after).totalFlips();
+
+    state = (fnw_cost < deuce_cost) ? fnw_after : deuce_after;
+    return makeWriteResult(before, state);
+}
+
+unsigned
+DynDeuce::planWritePads(uint64_t line_addr, const StoredLineState &state,
+                        LinePadRequest *requests) const
+{
+    unsigned n = 0;
+    auto addLine = [&](uint64_t counter) {
+        for (unsigned block = 0; block < 4; ++block) {
+            requests[n * 4 + block] =
+                LinePadRequest{line_addr, counter, block};
+        }
+        ++n;
+    };
+    uint64_t new_counter = state.counter + 1;
+    if (deuce_.isEpochStart(new_counter) || state.modeBit) {
+        // Full re-encryption (epoch boundary or sticky FNW mode):
+        // only the fresh-counter pad is generated.
+        addLine(new_counter);
+        return n;
+    }
+    // Mid-epoch DEUCE mode: read-back pads, the DEUCE candidate's
+    // LCTR/TCTR pads, then the FNW candidate's independent
+    // re-encryption pad (same counter as the LCTR pad, regenerated by
+    // the sequential path, so replanned here for exact pad parity).
+    addLine(state.counter);
+    addLine(deuce_.trailingCounter(state.counter));
+    addLine(new_counter);
+    addLine(deuce_.trailingCounter(new_counter));
+    addLine(new_counter);
+    return n;
+}
+
+void
+DynDeuce::generatePads(const LinePadRequest *requests, AesBlock *pads,
+                       unsigned n) const
+{
+    otp_.padForLines(requests, pads, n);
+}
+
+WriteResult
+DynDeuce::writeWithPads(uint64_t, const CacheLine &plaintext,
+                        StoredLineState &state,
+                        const CacheLine *line_pads) const
+{
+    StoredLineState before = state;
+    uint64_t new_counter = state.counter + 1;
+
+    if (deuce_.isEpochStart(new_counter)) {
+        state.data = plaintext ^ line_pads[0];
+        state.counter = new_counter;
+        state.modifiedBits = 0;
+        state.modeBit = false;
+        return makeWriteResult(before, state);
+    }
+
+    if (state.modeBit) {
+        state = fnwCandidateWithPad(plaintext, before, new_counter,
+                                    line_pads[0]);
+        return makeWriteResult(before, state);
+    }
+
+    // DEUCE mode: line_pads = [LCTR(c), TCTR(c), LCTR(c+1),
+    // TCTR(c+1), FNW re-encryption pad at c+1].
+    CacheLine cur_plain = deuce_.decryptWithPads(
+        state.data, state.modifiedBits, line_pads[0], line_pads[1]);
+    StoredLineState deuce_after = before;
+    {
+        CacheLine cipher;
+        uint64_t modified = 0;
+        deuce_.encryptStepWithPads(plaintext, cur_plain, new_counter,
+                                   before.modifiedBits, line_pads[2],
+                                   &line_pads[3], cipher, modified);
+        deuce_after.data = cipher;
+        deuce_after.modifiedBits = modified;
+        deuce_after.counter = new_counter;
+        deuce_after.modeBit = false;
+    }
+    StoredLineState fnw_after =
+        fnwCandidateWithPad(plaintext, before, new_counter, line_pads[4]);
 
     unsigned deuce_cost =
         makeWriteResult(before, deuce_after).totalFlips();

@@ -47,12 +47,36 @@ class DynDeuce : public EncryptionScheme
     CacheLine read(uint64_t line_addr,
                    const StoredLineState &state) const override;
 
+    /**
+     * Pad plan: epoch starts and FNW-mode writes need one pad [c+1];
+     * a mid-epoch DEUCE-mode write races both encodings and needs
+     * [c, tctr(c), c+1, tctr(c+1), c+1] — the last duplicates the
+     * LCTR pad because the sequential path's FNW candidate generates
+     * it independently (kMaxWritePadLines sizes arenas for this).
+     */
+    bool supportsBatchedWrites() const override { return true; }
+    unsigned planWritePads(uint64_t line_addr,
+                           const StoredLineState &state,
+                           LinePadRequest *requests) const override;
+    void generatePads(const LinePadRequest *requests, AesBlock *pads,
+                      unsigned n) const override;
+    WriteResult writeWithPads(uint64_t line_addr,
+                              const CacheLine &plaintext,
+                              StoredLineState &state,
+                              const CacheLine *line_pads) const override;
+
   private:
     /** Build the FNW-mode candidate state for one write. */
     StoredLineState fnwCandidate(uint64_t line_addr,
                                  const CacheLine &plaintext,
                                  const StoredLineState &before,
                                  uint64_t new_counter) const;
+
+    /** fnwCandidate with the re-encryption pad already in hand. */
+    StoredLineState fnwCandidateWithPad(const CacheLine &plaintext,
+                                        const StoredLineState &before,
+                                        uint64_t new_counter,
+                                        const CacheLine &pad) const;
 
     const OtpEngine &otp_;
     Deuce deuce_; ///< DEUCE-mode engine (shares counter semantics)

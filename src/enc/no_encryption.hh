@@ -34,6 +34,12 @@ class NoEncryption : public EncryptionScheme
     CacheLine read(uint64_t line_addr,
                    const StoredLineState &state) const override;
 
+    /**
+     * No pads at all, so the write is trivially plannable: the batch
+     * pipeline commits through the default zero-pad writeWithPads().
+     */
+    bool supportsBatchedWrites() const override { return true; }
+
   private:
     bool useFnw_;
     unsigned fnwRegionBits_;

@@ -8,6 +8,7 @@
 #include <bit>
 
 #include "common/line_kernels.hh"
+#include "common/logging.hh"
 #include "obs/registry.hh"
 
 namespace deuce
@@ -24,6 +25,37 @@ EncryptionScheme::registerStats(obs::StatRegistry &reg,
                         return static_cast<uint64_t>(
                             trackingBitsPerLine());
                     });
+}
+
+unsigned
+EncryptionScheme::planWritePads(uint64_t, const StoredLineState &,
+                                LinePadRequest *) const
+{
+    // Default: no plannable pads. Paired with the default
+    // supportsBatchedWrites() == false, this routes the scheme
+    // through the one-at-a-time fallback inside a batch.
+    return 0;
+}
+
+void
+EncryptionScheme::generatePads(const LinePadRequest *, AesBlock *,
+                               unsigned n) const
+{
+    if (n > 0) {
+        deuce_fatal("generatePads called on a scheme that plans no "
+                    "pads");
+    }
+}
+
+WriteResult
+EncryptionScheme::writeWithPads(uint64_t line_addr,
+                                const CacheLine &plaintext,
+                                StoredLineState &state,
+                                const CacheLine *) const
+{
+    // Only correct when planWritePads() returned 0 (no pads to
+    // consume); schemes that plan pads must override.
+    return write(line_addr, plaintext, state);
 }
 
 WriteResult

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/cache_line.hh"
+#include "crypto/otp_engine.hh"
 
 namespace deuce
 {
@@ -30,6 +31,13 @@ class StatRegistry;
 
 /** Architectural width of the per-line write counter (Table 1). */
 constexpr unsigned kLineCounterBits = 28;
+
+/**
+ * Upper bound on the 512-bit line pads any scheme plans for one
+ * write (DynDEUCE's three-way race needs five); sizes the per-write
+ * slice of a batch pipeline's pad arena.
+ */
+constexpr unsigned kMaxWritePadLines = 5;
 
 /**
  * Persistent per-line state as stored in the PCM array.
@@ -140,6 +148,51 @@ class EncryptionScheme
      * search, but never the split across block counters.
      */
     virtual bool usesBlockCounters() const { return false; }
+
+    /**
+     * Whether the scheme supports the batched write pipeline: its
+     * pad needs for a write are a pure function of the pre-write
+     * stored state (planWritePads), so a burst's pads can all be
+     * generated through one cipher stream before any line commits.
+     * Schemes whose pads depend on the incoming data (BLE's dirty
+     * mask, per-word counters) keep the default and fall back to
+     * one-at-a-time write() inside a batch.
+     */
+    virtual bool supportsBatchedWrites() const { return false; }
+
+    /**
+     * Plan the 512-bit line pads write() would generate for this
+     * (line, state) pair, appending 4 block-granular requests per
+     * line pad (blocks 0..3 at one counter) to @p requests — in the
+     * exact order the sequential path generates them, so pad counters
+     * stay bit-identical. @p requests must hold at least
+     * 4 * kMaxWritePadLines entries.
+     * @return the number of line pads planned (not block requests).
+     */
+    virtual unsigned planWritePads(uint64_t line_addr,
+                                   const StoredLineState &state,
+                                   LinePadRequest *requests) const;
+
+    /**
+     * Generate the pads a batch of planWritePads() calls requested —
+     * one padForLines() stream over the whole burst. @p pads receives
+     * @p n 16-byte blocks in request order.
+     */
+    virtual void generatePads(const LinePadRequest *requests,
+                              AesBlock *pads, unsigned n) const;
+
+    /**
+     * write(), but consuming the pre-generated line pads planned by
+     * planWritePads() (one CacheLine per planned line pad, blocks
+     * already assembled) instead of calling the OTP engine. Must be
+     * bit-identical to write() — same new state, same WriteResult.
+     * The default ignores @p line_pads and calls write(), which is
+     * only correct for schemes that plan zero pads.
+     */
+    virtual WriteResult writeWithPads(uint64_t line_addr,
+                                      const CacheLine &plaintext,
+                                      StoredLineState &state,
+                                      const CacheLine *line_pads) const;
 
     /**
      * Register the scheme's stats under @p prefix (dotted, e.g.

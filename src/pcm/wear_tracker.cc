@@ -39,6 +39,37 @@ WearTracker::recordWrite(const CacheLine &diff, uint64_t meta_diff,
     }
 }
 
+void
+WearTracker::recordWriteBatch(const CacheLine *phys_diffs,
+                              const uint64_t *meta_diffs, std::size_t n)
+{
+    writes_ += n;
+
+    const LineKernelOps &k = lineKernels();
+    k.accumulateFlipsBatch(phys_diffs, n, dataFlips_.data());
+
+    constexpr std::size_t kChunk = 64;
+    uint32_t counts[kChunk];
+    for (std::size_t i = 0; i < n; i += kChunk) {
+        std::size_t c = n - i < kChunk ? n - i : kChunk;
+        k.popcountBatch(phys_diffs + i, counts, c);
+        for (std::size_t j = 0; j < c; ++j) {
+            totalDataFlips_ += counts[j];
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        uint64_t meta_diff = meta_diffs[i];
+        while (meta_diff) {
+            unsigned bit =
+                static_cast<unsigned>(__builtin_ctzll(meta_diff));
+            ++metaFlips_[bit];
+            ++totalMetaFlips_;
+            meta_diff &= meta_diff - 1;
+        }
+    }
+}
+
 double
 WearTracker::meanPositionFlips() const
 {

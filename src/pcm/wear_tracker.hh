@@ -45,6 +45,17 @@ class WearTracker
     void recordWrite(const CacheLine &diff, uint64_t meta_diff,
                      unsigned rotation = 0);
 
+    /**
+     * Record the cell flips of @p n line writes at once, through the
+     * cross-line kernel entry points (carry-save positional counting).
+     * @p phys_diffs are *physical* diff masks — the caller has already
+     * applied each line's rotation — paired with @p meta_diffs. Exact
+     * integer accounting, so the totals and per-position counters are
+     * bit-identical to n recordWrite() calls in any order.
+     */
+    void recordWriteBatch(const CacheLine *phys_diffs,
+                          const uint64_t *meta_diffs, std::size_t n);
+
     /** Total line writes recorded. */
     uint64_t writes() const { return writes_; }
 

@@ -194,6 +194,11 @@ class ShardedMemorySystem
     /** Shard @p s's memory system (inspection; quiesced callers). */
     const MemorySystem &shard(unsigned s) const;
 
+    /** Shard @p s's requests-drained-per-burst histogram (quiesced
+     *  callers). Burst sizes tell how often the worker drain feeds
+     *  the batch pipeline multi-line runs versus singletons. */
+    const obs::Log2Histogram &burstHistogram(unsigned s) const;
+
     /** Requests applied across all shards. */
     uint64_t requestsServed() const;
 

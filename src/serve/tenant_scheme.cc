@@ -70,5 +70,67 @@ TenantScheme::read(uint64_t line_addr,
         .read(localOf(line_addr), state);
 }
 
+bool
+TenantScheme::supportsBatchedWrites() const
+{
+    return schemes_[0]->supportsBatchedWrites();
+}
+
+unsigned
+TenantScheme::planWritePads(uint64_t line_addr,
+                            const StoredLineState &state,
+                            LinePadRequest *requests) const
+{
+    unsigned tenant = tenantOf(line_addr);
+    unsigned n = tenantScheme(tenant).planWritePads(localOf(line_addr),
+                                                    state, requests);
+    // The inner scheme planned in its local address space; lift the
+    // requests back to global addresses so one pad stream can carry a
+    // burst that interleaves tenants.
+    for (unsigned i = 0; i < n * 4; ++i) {
+        requests[i].lineAddr =
+            globalAddr(tenant, requests[i].lineAddr, addrBits_);
+    }
+    return n;
+}
+
+void
+TenantScheme::generatePads(const LinePadRequest *requests,
+                           AesBlock *pads, unsigned n) const
+{
+    unsigned i = 0;
+    while (i < n) {
+        unsigned tenant = tenantOf(requests[i].lineAddr);
+        unsigned j = i + 1;
+        while (j < n && tenantOf(requests[j].lineAddr) == tenant) {
+            ++j;
+        }
+        // Rewrite the run to local addresses in stack-sized chunks
+        // (the engine chunks its nonce assembly anyway, so splitting
+        // a run costs nothing but keeps this allocation-free).
+        constexpr unsigned kChunk = 256;
+        LinePadRequest local[kChunk];
+        while (i < j) {
+            unsigned c = j - i < kChunk ? j - i : kChunk;
+            for (unsigned k = 0; k < c; ++k) {
+                local[k] = requests[i + k];
+                local[k].lineAddr = localOf(local[k].lineAddr);
+            }
+            tenantScheme(tenant).generatePads(local, pads + i, c);
+            i += c;
+        }
+    }
+}
+
+WriteResult
+TenantScheme::writeWithPads(uint64_t line_addr,
+                            const CacheLine &plaintext,
+                            StoredLineState &state,
+                            const CacheLine *line_pads) const
+{
+    return tenantScheme(tenantOf(line_addr))
+        .writeWithPads(localOf(line_addr), plaintext, state, line_pads);
+}
+
 } // namespace serve
 } // namespace deuce

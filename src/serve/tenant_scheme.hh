@@ -78,6 +78,25 @@ class TenantScheme final : public EncryptionScheme
     CacheLine read(uint64_t line_addr,
                    const StoredLineState &state) const override;
 
+    /**
+     * Batched writes pass through when the inner scheme supports
+     * them. Plans carry global addresses (so one burst may mix
+     * tenants); generatePads() splits the request stream into
+     * consecutive same-tenant runs and hands each run — rewritten to
+     * tenant-local addresses — to that tenant's inner scheme, which
+     * generates through its own key domain's engine.
+     */
+    bool supportsBatchedWrites() const override;
+    unsigned planWritePads(uint64_t line_addr,
+                           const StoredLineState &state,
+                           LinePadRequest *requests) const override;
+    void generatePads(const LinePadRequest *requests, AesBlock *pads,
+                      unsigned n) const override;
+    WriteResult writeWithPads(uint64_t line_addr,
+                              const CacheLine &plaintext,
+                              StoredLineState &state,
+                              const CacheLine *line_pads) const override;
+
   private:
     std::vector<std::unique_ptr<EncryptionScheme>> schemes_;
     unsigned addrBits_;

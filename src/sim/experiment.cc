@@ -115,9 +115,26 @@ runExperiment(const BenchmarkProfile &profile,
         DEUCE_TRACE_SCOPE("experiment.writebacks");
         WritebackOnly writebacks(workload);
         TraceEvent ev;
-        while (writebacks.next(ev)) {
-            memory.write(ev.lineAddr, ev.data);
+        unsigned batch = std::max(1u, options.writeBatch);
+        if (batch == 1) {
+            while (writebacks.next(ev)) {
+                memory.write(ev.lineAddr, ev.data);
+            }
+        } else {
+            std::vector<WriteRequest> burst;
+            burst.reserve(batch);
+            while (writebacks.next(ev)) {
+                burst.push_back(WriteRequest{ev.lineAddr, ev.data});
+                if (burst.size() == batch) {
+                    memory.writeBatch(burst);
+                    burst.clear();
+                }
+            }
+            if (!burst.empty()) {
+                memory.writeBatch(burst);
+            }
         }
+        row.writeBatch = batch;
         row.writebacks = workload.writebacksProduced();
     }
 

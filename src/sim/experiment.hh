@@ -60,6 +60,14 @@ struct ExperimentOptions
 
     /** Key seed for the pad generator. */
     uint64_t otpSeed = 0x5ec2e7;
+
+    /**
+     * Writebacks gathered per writeBatch() burst in the replay loop
+     * (1 = the historical one-at-a-time path). Any value produces
+     * bit-identical results — the batch pipeline is signature-exact —
+     * so the default favours throughput.
+     */
+    unsigned writeBatch = 64;
 };
 
 /** One result row (a bar of a figure / a cell of a table). */
@@ -118,6 +126,9 @@ struct ExperimentRow
 
     uint64_t writebacks = 0;
     uint64_t reads = 0;
+
+    /** Burst size the replay loop used (1 = one-at-a-time path). */
+    unsigned writeBatch = 1;
 
     /** Fault counters (populated only when the fault model ran). */
     bool faultEnabled = false;

@@ -25,6 +25,14 @@ MemoryCounters::noteWrite(uint64_t line_addr, const WriteResult &result,
 {
     wear_.recordWrite(result.dataDiff,
                       result.modifiedDiff | result.flipDiff, rotation);
+    noteWriteNoWear(line_addr, result, slots, flip_fraction);
+}
+
+void
+MemoryCounters::noteWriteNoWear(uint64_t line_addr,
+                                const WriteResult &result, unsigned slots,
+                                double flip_fraction)
+{
     energy_.addWrite(result.totalFlips());
     flipStat_.add(flip_fraction);
     slotStat_.add(static_cast<double>(slots));
@@ -36,6 +44,13 @@ MemoryCounters::noteWrite(uint64_t line_addr, const WriteResult &result,
     ++bank.writes;
     bank.flips += result.totalFlips();
     bank.slots += slots;
+}
+
+void
+MemoryCounters::noteWearBatch(const CacheLine *phys_diffs,
+                              const uint64_t *meta_diffs, std::size_t n)
+{
+    wear_.recordWriteBatch(phys_diffs, meta_diffs, n);
 }
 
 void

@@ -58,6 +58,23 @@ class MemoryCounters
                    unsigned slots, double flip_fraction,
                    unsigned rotation);
 
+    /**
+     * noteWrite() minus the wear-tracker update: the batched write
+     * pipeline charges each line in request order through this (the
+     * RunningStat means are order-sensitive) and lands the whole
+     * burst's wear in one noteWearBatch() call (wear is exact integer
+     * accounting, hence order-free).
+     */
+    void noteWriteNoWear(uint64_t line_addr, const WriteResult &result,
+                         unsigned slots, double flip_fraction);
+
+    /**
+     * Record one burst's wear through the cross-line kernels.
+     * @p phys_diffs are pre-rotated (physical) data diff masks.
+     */
+    void noteWearBatch(const CacheLine *phys_diffs,
+                       const uint64_t *meta_diffs, std::size_t n);
+
     /** Charge one line read. */
     void noteRead(uint64_t line_addr);
 

@@ -122,6 +122,130 @@ MemorySystem::write(uint64_t line_addr, const CacheLine &plaintext)
     return outcome;
 }
 
+std::span<const WriteOutcome>
+MemorySystem::writeBatch(std::span<const WriteRequest> requests)
+{
+    BatchScratch &s = scratch_;
+    s.outcomes.clear();
+    if (requests.empty()) {
+        return {};
+    }
+    s.outcomes.reserve(requests.size());
+
+    if (!scheme_.supportsBatchedWrites()) {
+        // Data-dependent pad schemes (BLE's dirty mask, per-word
+        // counters) cannot pre-plan; their batch is the sequential
+        // path with batched result storage.
+        for (const WriteRequest &r : requests) {
+            s.outcomes.push_back(write(r.lineAddr, r.data));
+        }
+        return {s.outcomes.data(), s.outcomes.size()};
+    }
+
+    // A repeated address must plan its second write against the
+    // post-first-write state, so the burst splits into duplicate-free
+    // chunks committed in order.
+    std::size_t begin = 0;
+    s.seen.clear();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (!s.seen.insert(requests[i].lineAddr).second) {
+            applyBatchChunk(requests.subspan(begin, i - begin));
+            begin = i;
+            s.seen.clear();
+            s.seen.insert(requests[i].lineAddr);
+        }
+    }
+    applyBatchChunk(requests.subspan(begin));
+    return {s.outcomes.data(), s.outcomes.size()};
+}
+
+void
+MemorySystem::applyBatchChunk(std::span<const WriteRequest> chunk)
+{
+    BatchScratch &s = scratch_;
+    const std::size_t n = chunk.size();
+
+    // Phase 1: install every line and collect its pad plan. Installs
+    // charge nothing and each line's plan depends only on its own
+    // state, so hoisting them ahead of the commits changes no result.
+    s.states.resize(n);
+    s.padOffsets.resize(n + 1);
+    s.padReqs.resize(4 * kMaxWritePadLines * n);
+    unsigned pad_total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        StoredLineState &state = install(chunk[i].lineAddr);
+        s.states[i] = &state;
+        s.padOffsets[i] = pad_total;
+        pad_total += scheme_.planWritePads(
+            chunk[i].lineAddr, state, s.padReqs.data() + 4 * pad_total);
+    }
+    s.padOffsets[n] = pad_total;
+
+    // Phase 2: one pad stream for the whole chunk, then assemble the
+    // 16-byte blocks into 64-byte line pads (block b at bytes
+    // 16b..16b+15, exactly padForLine()'s layout).
+    s.pads.resize(4 * pad_total);
+    scheme_.generatePads(s.padReqs.data(), s.pads.data(), 4 * pad_total);
+    s.linePads.resize(pad_total);
+    for (unsigned p = 0; p < pad_total; ++p) {
+        s.linePads[p] = CacheLine::fromBytes(s.pads[4 * p].data());
+    }
+
+    // Phase 3: commit in request order — the exact per-write step
+    // sequence of write(), with the wear landing deferred (wear is
+    // integer-exact and commutative) to one cross-line batch below.
+    s.physDiffs.resize(n);
+    s.metaDiffs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const uint64_t addr = chunk[i].lineAddr;
+        StoredLineState &state = *s.states[i];
+
+        if (vwl_) {
+            vwl_->onWrite();
+        }
+
+        WriteOutcome outcome;
+        outcome.result = scheme_.writeWithPads(
+            addr, chunk[i].data, state,
+            s.linePads.data() + s.padOffsets[i]);
+
+        unsigned rotation = rotation_->rotationFor(addr);
+        rotation_->onWrite(addr);
+
+        unsigned rot = rotation % CacheLine::kBits;
+        const CacheLine phys = rot ? outcome.result.dataDiff.rotl(rot)
+                                   : outcome.result.dataDiff;
+        if (fault_) {
+            FaultDomain::Outcome f = fault_->onWrite(
+                addr, phys, rot ? state.data.rotl(rot) : state.data);
+            outcome.faultCorrectedCells = f.correctedCells;
+            outcome.faultUncorrectable = f.uncorrectable;
+        }
+
+        outcome.slots = slotsForWrite(outcome.result.dataDiff,
+                                      outcome.result.metaFlips, pcm_);
+        outcome.flipFraction =
+            static_cast<double>(outcome.result.totalFlips()) /
+            CacheLine::kBits;
+
+        counters_.noteWriteNoWear(addr, outcome.result, outcome.slots,
+                                  outcome.flipFraction);
+        s.physDiffs[i] = phys;
+        s.metaDiffs[i] =
+            outcome.result.modifiedDiff | outcome.result.flipDiff;
+
+        if (persist_) {
+            PersistTraffic t = persist_->onWrite(addr, state);
+            outcome.persistMetaWrites =
+                static_cast<unsigned>(t.criticalMetaWrites);
+            counters_.notePersist(t.metaReads, t.metaWrites);
+        }
+        s.outcomes.push_back(outcome);
+    }
+
+    counters_.noteWearBatch(s.physDiffs.data(), s.metaDiffs.data(), n);
+}
+
 CacheLine
 MemorySystem::read(uint64_t line_addr)
 {

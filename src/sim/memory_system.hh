@@ -21,7 +21,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/cache_line.hh"
@@ -65,6 +67,13 @@ struct WearLevelingConfig
     /** Intra-line rotation policy. */
     enum class Rotation { None, Hwl, HwlHashed, PerLine } rotation =
         Rotation::None;
+};
+
+/** One queued writeback for the batched write pipeline. */
+struct WriteRequest
+{
+    uint64_t lineAddr = 0;
+    CacheLine data;
 };
 
 /** Per-write outcome surfaced to callers. */
@@ -132,6 +141,26 @@ class MemorySystem
 
     /** Write back a line (installing it first if never seen). */
     WriteOutcome write(uint64_t line_addr, const CacheLine &plaintext);
+
+    /**
+     * Write back a burst of lines through the batched pipeline:
+     * install + pad-plan every line, generate all OTP pads in one
+     * cipher stream (where wide AES backends earn their keep), then
+     * commit slots/wear/fault/persist in request order with the
+     * burst's wear landed through the cross-line kernels.
+     *
+     * Bit-identical to calling write() per request, in order — same
+     * outcomes, same stored states, same counter signature — for
+     * every scheme: schemes whose pads depend on the incoming data
+     * (no supportsBatchedWrites()) transparently take the sequential
+     * path, and a repeated address splits the burst so later writes
+     * plan against post-write state.
+     *
+     * The returned span lives in a per-system arena reused by the
+     * next writeBatch() call — consume it before then.
+     */
+    std::span<const WriteOutcome>
+    writeBatch(std::span<const WriteRequest> requests);
 
     /** Read (decrypt) a line; installs it if never seen. */
     CacheLine read(uint64_t line_addr);
@@ -254,6 +283,28 @@ class MemorySystem
   private:
     StoredLineState &install(uint64_t line_addr);
 
+    /** One duplicate-free slice of a batch, scheme batch-capable. */
+    void applyBatchChunk(std::span<const WriteRequest> chunk);
+
+    /**
+     * Reused buffers of the batch pipeline: one allocation-free slab
+     * per system after warm-up instead of per-write heap traffic.
+     * Line-state pointers stay valid across install() rehashes
+     * (unordered_map never moves elements).
+     */
+    struct BatchScratch
+    {
+        std::vector<LinePadRequest> padReqs;
+        std::vector<AesBlock> pads;
+        std::vector<CacheLine> linePads;
+        std::vector<StoredLineState *> states;
+        std::vector<unsigned> padOffsets;
+        std::vector<CacheLine> physDiffs;
+        std::vector<uint64_t> metaDiffs;
+        std::vector<WriteOutcome> outcomes;
+        std::unordered_set<uint64_t> seen;
+    };
+
     const EncryptionScheme &scheme_;
     WearLevelingConfig wlCfg_;
     PcmConfig pcm_;
@@ -266,6 +317,7 @@ class MemorySystem
 
     std::unordered_map<uint64_t, StoredLineState> lines_;
     MemoryCounters counters_;
+    BatchScratch scratch_;
 };
 
 } // namespace deuce

@@ -169,6 +169,13 @@ experimentRowJson(const ExperimentRow &row)
         os << ",\"line_backend\":\"" << jsonEscape(row.lineBackend)
            << '"';
     }
+    // The burst size is appended only for batched replays, so
+    // one-at-a-time rows keep the historical format. Results are
+    // bit-identical across burst sizes; the field only attributes
+    // throughput numbers.
+    if (row.writeBatch > 1) {
+        os << ",\"write_batch\":" << row.writeBatch;
+    }
     // Fault counters are appended only when the fault model ran, so
     // fault-disabled rows stay byte-identical to the pre-fault format.
     if (row.faultEnabled) {

@@ -269,6 +269,49 @@ TEST_P(LineKernelDifferential, XorPopcountBatchMatchesScalar)
     ops().xorPopcountBatch(a.data(), b.data(), got.data(), 0);
 }
 
+TEST_P(LineKernelDifferential, PopcountBatchMatchesScalar)
+{
+    std::vector<CacheLine> lines;
+    for (const auto &[x, y] : pairCorpus()) {
+        lines.push_back(x);
+        lines.push_back(y);
+    }
+    std::vector<uint32_t> got(lines.size()), want(lines.size());
+    ops().popcountBatch(lines.data(), got.data(), lines.size());
+    ref().popcountBatch(lines.data(), want.data(), lines.size());
+    EXPECT_EQ(got, want);
+
+    ops().popcountBatch(lines.data(), got.data(), 0);
+}
+
+TEST_P(LineKernelDifferential, AccumulateFlipsBatchMatchesScalar)
+{
+    // The cross-line (carry-save) accumulation must land exactly the
+    // per-position counts of n single-line accumulations; sweep batch
+    // sizes around the CSA implementation's 7-line grouping.
+    std::vector<CacheLine> diffs;
+    for (const auto &[x, y] : pairCorpus()) {
+        CacheLine d;
+        ref().diffInto(x, y, d);
+        diffs.push_back(d);
+    }
+    for (std::size_t n : std::vector<std::size_t>{
+             0, 1, 2, 6, 7, 8, 13, 14, 20, diffs.size()}) {
+        ASSERT_LE(n, diffs.size());
+        uint64_t got[CacheLine::kBits];
+        uint64_t want[CacheLine::kBits];
+        for (unsigned i = 0; i < CacheLine::kBits; ++i) {
+            got[i] = want[i] = i * 3 + 1;
+        }
+        ops().accumulateFlipsBatch(diffs.data(), n, got);
+        for (std::size_t i = 0; i < n; ++i) {
+            ref().accumulateFlips(diffs[i], want);
+        }
+        EXPECT_EQ(std::memcmp(got, want, sizeof(got)), 0)
+            << "batch size " << n;
+    }
+}
+
 std::string
 backendTestName(
     const ::testing::TestParamInfo<LineBackendKind> &info)
@@ -284,7 +327,8 @@ TEST(LineBackendRegistry, ParseNamesRoundTrip)
 {
     for (LineBackendKind kind :
          {LineBackendKind::Auto, LineBackendKind::Scalar,
-          LineBackendKind::Sse2, LineBackendKind::Avx2}) {
+          LineBackendKind::Sse2, LineBackendKind::Avx2,
+          LineBackendKind::Neon}) {
         auto parsed = parseLineBackendName(lineBackendName(kind));
         ASSERT_TRUE(parsed.has_value());
         EXPECT_EQ(*parsed, kind);
@@ -312,7 +356,8 @@ TEST(LineBackendRegistry, ResolutionNeverReturnsAuto)
 {
     for (LineBackendKind kind :
          {LineBackendKind::Auto, LineBackendKind::Scalar,
-          LineBackendKind::Sse2, LineBackendKind::Avx2}) {
+          LineBackendKind::Sse2, LineBackendKind::Avx2,
+          LineBackendKind::Neon}) {
         LineBackendKind resolved = resolveLineBackend(kind);
         EXPECT_NE(resolved, LineBackendKind::Auto);
         // Resolution lands on something this host can run.

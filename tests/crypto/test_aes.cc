@@ -145,6 +145,15 @@ class AesBackendTest : public ::testing::TestWithParam<AesBackendKind>
             GTEST_SKIP() << "AES-NI not compiled in or not reported "
                             "by CPUID on this host";
         }
+        if (GetParam() == AesBackendKind::Vaes && !vaesAvailable()) {
+            GTEST_SKIP() << "VAES/AVX-512 not compiled in or not "
+                            "reported by CPUID on this host";
+        }
+        if (GetParam() == AesBackendKind::Neon &&
+            !aesNeonAvailable()) {
+            GTEST_SKIP() << "NEON crypto extensions not available "
+                            "on this host";
+        }
     }
 };
 
@@ -198,14 +207,40 @@ TEST_P(AesBackendTest, EncryptBlocksMatchesSingleBlockCalls)
     }
 }
 
+TEST_P(AesBackendTest, EncryptBlocksLongRunsMatchSingleBlockCalls)
+{
+    Rng rng(4096);
+    AesKey key;
+    for (unsigned i = 0; i < 16; ++i) {
+        key[i] = static_cast<uint8_t>(rng.next());
+    }
+    Aes128 aes(key, GetParam());
+    // 37 = 2x16 + 4 + 1: exercises a wide encryptMany hook's main
+    // loop, its 4-wide step, and its scalar tail in one run.
+    constexpr size_t kN = 37;
+    AesBlock in[kN], batched[kN];
+    for (AesBlock &b : in) {
+        for (unsigned i = 0; i < 16; ++i) {
+            b[i] = static_cast<uint8_t>(rng.next());
+        }
+    }
+    aes.encryptBlocks(in, batched, kN);
+    for (size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(batched[i], aes.encrypt(in[i])) << "block " << i;
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, AesBackendTest,
     ::testing::Values(AesBackendKind::Scalar, AesBackendKind::TTable,
-                      AesBackendKind::AesNi),
+                      AesBackendKind::AesNi, AesBackendKind::Vaes,
+                      AesBackendKind::Neon),
     [](const ::testing::TestParamInfo<AesBackendKind> &info) {
         switch (info.param) {
           case AesBackendKind::Scalar: return "Scalar";
           case AesBackendKind::TTable: return "TTable";
+          case AesBackendKind::Vaes: return "Vaes";
+          case AesBackendKind::Neon: return "Neon";
           default: return "AesNi";
         }
     });
@@ -230,6 +265,16 @@ TEST(AesBackends, BackendsBitIdenticalOnRandomKeysAndBlocks)
             EXPECT_EQ(aesni.encrypt(pt), ct) << "trial " << trial;
             EXPECT_EQ(aesni.decrypt(ct), pt) << "trial " << trial;
         }
+        if (vaesAvailable()) {
+            Aes128 vaes(key, AesBackendKind::Vaes);
+            EXPECT_EQ(vaes.encrypt(pt), ct) << "trial " << trial;
+            EXPECT_EQ(vaes.decrypt(ct), pt) << "trial " << trial;
+        }
+        if (aesNeonAvailable()) {
+            Aes128 neon(key, AesBackendKind::Neon);
+            EXPECT_EQ(neon.encrypt(pt), ct) << "trial " << trial;
+            EXPECT_EQ(neon.decrypt(ct), pt) << "trial " << trial;
+        }
     }
 }
 
@@ -239,13 +284,16 @@ TEST(AesBackends, ParseNamesRoundTrip)
     EXPECT_EQ(parseAesBackendName("scalar"), AesBackendKind::Scalar);
     EXPECT_EQ(parseAesBackendName("ttable"), AesBackendKind::TTable);
     EXPECT_EQ(parseAesBackendName("aesni"), AesBackendKind::AesNi);
+    EXPECT_EQ(parseAesBackendName("vaes"), AesBackendKind::Vaes);
+    EXPECT_EQ(parseAesBackendName("neon"), AesBackendKind::Neon);
     EXPECT_EQ(parseAesBackendName("AESNI"), std::nullopt);
     EXPECT_EQ(parseAesBackendName("bogus"), std::nullopt);
     EXPECT_EQ(parseAesBackendName(""), std::nullopt);
 
     for (AesBackendKind k :
          {AesBackendKind::Auto, AesBackendKind::Scalar,
-          AesBackendKind::TTable, AesBackendKind::AesNi}) {
+          AesBackendKind::TTable, AesBackendKind::AesNi,
+          AesBackendKind::Vaes, AesBackendKind::Neon}) {
         EXPECT_EQ(parseAesBackendName(aesBackendName(k)), k);
     }
 }
@@ -257,6 +305,12 @@ TEST(AesBackends, AutoResolvesToConcreteAvailableBackend)
     EXPECT_NE(resolved, AesBackendKind::Auto);
     if (resolved == AesBackendKind::AesNi) {
         EXPECT_TRUE(aesniAvailable());
+    }
+    if (resolved == AesBackendKind::Vaes) {
+        EXPECT_TRUE(vaesAvailable());
+    }
+    if (resolved == AesBackendKind::Neon) {
+        EXPECT_TRUE(aesNeonAvailable());
     }
     // An unavailable explicit request degrades instead of failing.
     AesBackendKind ni = resolveAesBackend(AesBackendKind::AesNi);

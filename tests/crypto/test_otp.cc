@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "common/cache_line.hh"
 #include "crypto/aes_backend.hh"
@@ -150,6 +151,25 @@ TEST(OtpEngines, DefaultPadForBlocksMatchesSingles)
     }
 }
 
+TEST(OtpEngines, DefaultPadForLinesMatchesSingles)
+{
+    // FastOtpEngine does not override padForLines, so this pins the
+    // base-class fallback to the single-pad path.
+    FastOtpEngine fast(77);
+    LinePadRequest reqs[8] = {{0, 0, 0},     {0, 0, 3},
+                              {9, 5, 1},     {9, 5, 2},
+                              {12345, 1, 0}, {12345, 2, 0},
+                              {7, 1u << 20, 3}, {8, 3, 2}};
+    AesBlock pads[8];
+    fast.padForLines(reqs, pads, 8);
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_EQ(pads[i], fast.padForBlock(reqs[i].lineAddr,
+                                            reqs[i].counter,
+                                            reqs[i].block))
+            << "request " << i;
+    }
+}
+
 /** The batched pad paths, exercised per cipher backend. */
 class OtpBackendTest : public ::testing::TestWithParam<AesBackendKind>
 {
@@ -159,6 +179,12 @@ class OtpBackendTest : public ::testing::TestWithParam<AesBackendKind>
     {
         if (GetParam() == AesBackendKind::AesNi && !aesniAvailable()) {
             GTEST_SKIP() << "AES-NI not available on this host";
+        }
+        if (GetParam() == AesBackendKind::Vaes && !vaesAvailable()) {
+            GTEST_SKIP() << "VAES not available on this host";
+        }
+        if (GetParam() == AesBackendKind::Neon && !aesNeonAvailable()) {
+            GTEST_SKIP() << "NEON AES not available on this host";
         }
     }
 
@@ -207,6 +233,55 @@ TEST_P(OtpBackendTest, BatchedPadsMatchSingles)
     }
 }
 
+TEST_P(OtpBackendTest, PadForLinesMatchesSingles)
+{
+    AesOtpEngine otp = make();
+    // Addresses vary per request (what distinguishes padForLines from
+    // padForBlocks); length crosses the 64-entry chunk twice plus an
+    // odd tail, so every internal path of a wide backend runs.
+    constexpr unsigned kN = 151;
+    std::vector<LinePadRequest> reqs(kN);
+    std::vector<AesBlock> pads(kN);
+    for (unsigned i = 0; i < kN; ++i) {
+        reqs[i] = LinePadRequest{(uint64_t{i} * 0x9e3779b97f4aull) &
+                                     ((uint64_t{1} << 48) - 1),
+                                 (uint64_t{1} << (i % 47)) + i, i % 4};
+    }
+    otp.padForLines(reqs.data(), pads.data(), kN);
+    for (unsigned i = 0; i < kN; ++i) {
+        EXPECT_EQ(pads[i], otp.padForBlock(reqs[i].lineAddr,
+                                           reqs[i].counter,
+                                           reqs[i].block))
+            << "request " << i;
+    }
+}
+
+TEST_P(OtpBackendTest, PadForLinesCounterOverflowMidBatch)
+{
+    // A burst whose counters straddle carry boundaries mid-batch —
+    // the per-word-counter overflow pattern: the architectural 28-bit
+    // width, a 32-bit carry, and the top of the 48-bit nonce field.
+    AesOtpEngine otp = make();
+    std::vector<LinePadRequest> reqs;
+    for (uint64_t c :
+         {(uint64_t{1} << 28) - 2, (uint64_t{1} << 28) - 1,
+          uint64_t{1} << 28, (uint64_t{1} << 32) - 1, uint64_t{1} << 32,
+          (uint64_t{1} << 48) - 1}) {
+        for (unsigned b = 0; b < 4; ++b) {
+            reqs.push_back(LinePadRequest{0xabcde, c, b});
+        }
+    }
+    std::vector<AesBlock> pads(reqs.size());
+    otp.padForLines(reqs.data(), pads.data(),
+                    static_cast<unsigned>(reqs.size()));
+    for (unsigned i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(pads[i], otp.padForBlock(reqs[i].lineAddr,
+                                           reqs[i].counter,
+                                           reqs[i].block))
+            << "request " << i << " counter " << reqs[i].counter;
+    }
+}
+
 TEST_P(OtpBackendTest, PadsIdenticalAcrossBackends)
 {
     AesOtpEngine otp = make();
@@ -233,11 +308,14 @@ TEST_P(OtpBackendTest, ReportsBackendName)
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, OtpBackendTest,
     ::testing::Values(AesBackendKind::Scalar, AesBackendKind::TTable,
-                      AesBackendKind::AesNi),
+                      AesBackendKind::AesNi, AesBackendKind::Vaes,
+                      AesBackendKind::Neon),
     [](const ::testing::TestParamInfo<AesBackendKind> &info) {
         switch (info.param) {
           case AesBackendKind::Scalar: return "Scalar";
           case AesBackendKind::TTable: return "TTable";
+          case AesBackendKind::Vaes: return "Vaes";
+          case AesBackendKind::Neon: return "Neon";
           default: return "AesNi";
         }
     });
