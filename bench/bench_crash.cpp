@@ -37,6 +37,7 @@
 
 #include "bench_common.hh"
 #include "common/thread_pool.hh"
+#include "obs/flight_recorder.hh"
 #include "crypto/otp_engine.hh"
 #include "enc/scheme_factory.hh"
 #include "persist/crash.hh"
@@ -346,6 +347,11 @@ BENCHMARK(BM_RecoveryRun);
 int
 main(int argc, char **argv)
 {
+    // DEUCE_FLIGHT_RECORDER=<path> arms the flight recorder; the
+    // crash-injection cells in Part B then dump the final pre-crash
+    // write events at each MemorySystem::crash().
+    obs::flightRecorderConfigureFromEnv();
+
     std::unique_ptr<std::ofstream> json;
     if (const char *path = std::getenv("DEUCE_BENCH_JSON")) {
         if (path[0] != '\0') {
@@ -362,6 +368,8 @@ main(int argc, char **argv)
     ok = partBCrashRecovery(json.get()) && ok;
     if (!ok) {
         std::cout << "\nCRASH BENCH GATE FAILED\n";
+        obs::flightRecorderRecord(obs::FlightEventKind::Gate);
+        obs::flightRecorderWriteFile();
         return 1;
     }
 

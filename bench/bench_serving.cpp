@@ -21,6 +21,16 @@
  *                     [--ops N] [--read-pct 50] [--scheme deuce]
  *                     [--fast-otp] [--working-set 4096] [--seed S]
  *                     [--queue 1024] [--burst 64] [--json rows.jsonl]
+ *                     [--telemetry-out base] [--telemetry-period-ms N]
+ *                     [--slo-p99-us X]
+ *
+ * Latency percentiles are streamed through per-client Log2Histograms
+ * (bounded memory at any op count) and merged after the run. With
+ * --telemetry-out (or DEUCE_TELEMETRY=<base>), a sampler thread
+ * exports live counters, tail latency and queue depths to
+ * <base>.prom / <base>.jsonl while each cell runs; --slo-p99-us arms
+ * per-tenant SLO burn-rate alerts at that target. DEUCE_PROGRESS
+ * enables the heartbeat over the cell grid.
  */
 
 #include <algorithm>
@@ -28,6 +38,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -35,6 +46,10 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/progress.hh"
+#include "obs/registry.hh"
+#include "obs/telemetry.hh"
 #include "serve/sharded_memory_system.hh"
 #include "sim/report.hh"
 
@@ -58,6 +73,9 @@ struct Args
     size_t queue = 1024;
     unsigned burst = 64;
     std::string json;
+    std::string telemetryOut;
+    uint64_t telemetryPeriodMs = 100;
+    double sloP99Us = 0.0;
 };
 
 std::vector<unsigned>
@@ -108,9 +126,25 @@ parseArgs(int argc, char **argv)
             args.burst = parseCsv(next())[0];
         } else if (a == "--json") {
             args.json = next();
+        } else if (a == "--telemetry-out") {
+            args.telemetryOut = next();
+        } else if (a == "--telemetry-period-ms") {
+            args.telemetryPeriodMs =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (a == "--slo-p99-us") {
+            args.sloP99Us = std::strtod(next().c_str(), nullptr);
         } else {
             std::cerr << "unknown argument: " << a << "\n";
             std::exit(2);
+        }
+    }
+    if (args.telemetryOut.empty()) {
+        // Flag beats env, matching the backend-selection ladders.
+        obs::TelemetryConfig env;
+        if (obs::telemetryConfigFromEnv(env)) {
+            args.telemetryOut = env.promPath.substr(
+                0, env.promPath.size() - std::strlen(".prom"));
+            args.telemetryPeriodMs = env.periodMs;
         }
     }
     return args;
@@ -169,16 +203,6 @@ struct CellResult
     bool deterministic = false;
 };
 
-double
-percentileUs(std::vector<uint64_t> &latencies, double q)
-{
-    deuce_assert(!latencies.empty());
-    size_t idx = static_cast<size_t>(
-        q * static_cast<double>(latencies.size()));
-    idx = std::min(idx, latencies.size() - 1);
-    return static_cast<double>(latencies[idx]) / 1e3;
-}
-
 CellResult
 runCell(const Args &args, unsigned shards, unsigned tenants)
 {
@@ -206,21 +230,50 @@ runCell(const Args &args, unsigned shards, unsigned tenants)
     for (unsigned c = 0; c < clients; ++c) {
         ports.push_back(srv.addClient());
     }
+
+    // Live telemetry: a live-safe registry over the core's atomic
+    // counters, sampled by a background thread for the whole cell.
+    // Declared after srv (and stopped in reverse order at scope exit)
+    // so the sampler never outlives its sources.
+    obs::StatRegistry telemetryReg;
+    std::unique_ptr<obs::TelemetrySampler> sampler;
+    if (!args.telemetryOut.empty()) {
+        srv.registerTelemetry(telemetryReg, "serve");
+        obs::TelemetryConfig tcfg;
+        tcfg.periodMs = args.telemetryPeriodMs;
+        tcfg.promPath = args.telemetryOut + ".prom";
+        tcfg.jsonlPath = args.telemetryOut + ".jsonl";
+        sampler = std::make_unique<obs::TelemetrySampler>(telemetryReg,
+                                                          tcfg);
+        if (args.sloP99Us > 0) {
+            obs::SloTarget target;
+            target.p99Target = args.sloP99Us * 1e3; // us -> ns
+            for (unsigned t = 0; t < tenants; ++t) {
+                sampler->slo().setTarget(static_cast<uint16_t>(t),
+                                         target);
+            }
+        }
+        srv.attachTelemetry(*sampler, "serve");
+        sampler->start();
+    }
+
     srv.start();
 
-    std::vector<std::vector<uint64_t>> latencies(clients);
+    // Per-client streaming latency histograms: bounded memory at any
+    // --ops, merged once the clients join.
+    std::vector<obs::Log2Histogram> latencies(clients);
     uint64_t startNs = nowNs();
     std::vector<std::thread> threads;
     for (unsigned c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
             auto &port = ports[c];
             auto &lats = latencies[c];
-            lats.reserve(traces[c].size());
             uint64_t reaped = 0;
             Completion done;
             auto reap = [&] {
                 while (port.tryPoll(done)) {
-                    lats.push_back(nowNs() - done.submitNs);
+                    lats.add(
+                        static_cast<double>(nowNs() - done.submitNs));
                     ++reaped;
                 }
             };
@@ -241,6 +294,9 @@ runCell(const Args &args, unsigned shards, unsigned tenants)
     }
     uint64_t servingNs = nowNs() - startNs;
     srv.stop();
+    if (sampler) {
+        sampler->stop();
+    }
 
     CellResult result;
     uint64_t totalOps = opsPerClient * clients;
@@ -252,14 +308,15 @@ runCell(const Args &args, unsigned shards, unsigned tenants)
         result.bursts.mergeFrom(srv.burstHistogram(s));
     }
 
-    std::vector<uint64_t> all;
-    for (auto &lats : latencies) {
-        all.insert(all.end(), lats.begin(), lats.end());
+    obs::Log2Histogram all;
+    for (const auto &lats : latencies) {
+        all.mergeFrom(lats);
     }
-    std::sort(all.begin(), all.end());
-    result.p50Us = percentileUs(all, 0.50);
-    result.p99Us = percentileUs(all, 0.99);
-    result.p999Us = percentileUs(all, 0.999);
+    if (!all.empty()) {
+        result.p50Us = all.percentile(0.50) / 1e3;
+        result.p99Us = all.percentile(0.99) / 1e3;
+        result.p999Us = all.percentile(0.999) / 1e3;
+    }
 
     // Sequential reference: the same stream, round-robin interleaved
     // across the clients (any fixed interleave works — per-line order
@@ -325,6 +382,7 @@ int
 main(int argc, char **argv)
 {
     Args args = parseArgs(argc, argv);
+    obs::flightRecorderConfigureFromEnv();
 
     printBanner(std::cout, "Serving",
                 "sharded queue-driven secure-memory core — sustained "
@@ -338,10 +396,31 @@ main(int argc, char **argv)
     Table table({"cell", "ops/s", "seq ops/s", "speedup", "p50 us",
                  "p99 us", "p999 us", "burst", "b-p95", "flip %",
                  "ok"});
+
+    // DEUCE_PROGRESS heartbeat over the cell grid (cells run one at
+    // a time here, so workers = 1 for the ETA).
+    std::unique_ptr<obs::ProgressReporter> progress;
+    if (auto opts = obs::progressOptionsFromEnv()) {
+        opts->label = "serving";
+        progress = std::make_unique<obs::ProgressReporter>(
+            args.shards.size() * args.tenants.size(), 1, *opts);
+    }
+
     bool allDeterministic = true;
     for (unsigned shards : args.shards) {
         for (unsigned tenants : args.tenants) {
+            std::string cell = std::to_string(shards) + "s x " +
+                               std::to_string(tenants) + "t";
+            if (progress) {
+                progress->cellStarted(cell);
+            }
+            uint64_t cellStart = nowNs();
             CellResult r = runCell(args, shards, tenants);
+            if (progress) {
+                progress->cellFinished(
+                    cell,
+                    static_cast<double>(nowNs() - cellStart) / 1e9);
+            }
             allDeterministic = allDeterministic && r.deterministic;
             table.addRow({
                 std::to_string(shards) + "s x " +
@@ -364,6 +443,9 @@ main(int argc, char **argv)
                              "sequential replay at "
                           << shards << " shards x " << tenants
                           << " tenants\n";
+                obs::flightRecorderRecord(obs::FlightEventKind::Gate,
+                                          0, 0, shards, tenants);
+                obs::flightRecorderWriteFile();
             }
         }
     }

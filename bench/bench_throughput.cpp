@@ -29,6 +29,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +39,8 @@
 #include "crypto/aes_backend.hh"
 #include "crypto/otp_engine.hh"
 #include "enc/scheme_factory.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/progress.hh"
 #include "sim/memory_system.hh"
 #include "sim/report.hh"
 
@@ -250,6 +253,7 @@ main(int argc, char **argv)
     if (const char *env = std::getenv("DEUCE_BENCH_WB")) {
         args.writes = std::strtoull(env, nullptr, 10);
     }
+    obs::flightRecorderConfigureFromEnv();
 
     printBanner(std::cout, "Throughput",
                 "batched write pipeline — lines/sec vs one-at-a-time");
@@ -276,6 +280,17 @@ main(int argc, char **argv)
 
     Table table({"scheme", "backend", "batch", "Mlines/s", "speedup",
                  "identical"});
+
+    // DEUCE_PROGRESS heartbeat over the cell grid (serial cells).
+    std::unique_ptr<obs::ProgressReporter> progress;
+    if (auto opts = obs::progressOptionsFromEnv()) {
+        opts->label = "throughput";
+        progress = std::make_unique<obs::ProgressReporter>(
+            args.schemes.size() * backends.size() *
+                args.batches.size(),
+            1, *opts);
+    }
+
     bool gatesPass = true;
     for (const std::string &scheme : args.schemes) {
         for (AesBackendKind backend : backends) {
@@ -283,7 +298,18 @@ main(int argc, char **argv)
             std::string baseSignature;
             bool first = true;
             for (unsigned batch : args.batches) {
+                std::string cell = scheme + "/b" +
+                                   std::to_string(batch);
+                if (progress) {
+                    progress->cellStarted(cell);
+                }
+                uint64_t cellStart = nowNs();
                 CellResult r = runCell(scheme, batch, backend, trace);
+                if (progress) {
+                    progress->cellFinished(
+                        cell, static_cast<double>(nowNs() - cellStart) /
+                                  1e9);
+                }
                 if (first) {
                     // The smallest batch size anchors both gates; the
                     // default grid starts at 1 (pure write() path).
@@ -305,6 +331,9 @@ main(int argc, char **argv)
                               << batch << " on " << r.aesBackend
                               << " diverged from the sequential "
                                  "signature\n";
+                    obs::flightRecorderRecord(
+                        obs::FlightEventKind::Gate, 0, 0, batch);
+                    obs::flightRecorderWriteFile();
                     gatesPass = false;
                 }
                 // Speedup gate: auto backend, the pad-generation-
@@ -317,6 +346,9 @@ main(int argc, char **argv)
                               << batch << " reached only "
                               << fmt(speedup, 2)
                               << "x over one-at-a-time (gate: 1.5x)\n";
+                    obs::flightRecorderRecord(
+                        obs::FlightEventKind::Gate, 0, 0, batch);
+                    obs::flightRecorderWriteFile();
                     gatesPass = false;
                 }
             }

@@ -52,9 +52,19 @@
  *                           (open in chrome://tracing or Perfetto)
  *   --trace-level <l>       phase (default) or verbose span detail
  *   --progress              heartbeat progress lines on stderr
+ *   --telemetry-out <base>  live telemetry while the sweep runs: a
+ *                           periodically rewritten Prometheus text
+ *                           file <base>.prom plus an append-only
+ *                           time series <base>.jsonl
+ *   --telemetry-period-ms <n>  sampling period (default 100)
+ *   --slo-p99-us <us>       per-cell p99 duration SLO; burn-rate
+ *                           alerts fire when sampling windows exceed
+ *                           it too often (needs --telemetry-out)
  *
- * DEUCE_TRACE=<path> and DEUCE_PROGRESS=1 are the environment
- * equivalents of --trace-out / --progress for wrapped invocations.
+ * DEUCE_TRACE=<path>, DEUCE_PROGRESS=1 and DEUCE_TELEMETRY=<base> are
+ * the environment equivalents of --trace-out / --progress /
+ * --telemetry-out for wrapped invocations; DEUCE_FLIGHT_RECORDER=
+ * <path> arms the in-memory flight recorder (obs/flight_recorder.hh).
  */
 
 #include <cstdlib>
@@ -66,6 +76,7 @@
 
 #include "common/line_kernels.hh"
 #include "crypto/aes_backend.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/trace.hh"
 #include "sim/experiment.hh"
 #include "enc/scheme_factory.hh"
@@ -93,6 +104,9 @@ struct CliOptions
     std::string traceOut;
     obs::TraceLevel traceLevel = obs::TraceLevel::Phase;
     bool progress = false;
+    std::string telemetryOut;
+    uint64_t telemetryPeriodMs = 100;
+    double sloP99Us = 0;
 };
 
 [[noreturn]] void
@@ -111,7 +125,8 @@ usage(const char *argv0)
                  " [--persist-queue <n>] [--no-persist-integrity]"
                  " [--csv] [--json <path>] [--stats] [--stats-json]"
                  " [--trace-out <path>] [--trace-level phase|verbose]"
-                 " [--progress]\n";
+                 " [--progress] [--telemetry-out <base>]"
+                 " [--telemetry-period-ms <n>] [--slo-p99-us <us>]\n";
     std::exit(2);
 }
 
@@ -259,6 +274,16 @@ parseArgs(int argc, char **argv)
             }
         } else if (arg == "--progress") {
             cli.progress = true;
+        } else if (arg == "--telemetry-out") {
+            cli.telemetryOut = value();
+        } else if (arg == "--telemetry-period-ms") {
+            cli.telemetryPeriodMs =
+                std::strtoull(value(), nullptr, 10);
+            if (cli.telemetryPeriodMs == 0) {
+                usage(argv[0]);
+            }
+        } else if (arg == "--slo-p99-us") {
+            cli.sloP99Us = std::strtod(value(), nullptr);
         } else {
             usage(argv[0]);
         }
@@ -334,6 +359,7 @@ main(int argc, char **argv)
     } else {
         obs::traceConfigureFromEnv();
     }
+    obs::flightRecorderConfigureFromEnv();
 
     SweepSpec spec;
     if (cli.bench == "all") {
@@ -347,6 +373,12 @@ main(int argc, char **argv)
     spec.options = cli.experiment;
     spec.threads = cli.threads;
     spec.progress.enabled = cli.progress;
+    if (!cli.telemetryOut.empty()) {
+        spec.telemetry.promPath = cli.telemetryOut + ".prom";
+        spec.telemetry.jsonlPath = cli.telemetryOut + ".jsonl";
+        spec.telemetry.periodMs = cli.telemetryPeriodMs;
+    }
+    spec.cellP99Ns = cli.sloP99Us * 1e3;
     // The CLI takes one explicit seed: every cell uses it verbatim so
     // --seed reproduces the exact pads of older single-cell runs.
     spec.deriveCellSeeds = false;

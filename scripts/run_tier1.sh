@@ -250,16 +250,93 @@ PY
 # bench_serving itself gates bit-identical aggregate counters between
 # the sharded run and a single-threaded sequential replay (exit 1 on
 # divergence); its ops/sec + tail-latency cells append to the BENCH
-# trajectory via DEUCE_BENCH_JSON.
+# trajectory via DEUCE_BENCH_JSON. Live telemetry runs alongside at a
+# fast period so the scrape checks below have several ticks to chew.
+rm -f "$build/tier1_telemetry.prom" "$build/tier1_telemetry.jsonl"
 DEUCE_BENCH_JSON="$build/bench_results.json" "$build/bench/bench_serving" \
     --shards 1,4,8 --tenants 1,4 --clients 2 \
     --ops 20000 --fast-otp \
+    --telemetry-out "$build/tier1_telemetry" --telemetry-period-ms 10 \
     > /dev/null || {
         echo "tier1: FAIL — serving determinism gate" >&2
         exit 1
     }
 rows=$(wc -l < "$build/bench_results.json")
 echo "tier1: serving smoke OK at 1/4/8 shards (now $rows rows)"
+
+# Telemetry smoke: the Prometheus scrape file must parse (every
+# announced metric sampled, every value numeric) and the JSONL time
+# series must show monotone counters within each cell's run (the
+# sampler seq restarts at 1 when a new cell attaches).
+python3 - "$build/tier1_telemetry.prom" \
+    "$build/tier1_telemetry.jsonl" <<'PY'
+import json
+import sys
+
+types, values = {}, {}
+for line in open(sys.argv[1]):
+    parts = line.split()
+    if line.startswith("#"):
+        assert parts[:2] == ["#", "TYPE"] and \
+            parts[3] in ("counter", "gauge"), line
+        types[parts[2]] = parts[3]
+    else:
+        assert len(parts) == 2, line
+        values[parts[0]] = float(parts[1])
+assert types, "empty prom scrape"
+missing = set(types) - set(values)
+assert not missing, f"announced but never sampled: {missing}"
+assert any(t == "counter" for t in types.values()), types
+
+ticks = 0
+prev = {}
+for line in open(sys.argv[2]):
+    tick = json.loads(line)
+    ticks += 1
+    if tick["seq"] == 1:
+        prev = {}  # a new cell attached a fresh sampler
+    for name, v in tick["stats"].items():
+        assert v["v"] >= prev.get(name, 0), \
+            f"counter {name} went backwards"
+        prev[name] = v["v"]
+assert ticks > 0, "no jsonl ticks"
+print(f"tier1: telemetry OK ({len(types)} metrics, {ticks} ticks, "
+      f"counters monotone)")
+PY
+
+# Telemetry overhead cell: one 4-shard serving cell with the sampler
+# off vs on at the default 100 ms period, appended as BENCH_MICRO
+# rows. Informational only — the target is <= 1% ops/sec, but wall
+# clock varies with the host so this never gates.
+telemetry_cell() {
+    DEUCE_BENCH_JSON="$build/telemetry_overhead.jsonl" \
+        "$build/bench/bench_serving" \
+        --shards 4 --tenants 4 --clients 2 \
+        --ops 40000 --fast-otp "$@" > /dev/null
+}
+rm -f "$build/telemetry_overhead.jsonl"
+telemetry_cell
+telemetry_cell --telemetry-out "$build/tier1_overhead_telemetry" \
+    --telemetry-period-ms 100
+python3 - "$build/telemetry_overhead.jsonl" \
+    "$build/bench_results.json" <<'PY'
+import json
+import sys
+
+rows = [json.loads(l) for l in open(sys.argv[1])]
+off, on = rows[0]["ops_per_sec"], rows[1]["ops_per_sec"]
+pct = 100.0 * (off - on) / off
+with open(sys.argv[2], "a") as out:
+    for name, ops in (("telemetry_off", off), ("telemetry_on", on)):
+        out.write(json.dumps({
+            "bench": "BENCH_MICRO",
+            "scheme": f"BM_TelemetryOverhead/{name}",
+            "ops_per_sec": ops,
+            "iterations": 1,
+        }) + "\n")
+print(f"tier1: telemetry overhead cells appended "
+      f"(on vs off: {pct:+.1f}% ops/sec, informational)")
+PY
 
 # Crash-consistency smoke: bench_crash's Part A (persistence-policy
 # runtime cost) and Part B (crash at a seeded write index + recovery)
@@ -276,6 +353,37 @@ DEUCE_BENCH_WB=4000 "$build/bench/bench_crash" \
 rows=$(wc -l < "$build/bench_results.json")
 echo "tier1: crash/recovery smoke OK (now $rows rows)"
 
+# Flight-recorder smoke: re-run a tiny crash bench with the recorder
+# armed. Every injected crash dumps the rings, so the file must be
+# valid Chrome-trace JSON whose final events include the pre-crash
+# writes and the crash marker itself. Single-threaded so the write
+# events land in one ring in submission order.
+rm -f "$build/tier1_flight.json"
+DEUCE_FLIGHT_RECORDER="$build/tier1_flight.json" \
+DEUCE_BENCH_THREADS=1 DEUCE_BENCH_WB=1500 "$build/bench/bench_crash" \
+    > /dev/null || {
+        echo "tier1: FAIL — crash bench under flight recorder" >&2
+        exit 1
+    }
+python3 - "$build/tier1_flight.json" <<'PY'
+import json
+import sys
+
+dump = json.load(open(sys.argv[1]))
+events = dump["traceEvents"]
+assert events, "flight dump is empty"
+names = [ev["name"] for ev in events]
+assert "write" in names, f"no write events in {set(names)}"
+assert "crash" in names, f"no crash event in {set(names)}"
+last_crash = len(names) - 1 - names[::-1].index("crash")
+assert "write" in names[:last_crash], \
+    "crash dump must carry the pre-crash writes"
+for ev in events:
+    assert ev["ph"] == "i", ev
+print(f"tier1: flight dump OK ({len(events)} events, "
+      f"{names.count('crash')} crashes captured)")
+PY
+
 if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
     tsan="$build-tsan"
     cmake -B "$tsan" -S "$repo" \
@@ -283,11 +391,17 @@ if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
     cmake --build "$tsan" -j "$(nproc)" \
         --target test_thread_pool test_sweep test_spsc_queue \
                  test_serving test_persist test_write_batch \
+                 test_telemetry test_flight_recorder \
                  stolen_dimm_attack bench_serving
     "$tsan/tests/test_thread_pool"
     "$tsan/tests/test_sweep"
     "$tsan/tests/test_spsc_queue"
     "$tsan/tests/test_serving"
+    # Live sampling races by design (relaxed atomics, concurrent
+    # snapshot reads): the telemetry and flight-recorder suites must
+    # be TSan-clean, including the sampler-vs-worker serving test.
+    "$tsan/tests/test_telemetry"
+    "$tsan/tests/test_flight_recorder"
     # The batch pipeline itself is single-threaded per shard, but the
     # serving workers drive it concurrently — run its bit-identity
     # suite under TSan alongside the worker tests.

@@ -11,8 +11,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 
 #include "common/logging.hh"
+#include "common/runtime_events.hh"
 
 namespace deuce
 {
@@ -262,11 +264,12 @@ warnUnavailable(const char *wanted, const char *got)
 {
     static std::once_flag warned;
     std::call_once(warned, [wanted, got] {
-        std::fprintf(stderr,
-                     "deuce: %s line-kernel backend requested but "
-                     "unavailable on this host; falling back to %s "
-                     "(results are bit-identical)\n",
-                     wanted, got);
+        emitRuntimeWarning(
+            "line_backend",
+            std::string(wanted) +
+                " line-kernel backend requested but unavailable on "
+                "this host; falling back to " +
+                got + " (results are bit-identical)");
     });
 }
 

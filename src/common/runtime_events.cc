@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Runtime-event hook implementation.
+ */
+
+#include "common/runtime_events.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace deuce
+{
+
+namespace
+{
+
+std::atomic<RuntimeEventSink> g_sink{nullptr};
+
+} // namespace
+
+void
+setRuntimeEventSink(RuntimeEventSink sink)
+{
+    g_sink.store(sink, std::memory_order_release);
+}
+
+void
+emitRuntimeWarning(const char *category, const std::string &message)
+{
+    std::fprintf(stderr, "deuce: %s\n", message.c_str());
+    if (RuntimeEventSink sink = g_sink.load(std::memory_order_acquire)) {
+        sink(RuntimeEventKind::Warning, category, message);
+    }
+}
+
+void
+emitRuntimeStall(const char *category, const std::string &message)
+{
+    if (RuntimeEventSink sink = g_sink.load(std::memory_order_acquire)) {
+        sink(RuntimeEventKind::Stall, category, message);
+    }
+}
+
+} // namespace deuce

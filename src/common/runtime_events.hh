@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Runtime-event hook: how layers below obs/ surface one-off runtime
+ * warnings (backend degrades, resource stalls) without depending on
+ * the observability stack.
+ *
+ * deuce_common sits at the bottom of the library graph, so code like
+ * the line-kernel registry cannot call obs::logEvent directly. It
+ * calls emitRuntimeWarning() instead; with no sink installed that is
+ * a plain stderr line (the historical behaviour). The flight
+ * recorder (obs/flight_recorder.hh) installs itself as the sink at
+ * configuration time, after which every warning also lands in the
+ * per-thread event rings and survives into the postmortem dump.
+ */
+
+#ifndef DEUCE_COMMON_RUNTIME_EVENTS_HH
+#define DEUCE_COMMON_RUNTIME_EVENTS_HH
+
+#include <string>
+
+namespace deuce
+{
+
+/** What a runtime event reports (mirrored in obs::FlightEventKind). */
+enum class RuntimeEventKind
+{
+    Warning, ///< one-off degradation notice (echoed to stderr)
+    Stall,   ///< transient backpressure (recorded, not echoed)
+};
+
+/** A sink receiving every emitted runtime event (the flight
+ *  recorder's entry point; category is a static string). */
+using RuntimeEventSink = void (*)(RuntimeEventKind kind,
+                                  const char *category,
+                                  const std::string &message);
+
+/**
+ * Install (or clear, with nullptr) the process-wide sink. The sink
+ * must be callable from any thread and must not emit events itself.
+ */
+void setRuntimeEventSink(RuntimeEventSink sink);
+
+/**
+ * Report a one-off degradation: writes "deuce: <message>" to stderr
+ * and forwards to the installed sink. Call sites own their own
+ * once-only semantics (std::once_flag) — this helper never
+ * de-duplicates.
+ */
+void emitRuntimeWarning(const char *category,
+                        const std::string &message);
+
+/**
+ * Report a transient stall (queue backpressure): forwarded to the
+ * sink only — stalls are normal under load and would spam stderr.
+ */
+void emitRuntimeStall(const char *category,
+                      const std::string &message);
+
+} // namespace deuce
+
+#endif // DEUCE_COMMON_RUNTIME_EVENTS_HH

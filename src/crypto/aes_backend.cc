@@ -11,8 +11,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 
 #include "common/logging.hh"
+#include "obs/flight_recorder.hh"
 
 namespace deuce
 {
@@ -90,12 +92,12 @@ warnAesniUnavailable()
     // thread can proceed while the warning is mid-write.
     static std::once_flag warned;
     std::call_once(warned, [] {
-        std::fprintf(stderr,
-                     "deuce: aesni backend requested but %s; "
-                     "falling back to ttable (results are "
-                     "bit-identical)\n",
-                     aesniCompiled() ? "CPU lacks AES-NI"
-                                     : "not compiled in");
+        obs::logEvent(obs::FlightEventKind::Degrade, "aes_backend",
+                      std::string("aesni backend requested but ") +
+                          (aesniCompiled() ? "CPU lacks AES-NI"
+                                           : "not compiled in") +
+                          "; falling back to ttable (results are "
+                          "bit-identical)");
     });
 }
 
@@ -105,12 +107,12 @@ warnVaesUnavailable()
 {
     static std::once_flag warned;
     std::call_once(warned, [] {
-        std::fprintf(stderr,
-                     "deuce: vaes backend requested but %s; "
-                     "falling back down the ladder (results are "
-                     "bit-identical)\n",
-                     vaesCompiled() ? "CPU lacks VAES/AVX-512"
-                                    : "not compiled in");
+        obs::logEvent(obs::FlightEventKind::Degrade, "aes_backend",
+                      std::string("vaes backend requested but ") +
+                          (vaesCompiled() ? "CPU lacks VAES/AVX-512"
+                                          : "not compiled in") +
+                          "; falling back down the ladder (results "
+                          "are bit-identical)");
     });
 }
 
@@ -120,13 +122,13 @@ warnNeonUnavailable()
 {
     static std::once_flag warned;
     std::call_once(warned, [] {
-        std::fprintf(stderr,
-                     "deuce: neon AES backend requested but %s; "
-                     "falling back down the ladder (results are "
-                     "bit-identical)\n",
-                     aesNeonCompiled()
-                         ? "CPU lacks the crypto extensions"
-                         : "not compiled in");
+        obs::logEvent(obs::FlightEventKind::Degrade, "aes_backend",
+                      std::string("neon AES backend requested but ") +
+                          (aesNeonCompiled()
+                               ? "CPU lacks the crypto extensions"
+                               : "not compiled in") +
+                          "; falling back down the ladder (results "
+                          "are bit-identical)");
     });
 }
 

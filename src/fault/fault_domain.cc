@@ -5,6 +5,7 @@
 
 #include "fault/fault_domain.hh"
 
+#include "obs/flight_recorder.hh"
 #include "obs/registry.hh"
 
 namespace deuce
@@ -86,6 +87,9 @@ FaultDomain::onWrite(uint64_t logical, const CacheLine &flips,
         map_.retire(phys);
         ecp_.retire(phys);
         stats_.decommissionedLines = decom_.decommissionedLines();
+        obs::flightRecorderRecord(obs::FlightEventKind::Decommission,
+                                  0, 0, logical,
+                                  stats_.decommissionedLines);
     }
     stats_.stuckCells = map_.stuckCells();
     return outcome;

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Flight-recorder implementation: thread-local bounded rings, a
+ * leaked global ring list (the atexit dump and late-exiting threads
+ * can never race a destructor), message interning for dynamic
+ * warnings, and the Chrome trace_event instant-event writer.
+ */
+
+#include "obs/flight_recorder.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "common/runtime_events.hh"
+
+namespace deuce
+{
+namespace obs
+{
+
+namespace detail
+{
+
+std::atomic<bool> g_flightEnabled{false};
+
+} // namespace detail
+
+namespace
+{
+
+/** One recorded event (fixed size; rings never allocate per event). */
+struct FlightRec
+{
+    uint64_t tsNs = 0;
+    uint64_t a = 0;
+    uint64_t b = 0;
+    const char *note = nullptr; ///< static or interned string
+    FlightEventKind kind = FlightEventKind::Mark;
+    uint16_t shard = 0;
+    uint16_t tenant = 0;
+};
+
+/** Per-thread bounded ring; written only by its owning thread. */
+struct Ring
+{
+    uint32_t tid = 0;
+    uint64_t head = 0; ///< events ever recorded by this thread
+    std::vector<FlightRec> slots;
+};
+
+/** Global state; intentionally leaked like the trace buffer list. */
+struct Global
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<Ring>> rings;
+    uint32_t nextTid = 1;
+    std::size_t capacity = 4096;
+    std::string outPath;
+    bool atexitArmed = false;
+
+    /** Interned dynamic messages (warnings are rare; never freed so
+     *  ring entries can point at them forever). */
+    std::deque<std::string> internPool;
+};
+
+Global &
+global()
+{
+    static Global *g = new Global();
+    return *g;
+}
+
+uint64_t
+nowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - epoch)
+            .count());
+}
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n) {
+        p <<= 1;
+    }
+    return p;
+}
+
+Ring &
+threadRing()
+{
+    thread_local std::shared_ptr<Ring> ring;
+    if (!ring) {
+        ring = std::make_shared<Ring>();
+        Global &g = global();
+        std::lock_guard<std::mutex> lk(g.mu);
+        ring->tid = g.nextTid++;
+        ring->slots.resize(g.capacity);
+        g.rings.push_back(ring);
+    }
+    return *ring;
+}
+
+/** The common-layer sink: lower libraries' warnings land here. */
+void
+runtimeEventSink(RuntimeEventKind kind, const char *category,
+                 const std::string &message)
+{
+    FlightEventKind fk = kind == RuntimeEventKind::Stall
+                             ? FlightEventKind::Stall
+                             : FlightEventKind::Degrade;
+    if (!flightRecorderEnabled()) {
+        return;
+    }
+    // The caller already echoed warnings to stderr; only intern and
+    // record here (logEvent would double-print).
+    const char *interned;
+    {
+        Global &g = global();
+        std::lock_guard<std::mutex> lk(g.mu);
+        g.internPool.push_back(category + std::string(": ") + message);
+        interned = g.internPool.back().c_str();
+    }
+    detail::flightRecord(fk, 0, 0, 0, 0, interned);
+}
+
+void
+writeJsonString(std::ostream &os, const char *s)
+{
+    os << '"';
+    for (; *s; ++s) {
+        char c = *s;
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+const char *
+flightEventKindName(FlightEventKind kind)
+{
+    switch (kind) {
+      case FlightEventKind::Submit: return "submit";
+      case FlightEventKind::Complete: return "complete";
+      case FlightEventKind::Write: return "write";
+      case FlightEventKind::WriteBatch: return "write_batch";
+      case FlightEventKind::Read: return "read";
+      case FlightEventKind::Stall: return "stall";
+      case FlightEventKind::Degrade: return "degrade";
+      case FlightEventKind::Recovery: return "recovery";
+      case FlightEventKind::Decommission: return "decommission";
+      case FlightEventKind::Crash: return "crash";
+      case FlightEventKind::Gate: return "gate_fail";
+      case FlightEventKind::Mark: return "mark";
+    }
+    return "unknown";
+}
+
+namespace detail
+{
+
+void
+flightRecord(FlightEventKind kind, uint16_t shard, uint16_t tenant,
+             uint64_t a, uint64_t b, const char *note)
+{
+    Ring &ring = threadRing();
+    FlightRec &rec = ring.slots[ring.head & (ring.slots.size() - 1)];
+    rec.tsNs = nowNs();
+    rec.a = a;
+    rec.b = b;
+    rec.note = note;
+    rec.kind = kind;
+    rec.shard = shard;
+    rec.tenant = tenant;
+    ++ring.head;
+}
+
+} // namespace detail
+
+void
+flightRecorderEnable(std::size_t capacity)
+{
+    Global &g = global();
+    {
+        std::lock_guard<std::mutex> lk(g.mu);
+        if (g.rings.empty()) {
+            g.capacity = roundUpPow2(std::max<std::size_t>(capacity, 8));
+        }
+    }
+    setRuntimeEventSink(&runtimeEventSink);
+    detail::g_flightEnabled.store(true, std::memory_order_release);
+    nowNs(); // pin the epoch before the first event
+}
+
+void
+flightRecorderConfigure(const std::string &path, std::size_t capacity)
+{
+    Global &g = global();
+    {
+        std::lock_guard<std::mutex> lk(g.mu);
+        g.outPath = path;
+        if (!g.atexitArmed) {
+            g.atexitArmed = true;
+            std::atexit([] { flightRecorderWriteFile(); });
+        }
+    }
+    flightRecorderEnable(capacity);
+}
+
+bool
+flightRecorderConfigureFromEnv()
+{
+    const char *path = std::getenv("DEUCE_FLIGHT_RECORDER");
+    if (path == nullptr || *path == '\0') {
+        return false;
+    }
+    std::size_t capacity = 4096;
+    if (const char *cap = std::getenv("DEUCE_FLIGHT_CAPACITY")) {
+        unsigned long long parsed = std::strtoull(cap, nullptr, 10);
+        if (parsed > 0) {
+            capacity = static_cast<std::size_t>(parsed);
+        }
+    }
+    flightRecorderConfigure(path, capacity);
+    return true;
+}
+
+void
+logEvent(FlightEventKind kind, const char *category,
+         const std::string &message, uint64_t a, uint64_t b)
+{
+    bool echo = kind == FlightEventKind::Degrade ||
+                kind == FlightEventKind::Gate ||
+                kind == FlightEventKind::Crash;
+    if (echo) {
+        std::fprintf(stderr, "deuce: %s\n", message.c_str());
+    }
+    if (!flightRecorderEnabled()) {
+        return;
+    }
+    const char *interned;
+    {
+        Global &g = global();
+        std::lock_guard<std::mutex> lk(g.mu);
+        g.internPool.push_back(category + std::string(": ") + message);
+        interned = g.internPool.back().c_str();
+    }
+    detail::flightRecord(kind, 0, 0, a, b, interned);
+}
+
+void
+flightRecorderDump(std::ostream &os)
+{
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        Global &g = global();
+        std::lock_guard<std::mutex> lk(g.mu);
+        rings = g.rings;
+    }
+
+    /** A surviving event plus its owner's tid, for the global sort. */
+    struct Entry
+    {
+        FlightRec rec;
+        uint32_t tid;
+    };
+    std::vector<Entry> entries;
+    for (const auto &ring : rings) {
+        uint64_t head = ring->head;
+        uint64_t cap = ring->slots.size();
+        uint64_t n = std::min(head, cap);
+        for (uint64_t i = head - n; i < head; ++i) {
+            entries.push_back(
+                Entry{ring->slots[i & (cap - 1)], ring->tid});
+        }
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry &x, const Entry &y) {
+                         return x.rec.tsNs < y.rec.tsNs;
+                     });
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Entry &e : entries) {
+        if (!first) {
+            os << ",\n";
+        }
+        first = false;
+        char ts[32];
+        std::snprintf(ts, sizeof(ts), "%.3f",
+                      static_cast<double>(e.rec.tsNs) / 1000.0);
+        os << "{\"name\":\"" << flightEventKindName(e.rec.kind)
+           << "\",\"cat\":\"deuce.flight\",\"ph\":\"i\",\"s\":\"t\""
+           << ",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << ts
+           << ",\"args\":{\"shard\":" << e.rec.shard
+           << ",\"tenant\":" << e.rec.tenant << ",\"a\":" << e.rec.a
+           << ",\"b\":" << e.rec.b;
+        if (e.rec.note != nullptr) {
+            os << ",\"note\":";
+            writeJsonString(os, e.rec.note);
+        }
+        os << "}}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool
+flightRecorderWriteFile()
+{
+    std::string path;
+    {
+        Global &g = global();
+        std::lock_guard<std::mutex> lk(g.mu);
+        path = g.outPath;
+    }
+    if (path.empty()) {
+        return false;
+    }
+    // Write-then-rename so a reader (or a crash mid-dump) never sees
+    // a half-written file at the configured path.
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::out | std::ios::trunc);
+        if (!os) {
+            return false;
+        }
+        flightRecorderDump(os);
+        if (!os) {
+            return false;
+        }
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+uint64_t
+flightRecorderEventCount()
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lk(g.mu);
+    uint64_t n = 0;
+    for (const auto &ring : g.rings) {
+        n += std::min<uint64_t>(ring->head, ring->slots.size());
+    }
+    return n;
+}
+
+uint64_t
+flightRecorderTotalRecorded()
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lk(g.mu);
+    uint64_t n = 0;
+    for (const auto &ring : g.rings) {
+        n += ring->head;
+    }
+    return n;
+}
+
+void
+flightRecorderClear()
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lk(g.mu);
+    for (const auto &ring : g.rings) {
+        ring->head = 0;
+    }
+}
+
+} // namespace obs
+} // namespace deuce

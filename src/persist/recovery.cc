@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "integrity/merkle.hh"
+#include "obs/flight_recorder.hh"
 
 namespace deuce
 {
@@ -172,6 +173,8 @@ RecoveryEngine::run(const CrashImage &image) const
         static_cast<double>(rep.macComputations) * kMacNs +
         static_cast<double>(rep.metaWrites) * pcm_.writeSlotNs +
         static_cast<double>(rep.repairedLines) * 4.0 * pcm_.writeSlotNs;
+    obs::flightRecorderRecord(obs::FlightEventKind::Recovery, 0, 0,
+                              rep.staleLines, rep.repairedLines);
     return out;
 }
 

@@ -5,9 +5,11 @@
 
 #include "serve/sharded_memory_system.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/registry.hh"
 
 namespace deuce
@@ -75,6 +77,9 @@ ShardedMemorySystem::ShardedMemorySystem(const ServeConfig &cfg)
         MemorySystem system(*scheme, cfg_.wearLeveling, cfg_.pcm,
                             [](uint64_t) { return CacheLine{}; });
         shards_.emplace_back(std::move(scheme), std::move(system));
+        shards_.back().telemetry->tenantLatencyNs =
+            std::vector<obs::AtomicLog2Histogram>(
+                std::min(cfg_.tenants, cfg_.maxTrackedTenants));
     }
 }
 
@@ -141,7 +146,7 @@ ShardedMemorySystem::requestsServed() const
 {
     uint64_t total = 0;
     for (const Shard &shard : shards_) {
-        total += shard.served;
+        total += shard.telemetry->served.load(std::memory_order_relaxed);
     }
     return total;
 }
@@ -167,7 +172,10 @@ ShardedMemorySystem::registerStats(obs::StatRegistry &reg,
         shard.system.registerStats(reg, base + ".pcm");
         reg.addIntValue(base + ".served",
                         "requests applied by the shard worker",
-                        [&shard] { return shard.served; });
+                        [&shard] {
+                            return shard.telemetry->served.load(
+                                std::memory_order_relaxed);
+                        });
         reg.addHistogram(base + ".sqDepth",
                          "submission-queue depth sampled per visit",
                          shard.sqDepth);
@@ -175,6 +183,95 @@ ShardedMemorySystem::registerStats(obs::StatRegistry &reg,
                          "requests drained per burst", shard.burst);
     }
     keys_.registerStats(reg, prefix + ".tenant");
+}
+
+void
+ShardedMemorySystem::registerTelemetry(obs::StatRegistry &reg,
+                                       const std::string &prefix) const
+{
+    for (unsigned s = 0; s < numShards(); ++s) {
+        const ShardTelemetry &tel = *shards_[s].telemetry;
+        std::string base = prefix + ".shard" + std::to_string(s);
+        reg.addIntValue(base + ".served",
+                        "requests applied by the shard worker",
+                        [&tel] {
+                            return tel.served.load(
+                                std::memory_order_relaxed);
+                        });
+        reg.addIntValue(base + ".cq_stalls",
+                        "CQ-full backpressure episodes", [&tel] {
+                            return tel.cqStalls.load(
+                                std::memory_order_relaxed);
+                        });
+    }
+    reg.addIntValue(prefix + ".served",
+                    "requests applied across all shards",
+                    [this] { return requestsServed(); });
+    reg.addIntValue(prefix + ".cq_stalls",
+                    "CQ-full backpressure episodes across all shards",
+                    [this] { return backpressureStalls(); });
+}
+
+void
+ShardedMemorySystem::attachTelemetry(obs::TelemetrySampler &sampler,
+                                     const std::string &prefix) const
+{
+    for (unsigned s = 0; s < numShards(); ++s) {
+        std::string base = prefix + ".shard" + std::to_string(s);
+        sampler.addLatencySource(base + ".latency",
+                                 {&shards_[s].telemetry->latencyNs});
+        sampler.addQueueSource(
+            base + ".sq", [this, s] { return queueDepth(s); },
+            cfg_.queueCapacity * std::max(1u, numClients_));
+    }
+    unsigned tracked = std::min(cfg_.tenants, cfg_.maxTrackedTenants);
+    for (unsigned t = 0; t < tracked; ++t) {
+        sampler.addLatencySource(
+            prefix + ".tenant" + std::to_string(t) + ".latency",
+            tenantLatencyParts(static_cast<uint16_t>(t)),
+            static_cast<uint16_t>(t));
+    }
+}
+
+const obs::AtomicLog2Histogram &
+ShardedMemorySystem::latencyHistogram(unsigned s) const
+{
+    deuce_assert(s < shards_.size());
+    return shards_[s].telemetry->latencyNs;
+}
+
+std::vector<const obs::AtomicLog2Histogram *>
+ShardedMemorySystem::tenantLatencyParts(uint16_t tenant) const
+{
+    std::vector<const obs::AtomicLog2Histogram *> parts;
+    for (const Shard &shard : shards_) {
+        if (tenant < shard.telemetry->tenantLatencyNs.size()) {
+            parts.push_back(&shard.telemetry->tenantLatencyNs[tenant]);
+        }
+    }
+    return parts;
+}
+
+uint64_t
+ShardedMemorySystem::queueDepth(unsigned s) const
+{
+    deuce_assert(s < shards_.size());
+    uint64_t depth = 0;
+    for (const auto &port : shards_[s].ports) {
+        depth += port->sq.size();
+    }
+    return depth;
+}
+
+uint64_t
+ShardedMemorySystem::backpressureStalls() const
+{
+    uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+        total +=
+            shard.telemetry->cqStalls.load(std::memory_order_relaxed);
+    }
+    return total;
 }
 
 Completion
@@ -198,6 +295,25 @@ ShardedMemorySystem::apply(Shard &shard, Request &req)
     }
     c.completeNs = nowNs();
     return c;
+}
+
+void
+ShardedMemorySystem::recordCompletion(Shard &shard,
+                                      const Completion &c)
+{
+    if (c.submitNs == 0 || c.completeNs < c.submitNs) {
+        return; // unstamped request: no latency to attribute
+    }
+    uint64_t lat = c.completeNs - c.submitNs;
+    ShardTelemetry &tel = *shard.telemetry;
+    tel.latencyNs.add(lat);
+    if (c.tenant < tel.tenantLatencyNs.size()) {
+        tel.tenantLatencyNs[c.tenant].add(lat);
+    }
+    obs::flightRecorderRecord(obs::FlightEventKind::Complete,
+                              static_cast<uint16_t>(&shard -
+                                                    shards_.data()),
+                              c.tenant, c.addr, lat);
 }
 
 void
@@ -235,6 +351,7 @@ ShardedMemorySystem::workerLoop(unsigned s)
             while (i < burst.size()) {
                 if (burst[i].op != ReqOp::Write) {
                     completions.push_back(apply(shard, burst[i]));
+                    recordCompletion(shard, completions.back());
                     ++i;
                     continue;
                 }
@@ -263,18 +380,31 @@ ShardedMemorySystem::workerLoop(unsigned s)
                     c.slots = outcomes[k].slots;
                     c.flips = outcomes[k].result.totalFlips();
                     c.completeNs = nowNs();
+                    recordCompletion(shard, c);
                     completions.push_back(std::move(c));
                 }
             }
             for (Completion &c : completions) {
                 // CQ full means the client is slow to reap; spin with
                 // yields — backpressure, the entry is never dropped.
-                while (!port->cq.tryPush(std::move(c))) {
-                    std::this_thread::yield();
+                if (!port->cq.tryPush(std::move(c))) {
+                    shard.telemetry->cqStalls.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (obs::flightRecorderEnabled()) {
+                        obs::logEvent(obs::FlightEventKind::Stall,
+                                      "serve",
+                                      "cq full: shard " +
+                                          std::to_string(s),
+                                      c.tenant, c.seq);
+                    }
+                    do {
+                        std::this_thread::yield();
+                    } while (!port->cq.tryPush(std::move(c)));
                 }
             }
             shard.burst.add(static_cast<double>(burst.size()));
-            shard.served += burst.size();
+            shard.telemetry->served.fetch_add(
+                burst.size(), std::memory_order_relaxed);
             any = true;
         }
         if (!any) {

@@ -42,6 +42,7 @@
 #include "common/spsc_queue.hh"
 #include "crypto/key_domain.hh"
 #include "obs/stat.hh"
+#include "obs/telemetry.hh"
 #include "serve/request.hh"
 #include "serve/tenant_scheme.hh"
 #include "sim/memory_counters.hh"
@@ -85,6 +86,13 @@ struct ServeConfig
 
     /** Most requests a worker drains from one SQ per visit. */
     unsigned maxBurst = 64;
+
+    /**
+     * Per-tenant latency histograms are allocated only up to this
+     * many tenants (each histogram is ~2.5 KiB per shard); beyond it,
+     * only the per-shard aggregate is tracked.
+     */
+    unsigned maxTrackedTenants = 256;
 };
 
 /** Steady-clock timestamp in nanoseconds (latency measurement). */
@@ -220,6 +228,40 @@ class ShardedMemorySystem
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
 
+    /**
+     * Register the live-safe subset: atomic served/stall counters per
+     * shard plus totals, under "<prefix>.shard<s>..." and
+     * "<prefix>...". Unlike registerStats, every source here is an
+     * atomic read, so a TelemetrySampler may walk the registry while
+     * the workers run.
+     */
+    void registerTelemetry(obs::StatRegistry &reg,
+                           const std::string &prefix) const;
+
+    /**
+     * Wire this core's latency histograms and queue depths into @p
+     * sampler: one per-shard latency source, one merged per-tenant
+     * source per tracked tenant (tenant id attached, so SLO targets
+     * set on the sampler apply), and one SQ-depth source per shard.
+     * Call before sampler.start(); the core must outlive the sampler.
+     */
+    void attachTelemetry(obs::TelemetrySampler &sampler,
+                         const std::string &prefix) const;
+
+    /** Shard @p s's completion-latency histogram (ns; live-safe). */
+    const obs::AtomicLog2Histogram &latencyHistogram(unsigned s) const;
+
+    /** Per-shard parts of @p tenant's latency (empty when the tenant
+     *  is beyond maxTrackedTenants). Live-safe. */
+    std::vector<const obs::AtomicLog2Histogram *>
+    tenantLatencyParts(uint16_t tenant) const;
+
+    /** Entries currently queued in shard @p s's SQs (live-safe). */
+    uint64_t queueDepth(unsigned s) const;
+
+    /** CQ-full backpressure episodes across all shards (live-safe). */
+    uint64_t backpressureStalls() const;
+
   private:
     /** One SQ/CQ pair connecting one client to one shard. */
     struct QueuePair
@@ -230,6 +272,22 @@ class ShardedMemorySystem
         SpscQueue<Completion> cq;
     };
 
+    /**
+     * One shard's live telemetry: every field is atomic, written by
+     * the shard worker with relaxed operations and read concurrently
+     * by the sampler thread. Heap-allocated (behind unique_ptr) so
+     * Shard stays movable for vector emplacement.
+     */
+    struct ShardTelemetry
+    {
+        std::atomic<uint64_t> served{0};   ///< requests applied
+        std::atomic<uint64_t> cqStalls{0}; ///< CQ-full episodes
+        obs::AtomicLog2Histogram latencyNs; ///< submit→complete
+        /** Per-tenant latency; sized to min(tenants,
+         *  maxTrackedTenants), single-writer = the shard worker. */
+        std::vector<obs::AtomicLog2Histogram> tenantLatencyNs;
+    };
+
     /** One shard: scheme + memory system + per-client queue-pairs. */
     struct Shard
     {
@@ -238,16 +296,18 @@ class ShardedMemorySystem
         std::vector<std::unique_ptr<QueuePair>> ports;
         obs::Log2Histogram sqDepth;  ///< SQ depth sampled per visit
         obs::Log2Histogram burst;    ///< requests drained per burst
-        uint64_t served = 0;
+        std::unique_ptr<ShardTelemetry> telemetry;
         std::thread worker;
 
         Shard(std::unique_ptr<TenantScheme> s, MemorySystem sys)
-            : scheme(std::move(s)), system(std::move(sys))
+            : scheme(std::move(s)), system(std::move(sys)),
+              telemetry(std::make_unique<ShardTelemetry>())
         {}
     };
 
     void workerLoop(unsigned s);
     Completion apply(Shard &shard, Request &req);
+    void recordCompletion(Shard &shard, const Completion &c);
 
     ServeConfig cfg_;
     TenantKeyTable keys_;

@@ -6,6 +6,7 @@
 #include "sim/memory_system.hh"
 
 #include "common/logging.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/registry.hh"
 
 namespace deuce
@@ -113,6 +114,9 @@ MemorySystem::write(uint64_t line_addr, const CacheLine &plaintext)
     counters_.noteWrite(line_addr, outcome.result, outcome.slots,
                         outcome.flipFraction, rotation);
 
+    obs::flightRecorderRecord(obs::FlightEventKind::Write, 0, 0,
+                              line_addr, outcome.result.totalFlips());
+
     if (persist_) {
         PersistTraffic t = persist_->onWrite(line_addr, state);
         outcome.persistMetaWrites =
@@ -156,6 +160,8 @@ MemorySystem::writeBatch(std::span<const WriteRequest> requests)
         }
     }
     applyBatchChunk(requests.subspan(begin));
+    obs::flightRecorderRecord(obs::FlightEventKind::WriteBatch, 0, 0,
+                              requests.size());
     return {s.outcomes.data(), s.outcomes.size()};
 }
 
@@ -230,6 +236,8 @@ MemorySystem::applyBatchChunk(std::span<const WriteRequest> chunk)
 
         counters_.noteWriteNoWear(addr, outcome.result, outcome.slots,
                                   outcome.flipFraction);
+        obs::flightRecorderRecord(obs::FlightEventKind::Write, 0, 0,
+                                  addr, outcome.result.totalFlips());
         s.physDiffs[i] = phys;
         s.metaDiffs[i] =
             outcome.result.modifiedDiff | outcome.result.flipDiff;
@@ -264,6 +272,12 @@ MemorySystem::crash(bool mid_flush)
     deuce_assert(persist_);
     CrashImage image = persist_->crash(lines_, mid_flush);
     lines_.clear();
+    // Postmortem hook: a crash is exactly the moment the flight
+    // recorder exists for, so capture the rings (with the final
+    // pre-crash writes) immediately rather than waiting for exit.
+    obs::flightRecorderRecord(obs::FlightEventKind::Crash, 0, 0,
+                              image.lines.size(), mid_flush ? 1 : 0);
+    obs::flightRecorderWriteFile();
     return image;
 }
 

@@ -23,6 +23,11 @@
  *                         heartbeat + JSON-lines records to that path
  *                         (only when the spec itself leaves progress
  *                         disabled)
+ *  - DEUCE_TELEMETRY      live-telemetry base path: the sweep's
+ *                         sampler exports <base>.prom + <base>.jsonl
+ *                         while the grid runs (only when the spec
+ *                         itself leaves telemetry off);
+ *                         DEUCE_TELEMETRY_PERIOD_MS sets the period
  *
  * Every cell runs under a "sweep.cell" trace span labelled
  * "<bench>/<scheme>" (obs/trace.hh), so a traced sweep shows the
@@ -38,6 +43,7 @@
 
 #include "enc/scheme_factory.hh"
 #include "obs/progress.hh"
+#include "obs/telemetry.hh"
 #include "sim/experiment.hh"
 #include "trace/profile.hh"
 
@@ -97,6 +103,23 @@ struct SweepSpec
      * variable can still switch it on for any sweep.
      */
     obs::ProgressOptions progress;
+
+    /**
+     * Live telemetry (obs/telemetry.hh). When a sink path is set —
+     * or, with both paths empty, DEUCE_TELEMETRY names a base —
+     * runSweep() runs a sampler thread for the duration of the grid:
+     * cells-started/finished counters plus a cell-duration histogram
+     * ("sweep.cell", nanoseconds), exported periodically.
+     */
+    obs::TelemetryConfig telemetry;
+
+    /**
+     * Per-cell p99 duration SLO in nanoseconds (0 = none). With
+     * telemetry on, sampling windows whose cell durations burn the
+     * error budget too fast fire a burn-rate alert (obs::SloMonitor)
+     * into the flight recorder / stderr.
+     */
+    double cellP99Ns = 0;
 
     /** Convenience: append a scheme column by factory id. */
     SweepSpec &add(const std::string &id, const std::string &label = "");
