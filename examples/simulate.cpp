@@ -39,6 +39,9 @@
  *                           wt (write-through), lazy, or battery
  *   --flush-epoch <n>       writes between lazy counter flushes
  *   --persist-queue <n>     battery-backed write-queue depth
+ *   --cell-tech <slc|mlc2>  PCM cell technology: SLC (default) or
+ *                           2-bit MLC with per-transition energy and
+ *                           latency pricing
  *   --no-persist-integrity  drop the MAC/Merkle metadata (models the
  *                           naive controller persistence attacks hit)
  *   --threads <n>           worker threads (default DEUCE_BENCH_THREADS
@@ -123,6 +126,7 @@ usage(const char *argv0)
                  " [--fault] [--ecp <n>] [--endurance <flips>]"
                  " [--persist wt|lazy|battery] [--flush-epoch <n>]"
                  " [--persist-queue <n>] [--no-persist-integrity]"
+                 " [--cell-tech slc|mlc2]"
                  " [--csv] [--json <path>] [--stats] [--stats-json]"
                  " [--trace-out <path>] [--trace-level phase|verbose]"
                  " [--progress] [--telemetry-out <base>]"
@@ -246,6 +250,15 @@ parseArgs(int argc, char **argv)
                 std::strtoul(value(), nullptr, 10));
         } else if (arg == "--no-persist-integrity") {
             cli.experiment.persist.integrity = false;
+        } else if (arg == "--cell-tech") {
+            std::string tech = value();
+            if (tech == "slc") {
+                cli.experiment.pcm.cellTech = CellTech::SLC;
+            } else if (tech == "mlc2") {
+                cli.experiment.pcm.cellTech = CellTech::MLC2;
+            } else {
+                usage(argv[0]);
+            }
         } else if (arg == "--mlp") {
             cli.experiment.timingCfg.mlp =
                 std::strtod(value(), nullptr);

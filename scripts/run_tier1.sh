@@ -45,6 +45,31 @@ DEUCE_BENCH_JSON="$build/bench_results.json" "$build/examples/simulate" \
 rows=$(wc -l < "$build/bench_results.json")
 echo "tier1: fault cell appended (now $rows rows)"
 
+# MLC smoke cells: the 2-bit cell model with DEUCE and both Virtual
+# Coset Coding cost models. The rows carry the gated MLC fields
+# (cell_tech, transition energy, avg pJ/write); the SLC grid rows
+# above stay byte-identical to the pre-MLC format.
+DEUCE_BENCH_JSON="$build/bench_results.json" "$build/examples/simulate" \
+    --bench mcf --scheme deuce,vcc,vcc-mlc \
+    --cell-tech mlc2 \
+    --fast-otp --writebacks 10000 \
+    > /dev/null
+rows=$(wc -l < "$build/bench_results.json")
+echo "tier1: MLC2 cells appended (now $rows rows)"
+
+# Coset-coding energy crossover gate: bench_related's MLC table
+# enforces three rankings (DEUCE <= VCC on SLC, VCC < DEUCE on MLC2,
+# MLC-cost < Hamming selection on MLC2) and exits nonzero on any
+# regression. The micro benchmarks are filtered out; only the sweeps
+# and their gates run.
+DEUCE_BENCH_WB=20000 "$build/bench/bench_related" \
+    --benchmark_filter='^$' \
+    > /dev/null || {
+        echo "tier1: FAIL — VCC/MLC energy-crossover gate" >&2
+        exit 1
+    }
+echo "tier1: VCC/MLC energy-crossover gate OK"
+
 # Perf smoke: the AES backend micro benchmarks (scalar, ttable, aesni
 # when the host has it) plus the line-kernel backends (scalar, sse2,
 # avx2 when the host has it), min-time trimmed so the whole pass is a
@@ -391,7 +416,7 @@ if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
     cmake --build "$tsan" -j "$(nproc)" \
         --target test_thread_pool test_sweep test_spsc_queue \
                  test_serving test_persist test_write_batch \
-                 test_telemetry test_flight_recorder \
+                 test_vcc test_telemetry test_flight_recorder \
                  stolen_dimm_attack bench_serving
     "$tsan/tests/test_thread_pool"
     "$tsan/tests/test_sweep"
@@ -406,6 +431,10 @@ if [[ "${DEUCE_TSAN:-0}" == "1" ]]; then
     # serving workers drive it concurrently — run its bit-identity
     # suite under TSan alongside the worker tests.
     "$tsan/tests/test_write_batch"
+    # The coset scheme's selection path (candidate generation + aux
+    # re-randomisation) runs inside multi-threaded sweeps and the
+    # batch pipeline: its property suite must be TSan-clean too.
+    "$tsan/tests/test_vcc"
     # Crash-at-every-index determinism races recovery cells across
     # threads; the attack example is a one-crash recovery smoke.
     "$tsan/tests/test_persist"
@@ -436,11 +465,15 @@ if [[ "${DEUCE_UBSAN:-0}" == "1" ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDEUCE_UBSAN=ON
     cmake --build "$ubsan" -j "$(nproc)" \
         --target test_line_kernels test_fuzz_consistency \
-                 test_persist test_write_batch test_otp \
+                 test_persist test_write_batch test_otp test_vcc \
                  stolen_dimm_attack
     "$ubsan/tests/test_line_kernels"
     "$ubsan/tests/test_fuzz_consistency"
     "$ubsan/tests/test_persist"
+    # The VCC cost arithmetic (virtual-counter algebra at 2^57-scale
+    # counters, MLC matrix indexing) is exactly the kind of integer
+    # code UBSan exists for.
+    "$ubsan/tests/test_vcc"
     # Batch-path coverage: the cross-line pad stream (test_otp) and
     # the writeBatch bit-identity suite, checked for UB (the wide
     # cipher and kernel TUs do unaligned loads behind intrinsics).

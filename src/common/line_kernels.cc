@@ -207,9 +207,65 @@ constexpr LineKernelOps kScalarOps = {
     &scalarXorPopcountBatch,
     &scalarPopcountBatch,
     &scalarAccumulateFlipsBatch,
+    &detail::mlcCellDiffExpand,
+    &detail::mlcTransitionAccumulate,
 };
 
 } // namespace
+
+namespace detail
+{
+
+unsigned
+mlcCellDiffExpand(const CacheLine &diff, CacheLine &cell_mask)
+{
+    // Even/odd bit pairs of a limb are the 32 cells it holds; OR the
+    // pair down onto the even plane, count, and spread back to both
+    // bits of each touched cell.
+    constexpr uint64_t kEven = 0x5555555555555555ULL;
+    unsigned cells = 0;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        uint64_t x = diff.limbs()[i];
+        uint64_t pair = (x | (x >> 1)) & kEven;
+        cells += static_cast<unsigned>(std::popcount(pair));
+        cell_mask.limbs()[i] = pair | (pair << 1);
+    }
+    return cells;
+}
+
+void
+mlcTransitionAccumulate(const CacheLine &before, const CacheLine &after,
+                        uint64_t *counts)
+{
+    // Bit-plane decode: o0/o1 (n0/n1) are the low/high level bits of
+    // all 32 cells of a limb, packed on the even plane. One popcount
+    // per (old, new) bucket per limb beats extracting 2-bit fields
+    // cell by cell.
+    constexpr uint64_t kEven = 0x5555555555555555ULL;
+    for (unsigned i = 0; i < CacheLine::kLimbs; ++i) {
+        uint64_t o = before.limbs()[i];
+        uint64_t a = after.limbs()[i];
+        uint64_t o0 = o & kEven;
+        uint64_t o1 = (o >> 1) & kEven;
+        uint64_t n0 = a & kEven;
+        uint64_t n1 = (a >> 1) & kEven;
+        for (unsigned old_lv = 0; old_lv < 4; ++old_lv) {
+            uint64_t om = ((old_lv & 1) ? o0 : o0 ^ kEven) &
+                          ((old_lv & 2) ? o1 : o1 ^ kEven);
+            if (om == 0) {
+                continue;
+            }
+            for (unsigned new_lv = 0; new_lv < 4; ++new_lv) {
+                uint64_t nm = ((new_lv & 1) ? n0 : n0 ^ kEven) &
+                              ((new_lv & 2) ? n1 : n1 ^ kEven);
+                counts[old_lv * 4 + new_lv] += static_cast<uint64_t>(
+                    std::popcount(om & nm));
+            }
+        }
+    }
+}
+
+} // namespace detail
 
 const LineKernelOps *
 scalarLineKernelOps()

@@ -138,6 +138,29 @@ struct LineKernelOps
      */
     void (*accumulateFlipsBatch)(const CacheLine *diffs, std::size_t n,
                                  uint64_t *counters);
+
+    /**
+     * MLC2 cell-granularity diff expansion: treats the line as 256
+     * 2-bit cells (cell c = bits 2c and 2c+1), writes into
+     * @p cell_mask a mask with BOTH bits of every cell touched by
+     * @p diff set, and returns the number of programmed cells.
+     * Programming an MLC cell rewrites its whole level, so wear
+     * charges per cell, not per flipped bit. @p cell_mask may alias
+     * @p diff.
+     */
+    unsigned (*mlcCellDiffInto)(const CacheLine &diff,
+                                CacheLine &cell_mask);
+
+    /**
+     * MLC2 transition histogram: counts[old_level * 4 + new_level] +=
+     * number of cells moving old -> new between @p before and
+     * @p after, for all 16 (old, new) pairs including the same-level
+     * diagonal. @p counts must hold 16 entries; entries are
+     * accumulated, not overwritten.
+     */
+    void (*mlcTransitionCounts)(const CacheLine &before,
+                                const CacheLine &after,
+                                uint64_t *counts);
 };
 
 /** True when the SSE2 TU was compiled for a target with SSE2. */
@@ -241,6 +264,17 @@ const LineKernelOps &resolveActiveLineOps();
  */
 void positionalFlipAccumulate(const CacheLine *diffs, std::size_t n,
                               uint64_t *counters);
+
+/**
+ * Shared MLC2 kernels (line_kernels.cc). The cell-pair spreading and
+ * the 16-bucket transition histogram are pure SWAR bit-plane logic
+ * with no wide-vector win on current targets, so every backend table
+ * points at the same implementations — still bit-identical across
+ * backends by construction.
+ */
+unsigned mlcCellDiffExpand(const CacheLine &diff, CacheLine &cell_mask);
+void mlcTransitionAccumulate(const CacheLine &before,
+                             const CacheLine &after, uint64_t *counts);
 
 } // namespace detail
 

@@ -293,6 +293,8 @@ constexpr LineKernelOps kAvx2Ops = {
     &avx2XorPopcountBatch,
     &avx2PopcountBatch,
     &avx2AccumulateFlipsBatch,
+    &detail::mlcCellDiffExpand,
+    &detail::mlcTransitionAccumulate,
 };
 
 } // namespace

@@ -177,6 +177,8 @@ constexpr LineKernelOps kNeonOps = {
     &neonXorPopcountBatch,
     &neonPopcountBatch,
     &neonAccumulateFlipsBatch,
+    &detail::mlcCellDiffExpand,
+    &detail::mlcTransitionAccumulate,
 };
 
 } // namespace

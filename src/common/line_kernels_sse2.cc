@@ -322,6 +322,8 @@ constexpr LineKernelOps kSse2Ops = {
     &sse2XorPopcountBatch,
     &sse2PopcountBatch,
     &sse2AccumulateFlipsBatch,
+    &detail::mlcCellDiffExpand,
+    &detail::mlcTransitionAccumulate,
 };
 
 } // namespace

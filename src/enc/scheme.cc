@@ -81,8 +81,10 @@ makeWriteResult(const StoredLineState &before,
 
     r.modifiedDiff = before.modifiedBits ^ after.modifiedBits;
     r.flipDiff = before.flipBits ^ after.flipBits;
+    r.cosetDiff = before.cosetBits ^ after.cosetBits;
     meta += static_cast<unsigned>(std::popcount(r.modifiedDiff));
     meta += static_cast<unsigned>(std::popcount(r.flipDiff));
+    meta += static_cast<unsigned>(std::popcount(r.cosetDiff));
     if (before.modeBit != after.modeBit) {
         // The mode bit's wear (<= 2 flips per epoch) is charged to the
         // flip count only; it has no dedicated wear-tracker position.

@@ -34,10 +34,12 @@ constexpr unsigned kLineCounterBits = 28;
 
 /**
  * Upper bound on the 512-bit line pads any scheme plans for one
- * write (DynDEUCE's three-way race needs five); sizes the per-write
- * slice of a batch pipeline's pad arena.
+ * write; sizes the per-write slice of a batch pipeline's pad arena.
+ * VCC is the current maximum: with N = 4 coset candidates it plans
+ * 3N + 2 = 14 line pads (old/new candidate sets plus the two
+ * auxiliary-word pads); DynDEUCE's three-way race needs five.
  */
-constexpr unsigned kMaxWritePadLines = 5;
+constexpr unsigned kMaxWritePadLines = 14;
 
 /**
  * Persistent per-line state as stored in the PCM array.
@@ -68,6 +70,14 @@ struct StoredLineState
     /** DynDEUCE mode bit (false = DEUCE mode, true = FNW mode). */
     bool modeBit = false;
 
+    /**
+     * VCC coset-selection auxiliary word (ciphertext). Holds the
+     * encrypted per-word candidate indices; stored alongside the
+     * line like DEUCE's word flags but re-randomized under a fresh
+     * pad every write, so its flips are part of the scheme's cost.
+     */
+    uint64_t cosetBits = 0;
+
     bool operator==(const StoredLineState &other) const = default;
 };
 
@@ -91,6 +101,9 @@ struct WriteResult
 
     /** Diff of the flip-bit tracking column (FNW). */
     uint64_t flipDiff = 0;
+
+    /** Diff of the coset auxiliary word (VCC). */
+    uint64_t cosetDiff = 0;
 
     /** dataFlips + metaFlips. */
     unsigned totalFlips() const { return dataFlips + metaFlips; }

@@ -16,6 +16,7 @@
 #include "enc/invmm.hh"
 #include "enc/no_encryption.hh"
 #include "enc/per_word_counters.hh"
+#include "enc/vcc.hh"
 
 namespace deuce
 {
@@ -60,6 +61,14 @@ makeScheme(const std::string &id, const OtpEngine &otp)
     }
     if (id == "perword") {
         return std::make_unique<PerWordCounters>(otp);
+    }
+    if (id == "vcc") {
+        return std::make_unique<Vcc>(otp);
+    }
+    if (id == "vcc-mlc") {
+        VccConfig cfg;
+        cfg.costModel = CellTech::MLC2;
+        return std::make_unique<Vcc>(otp, cfg);
     }
     if (id.rfind("deuce-", 0) == 0) {
         std::string suffix = id.substr(6);

@@ -12,6 +12,66 @@ namespace deuce
 {
 
 /**
+ * Cell technology of the PCM array.
+ *
+ * SLC stores one bit per cell; every flip costs the same program
+ * energy (PcmConfig::writeEnergyPerBitPj) and fits the paper's
+ * baseline model. MLC2 stores two bits per cell as one of four
+ * resistance levels; programming cost then depends on the (old
+ * level, new level) transition, not on the Hamming distance — see
+ * Mlc2Model below.
+ */
+enum class CellTech
+{
+    SLC,
+    MLC2,
+};
+
+/**
+ * Per-transition program cost model for 2-bit MLC cells.
+ *
+ * Levels follow the usual phase-change convention: level 0 is fully
+ * amorphous (RESET), level 3 fully crystalline (SET), levels 1 and 2
+ * partially crystalline. The extreme levels are cheap single pulses:
+ * a short high-current RESET (any level -> 0) or a longer SET sweep
+ * (any level -> 3). The intermediate levels can only be hit with an
+ * iterative program-and-verify sequence — RESET, then a train of
+ * partial-SET pulses with a read-verify after each — which dominates
+ * both energy and latency (several times the single-pulse cost; cf.
+ * the MLC PCM write models of Qureshi et al. and Joshi et al.). The
+ * sequence starts from RESET, so its cost is independent of the
+ * starting level. The diagonal is zero: differential write suppresses
+ * same-level programming.
+ *
+ * A 512-bit line is 256 cells; cell c holds data bits 2c and 2c+1.
+ * Metadata arrays (counters, word flags, coset-selection bits) stay
+ * SLC in this model — they are small, latency-critical structures and
+ * published MLC designs keep them in fast single-level arrays.
+ *
+ * Only cost *ratios* matter for the sweep rankings; the absolute
+ * scale is anchored so the matrix mean is comparable to the SLC
+ * per-bit constant.
+ */
+struct Mlc2Model
+{
+    /** Program energy in picojoules, indexed [old level][new level]. */
+    double energyPj[4][4] = {
+        {0.0, 100.0, 100.0, 13.5},
+        {19.2, 0.0, 100.0, 13.5},
+        {19.2, 100.0, 0.0, 13.5},
+        {19.2, 100.0, 100.0, 0.0},
+    };
+
+    /** Program latency in nanoseconds, indexed [old][new]. */
+    double latencyNs[4][4] = {
+        {0.0, 1000.0, 1000.0, 150.0},
+        {60.0, 0.0, 1000.0, 150.0},
+        {60.0, 1000.0, 0.0, 150.0},
+        {60.0, 1000.0, 1000.0, 0.0},
+    };
+};
+
+/**
  * Device-level PCM parameters.
  *
  * Timing and organisation follow the paper's baseline (Table 1 and
@@ -56,6 +116,17 @@ struct PcmConfig
 
     /** Static/background power of the PCM subsystem, in milliwatts. */
     double backgroundPowerMw = 80.0;
+
+    /**
+     * Cell technology of the data array. The default (SLC) keeps
+     * every output of the simulator bit-identical to the paper's
+     * baseline model; MLC2 switches wear, energy, and write latency
+     * to the per-transition model of Mlc2Model.
+     */
+    CellTech cellTech = CellTech::SLC;
+
+    /** Transition cost matrices used when cellTech == MLC2. */
+    Mlc2Model mlc2;
 
     /** Total banks across the channel. */
     unsigned totalBanks() const { return ranks * banksPerRank; }

@@ -12,6 +12,7 @@
 #ifndef DEUCE_PCM_ENERGY_HH
 #define DEUCE_PCM_ENERGY_HH
 
+#include <array>
 #include <cstdint>
 
 #include "pcm/config.hh"
@@ -39,6 +40,24 @@ class EnergyAccumulator
     void addRead() { ++reads_; }
 
     /**
+     * Charge the data-cell level transitions of one MLC2 line write:
+     * @p counts holds the 16-bucket histogram of (old level, new
+     * level) cell transitions (common/line_kernels.hh
+     * mlcTransitionCounts layout). Counts are accumulated as
+     * integers and priced at report time, so merge order cannot
+     * perturb the energy total. Under MLC2 the caller charges the
+     * line's *metadata* flips through addWrite() (metadata arrays
+     * stay SLC) and the data cells through this method.
+     */
+    void
+    addWriteTransitions(const uint64_t *counts)
+    {
+        for (unsigned i = 0; i < 16; ++i) {
+            transitions_[i] += counts[i];
+        }
+    }
+
+    /**
      * Charge metadata-array traffic from the counter-persistence
      * model: @p meta_writes counter/tree-line writes (28 counter bits
      * programmed each) and @p meta_reads metadata line reads.
@@ -64,6 +83,9 @@ class EnergyAccumulator
         flips_ += other.flips_;
         metaReads_ += other.metaReads_;
         metaWrites_ += other.metaWrites_;
+        for (unsigned i = 0; i < 16; ++i) {
+            transitions_[i] += other.transitions_[i];
+        }
     }
 
     uint64_t writes() const { return writes_; }
@@ -72,17 +94,67 @@ class EnergyAccumulator
     uint64_t persistMetaReads() const { return metaReads_; }
     uint64_t persistMetaWrites() const { return metaWrites_; }
 
+    /** MLC2 cell transitions recorded in bucket old*4+new. */
+    uint64_t mlcTransitions(unsigned bucket) const
+    {
+        return transitions_[bucket];
+    }
+
+    /** Total off-diagonal (actually programmed) MLC2 transitions. */
+    uint64_t
+    mlcProgrammedCells() const
+    {
+        uint64_t total = 0;
+        for (unsigned i = 0; i < 16; ++i) {
+            if (i / 4 != i % 4) {
+                total += transitions_[i];
+            }
+        }
+        return total;
+    }
+
+    /** Energy of the recorded MLC2 transitions, in picojoules. */
+    double
+    mlcTransitionEnergyPj() const
+    {
+        // Fixed bucket order over integer counts: deterministic for
+        // any merge order, and exactly 0.0 when no transitions were
+        // recorded (the SLC case).
+        double total = 0.0;
+        for (unsigned i = 0; i < 16; ++i) {
+            total += static_cast<double>(transitions_[i]) *
+                     cfg_.mlc2.energyPj[i / 4][i % 4];
+        }
+        return total;
+    }
+
+    /**
+     * Total array-write energy in picojoules: per-bit-priced flips
+     * (all flips under SLC; metadata flips under MLC2) plus the MLC2
+     * data-cell transitions. The cross-technology cost metric of the
+     * SLC-vs-MLC scheme sweeps.
+     */
+    double
+    writeEnergyPj() const
+    {
+        return static_cast<double>(flips_) * cfg_.writeEnergyPerBitPj +
+               mlcTransitionEnergyPj();
+    }
+
     /** Dynamic energy in picojoules. */
     double
     dynamicEnergyPj() const
     {
-        // The persist terms are exactly zero when the model is off,
-        // so adding them leaves the result bit-identical (x + 0.0).
+        // The persist and MLC-transition terms are exactly zero when
+        // those models are off, so adding them leaves the result
+        // bit-identical (x + 0.0).
         return static_cast<double>(flips_) * cfg_.writeEnergyPerBitPj +
                static_cast<double>(reads_) * cfg_.readEnergyPerLinePj +
                static_cast<double>(metaWrites_) * kPersistMetaBits *
                    cfg_.writeEnergyPerBitPj +
-               static_cast<double>(metaReads_) * cfg_.readEnergyPerLinePj;
+               static_cast<double>(metaReads_) *
+                   cfg_.readEnergyPerLinePj +
+               mlcTransitionEnergyPj();
     }
 
     /** Total energy in picojoules over an execution of @p ns. */
@@ -121,6 +193,7 @@ class EnergyAccumulator
     uint64_t flips_ = 0;
     uint64_t metaReads_ = 0;
     uint64_t metaWrites_ = 0;
+    std::array<uint64_t, 16> transitions_{};
 };
 
 } // namespace deuce

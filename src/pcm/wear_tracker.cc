@@ -12,60 +12,96 @@
 namespace deuce
 {
 
-WearTracker::WearTracker()
+WearTracker::WearTracker(CellTech tech) : tech_(tech)
 {
     clear();
 }
 
+namespace
+{
+
+/** Scatter one 64-bit meta word into counters at @p base. */
+inline void
+scatterMetaWord(uint64_t word, uint64_t *counters, unsigned base,
+                uint64_t &total)
+{
+    while (word) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        ++counters[base + bit];
+        ++total;
+        word &= word - 1;
+    }
+}
+
+} // namespace
+
 void
 WearTracker::recordWrite(const CacheLine &diff, uint64_t meta_diff,
-                         unsigned rotation)
+                         unsigned rotation, uint64_t coset_diff)
 {
     ++writes_;
 
     // Rotating the diff mask by the line's current rotation converts
     // logical flip positions to physical cell positions.
-    const CacheLine physical =
+    CacheLine physical =
         rotation ? diff.rotl(rotation % CacheLine::kBits) : diff;
+
+    if (tech_ == CellTech::MLC2) {
+        // Both level bits of a programmed cell wear, whichever of
+        // them the diff touched.
+        lineKernels().mlcCellDiffInto(physical, physical);
+    }
 
     lineKernels().accumulateFlips(physical, dataFlips_.data());
     totalDataFlips_ += physical.popcount();
 
-    while (meta_diff) {
-        unsigned bit = static_cast<unsigned>(__builtin_ctzll(meta_diff));
-        ++metaFlips_[bit];
-        ++totalMetaFlips_;
-        meta_diff &= meta_diff - 1;
-    }
+    scatterMetaWord(meta_diff, metaFlips_.data(), 0, totalMetaFlips_);
+    scatterMetaWord(coset_diff, metaFlips_.data(), 64, totalMetaFlips_);
 }
 
 void
 WearTracker::recordWriteBatch(const CacheLine *phys_diffs,
-                              const uint64_t *meta_diffs, std::size_t n)
+                              const uint64_t *meta_diffs, std::size_t n,
+                              const uint64_t *coset_diffs)
 {
     writes_ += n;
 
     const LineKernelOps &k = lineKernels();
-    k.accumulateFlipsBatch(phys_diffs, n, dataFlips_.data());
-
     constexpr std::size_t kChunk = 64;
     uint32_t counts[kChunk];
-    for (std::size_t i = 0; i < n; i += kChunk) {
-        std::size_t c = n - i < kChunk ? n - i : kChunk;
-        k.popcountBatch(phys_diffs + i, counts, c);
-        for (std::size_t j = 0; j < c; ++j) {
-            totalDataFlips_ += counts[j];
+
+    if (tech_ == CellTech::SLC) {
+        k.accumulateFlipsBatch(phys_diffs, n, dataFlips_.data());
+        for (std::size_t i = 0; i < n; i += kChunk) {
+            std::size_t c = n - i < kChunk ? n - i : kChunk;
+            k.popcountBatch(phys_diffs + i, counts, c);
+            for (std::size_t j = 0; j < c; ++j) {
+                totalDataFlips_ += counts[j];
+            }
+        }
+    } else {
+        // Expand each physical diff to its programmed-cell mask in
+        // chunk-sized scratch, then run the same cross-line kernels.
+        CacheLine expanded[kChunk];
+        for (std::size_t i = 0; i < n; i += kChunk) {
+            std::size_t c = n - i < kChunk ? n - i : kChunk;
+            for (std::size_t j = 0; j < c; ++j) {
+                k.mlcCellDiffInto(phys_diffs[i + j], expanded[j]);
+            }
+            k.accumulateFlipsBatch(expanded, c, dataFlips_.data());
+            k.popcountBatch(expanded, counts, c);
+            for (std::size_t j = 0; j < c; ++j) {
+                totalDataFlips_ += counts[j];
+            }
         }
     }
 
     for (std::size_t i = 0; i < n; ++i) {
-        uint64_t meta_diff = meta_diffs[i];
-        while (meta_diff) {
-            unsigned bit =
-                static_cast<unsigned>(__builtin_ctzll(meta_diff));
-            ++metaFlips_[bit];
-            ++totalMetaFlips_;
-            meta_diff &= meta_diff - 1;
+        scatterMetaWord(meta_diffs[i], metaFlips_.data(), 0,
+                        totalMetaFlips_);
+        if (coset_diffs != nullptr) {
+            scatterMetaWord(coset_diffs[i], metaFlips_.data(), 64,
+                            totalMetaFlips_);
         }
     }
 }

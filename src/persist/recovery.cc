@@ -145,7 +145,9 @@ RecoveryEngine::run(const CrashImage &image) const
             // naive resume would have replayed are never reused.
             st.counter += found_gap;
             CacheLine plain = scheme_.read(line, st);
-            scheme_.write(line, plain, st);
+            WriteResult wr = scheme_.write(line, plain, st);
+            out.repairs.emplace(line,
+                                RecoveryRepair{wr.dataDiff, st.data});
             rep.metaWrites += 2;
         } else {
             // Beyond the window (or an unsearchable per-block split):

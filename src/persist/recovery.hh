@@ -92,11 +92,29 @@ struct RecoveryReport
     double recoveryNs = 0.0;
 };
 
+/**
+ * One repaired line's re-encryption cell traffic. Repair decrypts at
+ * the reconstructed live counter and immediately rewrites at a fresh
+ * one — a real array write whose flips age (and can trip) worn cells,
+ * so the adopting system must drive it through its fault model.
+ */
+struct RecoveryRepair
+{
+    /** XOR of pre- and post-repair stored images (logical bits). */
+    CacheLine dataDiff;
+
+    /** Post-repair stored image (logical bits). */
+    CacheLine newData;
+};
+
 /** Recovered state plus the report. */
 struct RecoveryOutcome
 {
     /** Post-recovery per-line state, ready to adopt. */
     std::map<uint64_t, StoredLineState> lines;
+
+    /** Re-encryption diffs of the repaired lines, keyed like lines. */
+    std::map<uint64_t, RecoveryRepair> repairs;
 
     RecoveryReport report;
 };

@@ -158,6 +158,16 @@ runExperiment(const BenchmarkProfile &profile,
         row.persistMetaWrites = ps.metaWrites;
         row.persistMetaReads = ps.metaReads;
     }
+    if (row.writebacks > 0) {
+        row.avgWriteEnergyPj = memory.energy().writeEnergyPj() /
+                               static_cast<double>(row.writebacks);
+    }
+    if (options.pcm.cellTech == CellTech::MLC2) {
+        row.mlcEnabled = true;
+        row.mlcProgrammedCells = memory.energy().mlcProgrammedCells();
+        row.mlcTransitionEnergyPj =
+            memory.energy().mlcTransitionEnergyPj();
+    }
     if (const FaultDomain *fault = memory.fault()) {
         const FaultStats &fs = fault->stats();
         row.faultEnabled = true;

@@ -168,6 +168,25 @@ struct ExperimentRow
 
     /** Metadata-array reads charged to the runtime. */
     uint64_t persistMetaReads = 0;
+
+    /** MLC fields (populated only when the cell ran on MLC2 cells;
+     *  SLC rows keep the historical JSON byte for byte). */
+    bool mlcEnabled = false;
+
+    /** Data cells programmed (off-diagonal level transitions). */
+    uint64_t mlcProgrammedCells = 0;
+
+    /** Data-cell program energy through the transition matrix, pJ. */
+    double mlcTransitionEnergyPj = 0.0;
+
+    /**
+     * Array-write energy per writeback, pJ (flip energy plus MLC2
+     * transition energy). Populated for every cell — it is the
+     * cross-technology cost metric the SLC-vs-MLC sweeps rank on —
+     * but emitted in the JSON row only for MLC2 cells, keeping SLC
+     * rows byte-identical to the historical format.
+     */
+    double avgWriteEnergyPj = 0.0;
 };
 
 /** Run one (benchmark, scheme) cell. */

@@ -14,7 +14,8 @@ namespace deuce
 {
 
 MemoryCounters::MemoryCounters(const PcmConfig &pcm)
-    : energy_(pcm), banks_(pcm.totalBanks())
+    : energy_(pcm), wear_(pcm.cellTech), cellTech_(pcm.cellTech),
+      banks_(pcm.totalBanks())
 {
 }
 
@@ -24,7 +25,8 @@ MemoryCounters::noteWrite(uint64_t line_addr, const WriteResult &result,
                           unsigned rotation)
 {
     wear_.recordWrite(result.dataDiff,
-                      result.modifiedDiff | result.flipDiff, rotation);
+                      result.modifiedDiff | result.flipDiff, rotation,
+                      result.cosetDiff);
     noteWriteNoWear(line_addr, result, slots, flip_fraction);
 }
 
@@ -33,7 +35,11 @@ MemoryCounters::noteWriteNoWear(uint64_t line_addr,
                                 const WriteResult &result, unsigned slots,
                                 double flip_fraction)
 {
-    energy_.addWrite(result.totalFlips());
+    // SLC prices every flipped bit the same; MLC2 prices data cells
+    // through the transition matrix (noteMlcTransitions), so only the
+    // metadata flips — the arrays stay SLC — are charged per bit here.
+    energy_.addWrite(cellTech_ == CellTech::SLC ? result.totalFlips()
+                                                : result.metaFlips);
     flipStat_.add(flip_fraction);
     slotStat_.add(static_cast<double>(slots));
     slotHist_.add(static_cast<double>(slots));
@@ -48,9 +54,16 @@ MemoryCounters::noteWriteNoWear(uint64_t line_addr,
 
 void
 MemoryCounters::noteWearBatch(const CacheLine *phys_diffs,
-                              const uint64_t *meta_diffs, std::size_t n)
+                              const uint64_t *meta_diffs, std::size_t n,
+                              const uint64_t *coset_diffs)
 {
-    wear_.recordWriteBatch(phys_diffs, meta_diffs, n);
+    wear_.recordWriteBatch(phys_diffs, meta_diffs, n, coset_diffs);
+}
+
+void
+MemoryCounters::noteMlcTransitions(const uint64_t *counts)
+{
+    energy_.addWriteTransitions(counts);
 }
 
 void
@@ -137,6 +150,20 @@ MemoryCounters::deterministicSignature() const
         energy_.persistMetaWrites() != 0) {
         os << " persist=" << energy_.persistMetaReads() << ","
            << energy_.persistMetaWrites();
+    }
+
+    // Likewise the MLC2 transition histogram appears only once any
+    // transition has been recorded, so SLC signatures keep the
+    // pre-MLC format byte for byte.
+    uint64_t mlc_total = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        mlc_total += energy_.mlcTransitions(i);
+    }
+    if (mlc_total != 0) {
+        os << " mlcTrans=";
+        for (unsigned i = 0; i < 16; ++i) {
+            os << energy_.mlcTransitions(i) << ",";
+        }
     }
     for (size_t b = 0; b < banks_.size(); ++b) {
         os << " b" << b << "=" << banks_[b].writes << ","

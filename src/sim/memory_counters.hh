@@ -70,10 +70,23 @@ class MemoryCounters
 
     /**
      * Record one burst's wear through the cross-line kernels.
-     * @p phys_diffs are pre-rotated (physical) data diff masks.
+     * @p phys_diffs are pre-rotated (physical) data diff masks;
+     * @p coset_diffs (null = all zero) are the schemes' auxiliary-word
+     * diffs (wear meta positions [64, 128)).
      */
     void noteWearBatch(const CacheLine *phys_diffs,
-                       const uint64_t *meta_diffs, std::size_t n);
+                       const uint64_t *meta_diffs, std::size_t n,
+                       const uint64_t *coset_diffs = nullptr);
+
+    /**
+     * Charge one MLC2 write's data-cell transition histogram
+     * (common/line_kernels.hh mlcTransitionCounts layout) to the
+     * energy model. Only called when the device is MLC2; under MLC2
+     * noteWrite/noteWriteNoWear charge the *metadata* flips at the
+     * SLC per-bit rate and the data cells are priced here through
+     * the per-transition matrix.
+     */
+    void noteMlcTransitions(const uint64_t *counts);
 
     /** Charge one line read. */
     void noteRead(uint64_t line_addr);
@@ -128,6 +141,7 @@ class MemoryCounters
   private:
     EnergyAccumulator energy_;
     WearTracker wear_;
+    CellTech cellTech_ = CellTech::SLC;
     RunningStat flipStat_;
     RunningStat slotStat_;
     obs::Log2Histogram slotHist_;

@@ -5,6 +5,7 @@
 
 #include "sim/memory_system.hh"
 
+#include "common/line_kernels.hh"
 #include "common/logging.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/registry.hh"
@@ -90,12 +91,12 @@ MemorySystem::write(uint64_t line_addr, const CacheLine &plaintext)
 
     unsigned rotation = rotation_->rotationFor(line_addr);
     rotation_->onWrite(line_addr);
+    unsigned rot = rotation % CacheLine::kBits;
 
     // The fault domain sees the same physical view as the wear
     // tracker: the HWL rotation decides which cells the flips land on
     // and which cells the image occupies.
     if (fault_) {
-        unsigned rot = rotation % CacheLine::kBits;
         FaultDomain::Outcome f = fault_->onWrite(
             line_addr,
             rot ? outcome.result.dataDiff.rotl(rot)
@@ -107,6 +108,13 @@ MemorySystem::write(uint64_t line_addr, const CacheLine &plaintext)
 
     outcome.slots = slotsForWrite(outcome.result.dataDiff,
                                   outcome.result.metaFlips, pcm_);
+    outcome.writeLatencyNs =
+        static_cast<double>(outcome.slots) * pcm_.writeSlotNs;
+    if (pcm_.cellTech == CellTech::MLC2) {
+        chargeMlcWrite(rot ? outcome.result.dataDiff.rotl(rot)
+                           : outcome.result.dataDiff,
+                       state.data, rot, outcome);
+    }
     outcome.flipFraction =
         static_cast<double>(outcome.result.totalFlips()) /
         CacheLine::kBits;
@@ -124,6 +132,36 @@ MemorySystem::write(uint64_t line_addr, const CacheLine &plaintext)
         counters_.notePersist(t.metaReads, t.metaWrites);
     }
     return outcome;
+}
+
+void
+MemorySystem::chargeMlcWrite(const CacheLine &phys_diff,
+                             const CacheLine &new_data, unsigned rot,
+                             WriteOutcome &outcome)
+{
+    // Transition levels pair *physical* bit positions (2c, 2c+1):
+    // rotate the post-write image like the wear tracker and fault
+    // domain do, and recover the old physical image from the diff.
+    const CacheLine new_phys = rot ? new_data.rotl(rot) : new_data;
+    const CacheLine old_phys = new_phys ^ phys_diff;
+
+    uint64_t counts[16] = {};
+    lineKernels().mlcTransitionCounts(old_phys, new_phys, counts);
+    counters_.noteMlcTransitions(counts);
+
+    // Iterative program-and-verify paces the whole slot: the write
+    // service time stretches to the slowest transition performed.
+    double slot_ns = pcm_.writeSlotNs;
+    for (unsigned i = 0; i < 16; ++i) {
+        unsigned from = i / 4;
+        unsigned to = i % 4;
+        if (from != to && counts[i] != 0 &&
+            pcm_.mlc2.latencyNs[from][to] > slot_ns) {
+            slot_ns = pcm_.mlc2.latencyNs[from][to];
+        }
+    }
+    outcome.writeLatencyNs =
+        static_cast<double>(outcome.slots) * slot_ns;
 }
 
 std::span<const WriteOutcome>
@@ -202,6 +240,7 @@ MemorySystem::applyBatchChunk(std::span<const WriteRequest> chunk)
     // integer-exact and commutative) to one cross-line batch below.
     s.physDiffs.resize(n);
     s.metaDiffs.resize(n);
+    s.cosetDiffs.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         const uint64_t addr = chunk[i].lineAddr;
         StoredLineState &state = *s.states[i];
@@ -230,6 +269,11 @@ MemorySystem::applyBatchChunk(std::span<const WriteRequest> chunk)
 
         outcome.slots = slotsForWrite(outcome.result.dataDiff,
                                       outcome.result.metaFlips, pcm_);
+        outcome.writeLatencyNs =
+            static_cast<double>(outcome.slots) * pcm_.writeSlotNs;
+        if (pcm_.cellTech == CellTech::MLC2) {
+            chargeMlcWrite(phys, state.data, rot, outcome);
+        }
         outcome.flipFraction =
             static_cast<double>(outcome.result.totalFlips()) /
             CacheLine::kBits;
@@ -241,6 +285,7 @@ MemorySystem::applyBatchChunk(std::span<const WriteRequest> chunk)
         s.physDiffs[i] = phys;
         s.metaDiffs[i] =
             outcome.result.modifiedDiff | outcome.result.flipDiff;
+        s.cosetDiffs[i] = outcome.result.cosetDiff;
 
         if (persist_) {
             PersistTraffic t = persist_->onWrite(addr, state);
@@ -251,7 +296,8 @@ MemorySystem::applyBatchChunk(std::span<const WriteRequest> chunk)
         s.outcomes.push_back(outcome);
     }
 
-    counters_.noteWearBatch(s.physDiffs.data(), s.metaDiffs.data(), n);
+    counters_.noteWearBatch(s.physDiffs.data(), s.metaDiffs.data(), n,
+                            s.cosetDiffs.data());
 }
 
 CacheLine
@@ -296,6 +342,20 @@ MemorySystem::adoptRecovery(const RecoveryOutcome &outcome)
 {
     for (const auto &[line, state] : outcome.lines) {
         adoptLine(line, state);
+    }
+    // Repaired lines were physically rewritten by the recovery engine;
+    // with faults enabled that traffic must age (and may trip) the
+    // worn cells, exactly as an in-service write would. Fault-disabled
+    // systems skip this entirely and stay bit-identical.
+    if (fault_) {
+        for (const auto &[line, repair] : outcome.repairs) {
+            unsigned rot = rotation_->rotationFor(line) % CacheLine::kBits;
+            const CacheLine phys_diff =
+                rot ? repair.dataDiff.rotl(rot) : repair.dataDiff;
+            const CacheLine phys_data =
+                rot ? repair.newData.rotl(rot) : repair.newData;
+            fault_->onWrite(line, phys_diff, phys_data);
+        }
     }
     if (persist_) {
         persist_->noteRecoveryRepairs(outcome.report.repairedLines);

@@ -85,6 +85,15 @@ struct WriteOutcome
     /** Write slots consumed (Section 6.1 model). */
     unsigned slots = 0;
 
+    /**
+     * Device write-service latency of this store in nanoseconds.
+     * Exactly slots * writeSlotNs under SLC (the historical model);
+     * under MLC2 each slot is stretched to the slowest level
+     * transition the write performs (iterative program-and-verify
+     * paces the whole slot), never below writeSlotNs.
+     */
+    double writeLatencyNs = 0.0;
+
     /** Fraction of the 512 line bits flipped (incl. metadata). */
     double flipFraction = 0.0;
 
@@ -287,6 +296,17 @@ class MemorySystem
     void applyBatchChunk(std::span<const WriteRequest> chunk);
 
     /**
+     * MLC2 accounting of one committed write: build the physical
+     * (rotation-paired) transition histogram, charge it to the energy
+     * model, and stretch the write latency to the slowest transition
+     * present. @p phys_diff is the pre-rotated data diff; @p new_data
+     * the post-write logical image.
+     */
+    void chargeMlcWrite(const CacheLine &phys_diff,
+                        const CacheLine &new_data, unsigned rot,
+                        WriteOutcome &outcome);
+
+    /**
      * Reused buffers of the batch pipeline: one allocation-free slab
      * per system after warm-up instead of per-write heap traffic.
      * Line-state pointers stay valid across install() rehashes
@@ -301,6 +321,7 @@ class MemorySystem
         std::vector<unsigned> padOffsets;
         std::vector<CacheLine> physDiffs;
         std::vector<uint64_t> metaDiffs;
+        std::vector<uint64_t> cosetDiffs;
         std::vector<WriteOutcome> outcomes;
         std::unordered_set<uint64_t> seen;
     };

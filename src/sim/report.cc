@@ -188,6 +188,17 @@ experimentRowJson(const ExperimentRow &row)
            << "\"writes_to_first_uncorrectable\":"
            << row.writesToFirstUncorrectable;
     }
+    // MLC fields appear only for MLC2 cells, so SLC rows keep the
+    // historical format byte for byte.
+    if (row.mlcEnabled) {
+        os << ",\"cell_tech\":\"mlc2\","
+           << "\"mlc_programmed_cells\":" << row.mlcProgrammedCells
+           << ','
+           << "\"mlc_transition_energy_pj\":"
+           << jsonNumber(row.mlcTransitionEnergyPj) << ','
+           << "\"avg_write_energy_pj\":"
+           << jsonNumber(row.avgWriteEnergyPj);
+    }
     // Persist counters likewise append only when the model ran.
     if (row.persistEnabled) {
         os << ",\"persist_policy\":\""

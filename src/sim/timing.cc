@@ -108,8 +108,11 @@ TimingSimulator::run(TraceSource &source, MemorySystem &memory)
             // Counter/tree flushes occupy the same bank as metadata
             // line writes behind the demand write (0 when the persist
             // model is off).
+            // writeLatencyNs is exactly slots * writeSlotNs under SLC;
+            // under MLC2 the slots are paced by the slowest level
+            // transition the write performs.
             double service =
-                out.slots * pcm_.writeSlotNs + counter_penalty +
+                out.writeLatencyNs + counter_penalty +
                 out.persistMetaWrites * pcm_.writeSlotNs;
 
             if (cfg_.scheduler == TimingConfig::Scheduler::Fcfs) {

@@ -17,6 +17,7 @@
 #include "common/rng.hh"
 #include "crypto/otp_engine.hh"
 #include "enc/scheme_factory.hh"
+#include "pcm/config.hh"
 #include "pcm/write_slots.hh"
 #include "sim/memory_system.hh"
 
@@ -37,7 +38,7 @@ randomLine(Rng &rng)
 
 class FuzzConsistencyTest
     : public ::testing::TestWithParam<
-          std::tuple<std::string, LineBackendKind>>
+          std::tuple<std::string, LineBackendKind, CellTech>>
 {
   protected:
     void SetUp() override
@@ -59,11 +60,15 @@ TEST_P(FuzzConsistencyTest, AllAccountingChannelsAgree)
     wl.verticalEnabled = true;
     wl.numLines = 64;
     wl.gapWriteInterval = 3;
-    MemorySystem memory(*scheme, wl);
+    PcmConfig pcm;
+    pcm.cellTech = std::get<2>(GetParam());
+    MemorySystem memory(*scheme, wl, pcm);
 
     Rng rng(123);
     std::map<uint64_t, CacheLine> truth;
     uint64_t total_flips = 0;
+    uint64_t total_meta_flips = 0;
+    uint64_t total_cell_bits = 0;
     uint64_t total_slots = 0;
     uint64_t writes = 0;
 
@@ -84,7 +89,15 @@ TEST_P(FuzzConsistencyTest, AllAccountingChannelsAgree)
         truth[addr] = data;
         ++writes;
         total_flips += out.result.totalFlips();
+        total_meta_flips += out.result.metaFlips;
         total_slots += out.slots;
+        // The wear tracker's MLC expansion (both level bits of a
+        // programmed cell wear), recomputed here independently. The
+        // fuzz runs without intra-line rotation, so the logical diff
+        // is the physical one.
+        CacheLine cells;
+        lineKernels().mlcCellDiffInto(out.result.dataDiff, cells);
+        total_cell_bits += cells.popcount();
 
         // Channel 1: WriteResult internals are self-consistent.
         ASSERT_EQ(out.result.dataFlips, out.result.dataDiff.popcount());
@@ -95,6 +108,15 @@ TEST_P(FuzzConsistencyTest, AllAccountingChannelsAgree)
         ASSERT_EQ(out.slots, slotsForWrite(out.result.dataDiff,
                                            out.result.metaFlips,
                                            memory.pcmConfig()));
+
+        // Channel 2b: service latency is the slot total under SLC and
+        // never shrinks below it when MLC2 stretches the slot clock.
+        const double slot_ns = out.slots * memory.pcmConfig().writeSlotNs;
+        if (pcm.cellTech == CellTech::SLC) {
+            ASSERT_DOUBLE_EQ(out.writeLatencyNs, slot_ns);
+        } else {
+            ASSERT_GE(out.writeLatencyNs, slot_ns);
+        }
 
         // Channel 3: flip fraction is totalFlips / 512.
         ASSERT_DOUBLE_EQ(out.flipFraction,
@@ -108,8 +130,12 @@ TEST_P(FuzzConsistencyTest, AllAccountingChannelsAgree)
         }
     }
 
-    // Channel 5: the aggregates agree with the per-write sums.
-    EXPECT_EQ(memory.energy().flips(), total_flips);
+    // Channel 5: the aggregates agree with the per-write sums. Under
+    // MLC2 the per-bit flip counter covers only the (SLC) metadata
+    // arrays — data cells are priced through the transition histogram.
+    EXPECT_EQ(memory.energy().flips(),
+              pcm.cellTech == CellTech::SLC ? total_flips
+                                            : total_meta_flips);
     EXPECT_EQ(memory.energy().writes(), writes);
     EXPECT_DOUBLE_EQ(memory.slotStat().sum(),
                      static_cast<double>(total_slots));
@@ -122,9 +148,36 @@ TEST_P(FuzzConsistencyTest, AllAccountingChannelsAgree)
     EXPECT_EQ(memory.wearTracker().writes(), writes);
     uint64_t wear_total = memory.wearTracker().totalDataFlips();
     uint64_t meta_total = memory.wearTracker().totalMetaFlips();
-    EXPECT_LE(wear_total + meta_total, total_flips);
-    EXPECT_GE(wear_total + meta_total,
-              total_flips - memory.energy().writes() * 28);
+    if (pcm.cellTech == CellTech::SLC) {
+        EXPECT_LE(wear_total + meta_total, total_flips);
+        EXPECT_GE(wear_total + meta_total,
+                  total_flips - memory.energy().writes() * 28);
+    } else {
+        // MLC data wear is the cell-pair expansion, recomputed above
+        // bit for bit; metadata wear keeps the SLC accounting.
+        EXPECT_EQ(wear_total, total_cell_bits);
+        EXPECT_LE(meta_total, total_meta_flips);
+        EXPECT_GE(meta_total + memory.energy().writes() * 28,
+                  total_meta_flips);
+    }
+}
+
+std::string
+fuzzParamName(const ::testing::TestParamInfo<
+              std::tuple<std::string, LineBackendKind, CellTech>> &info)
+{
+    std::string name = std::get<0>(info.param);
+    for (char &c : name) {
+        if (c == '-') {
+            c = '_';
+        }
+    }
+    name += '_';
+    name += lineBackendName(std::get<1>(info.param));
+    if (std::get<2>(info.param) == CellTech::MLC2) {
+        name += "_mlc2";
+    }
+    return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -132,18 +185,22 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values("nodcw", "nofnw", "encr", "encr-fnw", "ble",
                           "ble-deuce", "deuce", "deuce-fnw",
-                          "dyndeuce", "addrpad"),
-        ::testing::ValuesIn(availableLineBackends())),
-    [](const ::testing::TestParamInfo<
-        std::tuple<std::string, LineBackendKind>> &info) {
-        std::string name = std::get<0>(info.param);
-        for (char &c : name) {
-            if (c == '-') {
-                c = '_';
-            }
-        }
-        return name + '_' + lineBackendName(std::get<1>(info.param));
-    });
+                          "dyndeuce", "addrpad", "vcc"),
+        ::testing::ValuesIn(availableLineBackends()),
+        ::testing::Values(CellTech::SLC)),
+    fuzzParamName);
+
+// The MLC2 grid re-runs a representative scheme subset (line-counter,
+// DEUCE, both VCC cost models) with the stretched-latency cell model:
+// every accounting channel must keep agreeing when transition pricing
+// is live.
+INSTANTIATE_TEST_SUITE_P(
+    MlcSchemes, FuzzConsistencyTest,
+    ::testing::Combine(
+        ::testing::Values("encr", "deuce", "vcc", "vcc-mlc"),
+        ::testing::ValuesIn(availableLineBackends()),
+        ::testing::Values(CellTech::MLC2)),
+    fuzzParamName);
 
 } // namespace
 } // namespace deuce

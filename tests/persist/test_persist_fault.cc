@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Combined persist x fault regression: end-of-life cells driven
+ * through crash/recovery cycles. Recovery repairs stale lines by
+ * decrypting at the reconstructed live counter and rewriting at a
+ * fresh one — a real array write. These tests pin that the repair
+ * traffic reaches the fault pipeline (wears cells, allocates ECP
+ * entries, can decommission lines), that fault-disabled systems stay
+ * bit-identical through adoption, and that the combination keeps
+ * returning correct data for both DEUCE-family and VCC schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "crypto/otp_engine.hh"
+#include "enc/scheme_factory.hh"
+#include "persist/crash.hh"
+#include "persist/recovery.hh"
+#include "sim/memory_system.hh"
+
+namespace deuce
+{
+namespace
+{
+
+PersistConfig
+lazyPersist(unsigned flush_epoch = 8)
+{
+    PersistConfig cfg;
+    cfg.enabled = true;
+    cfg.policy = PersistConfig::Policy::Lazy;
+    cfg.flushEpoch = flush_epoch;
+    cfg.queueDepth = 4;
+    cfg.integrity = true;
+    cfg.numLines = 64;
+    return cfg;
+}
+
+FaultConfig
+wornFault(double endurance, unsigned ecp)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.meanEndurance = endurance;
+    cfg.enduranceSigma = 0.0; // identical cells: deterministic wear
+    cfg.ecpEntries = ecp;
+    return cfg;
+}
+
+/** A persist + fault enabled memory over 64 lines. */
+struct Fixture
+{
+    FastOtpEngine otp{5};
+    std::unique_ptr<EncryptionScheme> scheme;
+    std::unique_ptr<MemorySystem> memory;
+
+    explicit Fixture(const FaultConfig &fault,
+                     const char *scheme_id = "encr")
+    {
+        scheme = makeScheme(scheme_id, otp);
+        WearLevelingConfig wl;
+        wl.verticalEnabled = false;
+        memory = std::make_unique<MemorySystem>(
+            *scheme, wl, PcmConfig{},
+            [](uint64_t) { return CacheLine{}; }, fault, lazyPersist());
+    }
+};
+
+TEST(PersistFault, RecoveryRepairWearLandsInFaultMap)
+{
+    // Cells survive only two flips (each line sees ~4 writes here, so
+    // ~2 flips per cell), with enough ECP that nothing decommissions:
+    // every stuck cell stays attributable.
+    Fixture f(wornFault(2.0, 512));
+    Rng rng(11);
+    CacheLine data;
+    for (int i = 0; i < 60; ++i) {
+        data.setField(0, 64, rng.next());
+        data.setField(200, 64, rng.next());
+        f.memory->write(rng.nextBounded(16), data);
+    }
+
+    CrashImage image = f.memory->crash(false);
+    RecoveryOutcome out = RecoveryEngine(*f.scheme).run(image);
+    ASSERT_GT(out.report.repairedLines, 0u);
+    ASSERT_EQ(out.repairs.size(), out.report.repairedLines);
+
+    const FaultStats &fs = f.memory->fault()->stats();
+    uint64_t writes_before = fs.writes;
+    uint64_t stuck_before = fs.stuckCells;
+    f.memory->adoptRecovery(out);
+
+    // Every repair was driven through the fault pipeline as one write.
+    EXPECT_EQ(fs.writes, writes_before + out.repairs.size());
+    // Near-exhausted cells plus a full-line re-encryption per repaired
+    // line: the repair flips must push cells over their budget.
+    EXPECT_GT(fs.stuckCells, stuck_before);
+
+    for (const auto &[line, repair] : out.repairs) {
+        // Repairs are a subset of the recovered lines, re-encryption
+        // actually flipped cells, and the recorded post-image is what
+        // adoption installed.
+        ASSERT_TRUE(out.lines.count(line));
+        EXPECT_NE(repair.dataDiff, CacheLine{}) << "line " << line;
+        EXPECT_EQ(out.lines.at(line).data, repair.newData);
+        EXPECT_EQ(f.memory->storedState(line).data, repair.newData);
+    }
+}
+
+TEST(PersistFault, CleanRecoveryChargesNoFaultTraffic)
+{
+    // A crash with nothing stale repairs nothing, so adoption must
+    // not touch the fault pipeline.
+    Fixture f(wornFault(1e6, 6));
+    CacheLine data;
+    data.setField(0, 64, 0xdead);
+    f.memory->write(3, data);
+    // Flush everything by crashing only after the lazy epoch drained:
+    // write the same line until the flush epoch boundary passes.
+    for (int i = 0; i < 8; ++i) {
+        f.memory->write(3, data);
+    }
+
+    CrashImage image = f.memory->crash(false);
+    RecoveryOutcome out = RecoveryEngine(*f.scheme).run(image);
+    uint64_t writes_before = f.memory->fault()->stats().writes;
+    f.memory->adoptRecovery(out);
+    EXPECT_EQ(out.repairs.size(), out.report.repairedLines);
+    EXPECT_EQ(f.memory->fault()->stats().writes,
+              writes_before + out.repairs.size());
+}
+
+TEST(PersistFault, FaultDisabledAdoptionChargesNothing)
+{
+    // Without a fault domain the repair diffs are carried but unused:
+    // adoption changes no counter (the pre-fault behaviour, bit for
+    // bit).
+    FastOtpEngine otp(5);
+    auto scheme = makeScheme("deuce", otp);
+    WearLevelingConfig wl;
+    wl.verticalEnabled = false;
+    MemorySystem memory(*scheme, wl, PcmConfig{},
+                        [](uint64_t) { return CacheLine{}; },
+                        FaultConfig{}, lazyPersist());
+    Rng rng(13);
+    CacheLine data;
+    std::map<uint64_t, CacheLine> shadow;
+    for (int i = 0; i < 40; ++i) {
+        uint64_t addr = rng.nextBounded(16);
+        data.setField(0, 64, rng.next());
+        memory.write(addr, data);
+        shadow[addr] = data;
+    }
+
+    CrashImage image = memory.crash(false);
+    RecoveryOutcome out = RecoveryEngine(*scheme).run(image);
+    std::string before = memory.counters().deterministicSignature();
+    memory.adoptRecovery(out);
+    EXPECT_EQ(memory.fault(), nullptr);
+    EXPECT_EQ(memory.counters().deterministicSignature(), before);
+    for (const auto &[addr, plain] : shadow) {
+        EXPECT_EQ(memory.read(addr), plain) << "line " << addr;
+    }
+}
+
+TEST(PersistFault, DecommissionThroughRecoveryCycle)
+{
+    // One ECP entry against widespread wear-out: writes conflict with
+    // more stuck cells than ECP can cover, so lines decommission into
+    // spares — and stay readable (the remap is transparent to the
+    // logical store).
+    Fixture f(wornFault(4.0, 1));
+    Rng rng(17);
+    CacheLine data;
+    std::map<uint64_t, CacheLine> shadow;
+    // 83 writes: off the lazy flush boundary, so the crash catches
+    // stale counters.
+    for (int i = 0; i < 83; ++i) {
+        uint64_t addr = rng.nextBounded(8);
+        data.setField(0, 64, rng.next());
+        data.setField(300, 64, rng.next());
+        f.memory->write(addr, data);
+        shadow[addr] = data;
+    }
+
+    CrashImage image = f.memory->crash(false);
+    RecoveryOutcome out = RecoveryEngine(*f.scheme).run(image);
+    ASSERT_GT(out.report.repairedLines, 0u);
+
+    uint64_t decommissioned_before =
+        f.memory->fault()->stats().decommissionedLines;
+    f.memory->adoptRecovery(out);
+    EXPECT_GE(f.memory->fault()->stats().decommissionedLines,
+              decommissioned_before);
+    EXPECT_GT(f.memory->fault()->stats().uncorrectableErrors, 0u);
+    for (const auto &[addr, plain] : shadow) {
+        EXPECT_EQ(f.memory->read(addr), plain) << "line " << addr;
+    }
+}
+
+/** Schemes whose repair path the cycle test drives. */
+class PersistFaultCycleTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PersistFaultCycleTest, StuckCellsAccumulateAcrossCycles)
+{
+    Fixture f(wornFault(6.0, 512), GetParam());
+    Rng rng(19);
+    CacheLine data;
+    std::map<uint64_t, CacheLine> shadow;
+
+    uint64_t last_stuck = 0;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        for (int i = 0; i < 50; ++i) {
+            uint64_t addr = rng.nextBounded(16);
+            data.setField(0, 64, rng.next());
+            data.setField(128, 64, rng.next());
+            f.memory->write(addr, data);
+            shadow[addr] = data;
+        }
+        CrashImage image = f.memory->crash(false);
+        RecoveryOutcome out = RecoveryEngine(*f.scheme).run(image);
+        EXPECT_EQ(out.report.unrecoverableLines, 0u);
+        f.memory->adoptRecovery(out);
+
+        uint64_t stuck = f.memory->fault()->stats().stuckCells;
+        EXPECT_GE(stuck, last_stuck) << "cycle " << cycle;
+        last_stuck = stuck;
+        for (const auto &[addr, plain] : shadow) {
+            ASSERT_EQ(f.memory->read(addr), plain)
+                << "cycle " << cycle << " line " << addr;
+        }
+    }
+    // Three rounds of wear on near-exhausted cells must have stuck
+    // something by the end.
+    EXPECT_GT(last_stuck, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PersistFaultCycleTest,
+                         ::testing::Values("encr", "deuce", "vcc"));
+
+} // namespace
+} // namespace deuce

@@ -44,9 +44,10 @@ goldenSpec()
 
 /** JSON rows of one sweep run, with the line_backend field removed. */
 void
-strippedRows(unsigned threads, std::vector<std::string> &rows)
+strippedRowsFor(const SweepSpec &base, unsigned threads,
+                std::vector<std::string> &rows)
 {
-    SweepSpec spec = goldenSpec();
+    SweepSpec spec = base;
     spec.threads = threads;
     SweepResult result = runSweep(spec);
     rows.clear();
@@ -61,6 +62,12 @@ strippedRows(unsigned threads, std::vector<std::string> &rows)
         }
         rows.push_back(json);
     }
+}
+
+void
+strippedRows(unsigned threads, std::vector<std::string> &rows)
+{
+    strippedRowsFor(goldenSpec(), threads, rows);
 }
 
 TEST(SweepGolden, RowsIdenticalAcrossThreadsAndLineBackends)
@@ -84,6 +91,65 @@ TEST(SweepGolden, RowsIdenticalAcrossThreadsAndLineBackends)
                 EXPECT_EQ(rows[i], golden[i])
                     << "backend=" << lineBackendName(backend)
                     << " threads=" << threads << " row=" << i;
+            }
+        }
+    }
+    setLineBackend(LineBackendKind::Auto);
+}
+
+/**
+ * The same contract across the cell-technology grid: one SLC and one
+ * MLC2 sweep over the coset-coding schemes, each pinned against its
+ * own scalar/1-thread rows. MLC2 rows must carry the gated MLC fields
+ * and SLC rows must not (the historical format stays frozen), and both
+ * must be byte-identical across every backend and thread count —
+ * the transition histograms, stretched latencies, and coset selection
+ * all reduce to the same integers no matter how the work is carved up.
+ */
+TEST(SweepGolden, VccMlcRowsIdenticalAcrossThreadsAndLineBackends)
+{
+    SweepSpec slc = goldenSpec();
+    slc.schemes.clear();
+    slc.add("encr", "Encr")
+        .add("deuce", "DEUCE")
+        .add("vcc", "VCC")
+        .add("vcc-mlc", "VCC-MLC");
+    SweepSpec mlc = slc;
+    mlc.options.pcm.cellTech = CellTech::MLC2;
+
+    struct TechCase
+    {
+        const SweepSpec *spec;
+        bool wantMlcFields;
+    };
+    for (const TechCase &tc :
+         {TechCase{&slc, false}, TechCase{&mlc, true}}) {
+        setLineBackend(LineBackendKind::Scalar);
+        std::vector<std::string> golden;
+        strippedRowsFor(*tc.spec, 1, golden);
+        ASSERT_EQ(golden.size(), 8u); // 4 schemes x 2 benchmarks
+        for (const std::string &row : golden) {
+            EXPECT_EQ(row.find("\"cell_tech\"") != std::string::npos,
+                      tc.wantMlcFields)
+                << row;
+            EXPECT_EQ(row.find("\"mlc_transition_energy_pj\"") !=
+                          std::string::npos,
+                      tc.wantMlcFields)
+                << row;
+        }
+
+        for (LineBackendKind backend : availableLineBackends()) {
+            setLineBackend(backend);
+            for (unsigned threads : {1u, 3u}) {
+                std::vector<std::string> rows;
+                strippedRowsFor(*tc.spec, threads, rows);
+                ASSERT_EQ(rows.size(), golden.size());
+                for (size_t i = 0; i < golden.size(); ++i) {
+                    EXPECT_EQ(rows[i], golden[i])
+                        << "backend=" << lineBackendName(backend)
+                        << " threads=" << threads << " row=" << i
+                        << (tc.wantMlcFields ? " (mlc2)" : " (slc)");
+                }
             }
         }
     }

@@ -81,7 +81,8 @@ struct Fixture
 
     Fixture(const std::string &scheme_id, bool fast,
             const WearLevelingConfig &wl, const FaultConfig &fault,
-            const PersistConfig &persist)
+            const PersistConfig &persist,
+            const PcmConfig &pcm = PcmConfig{})
     {
         if (fast) {
             otp = std::make_unique<FastOtpEngine>(0xfeed);
@@ -90,7 +91,7 @@ struct Fixture
         }
         scheme = makeScheme(scheme_id, *otp);
         system = std::make_unique<MemorySystem>(
-            *scheme, wl, PcmConfig{}, initialContents, fault, persist);
+            *scheme, wl, pcm, initialContents, fault, persist);
     }
 };
 
@@ -103,7 +104,9 @@ expectOutcomeEq(const WriteOutcome &a, const WriteOutcome &b,
     EXPECT_EQ(a.result.metaFlips, b.result.metaFlips) << what;
     EXPECT_EQ(a.result.modifiedDiff, b.result.modifiedDiff) << what;
     EXPECT_EQ(a.result.flipDiff, b.result.flipDiff) << what;
+    EXPECT_EQ(a.result.cosetDiff, b.result.cosetDiff) << what;
     EXPECT_EQ(a.slots, b.slots) << what;
+    EXPECT_EQ(a.writeLatencyNs, b.writeLatencyNs) << what;
     EXPECT_EQ(a.flipFraction, b.flipFraction) << what;
     EXPECT_EQ(a.faultCorrectedCells, b.faultCorrectedCells) << what;
     EXPECT_EQ(a.faultUncorrectable, b.faultUncorrectable) << what;
@@ -121,14 +124,15 @@ expectBatchedMatchesSequential(
     const WearLevelingConfig &wl = WearLevelingConfig{},
     const FaultConfig &fault = FaultConfig{},
     const PersistConfig &persist = PersistConfig{},
-    unsigned writes = 400, unsigned pool = 29)
+    unsigned writes = 400, unsigned pool = 29,
+    const PcmConfig &pcm = PcmConfig{})
 {
     SCOPED_TRACE(scheme_id + " batch=" + std::to_string(batch));
     std::vector<WriteRequest> trace =
         makeTrace(writes, pool, 0xabc + batch);
 
-    Fixture seq(scheme_id, fast, wl, fault, persist);
-    Fixture bat(scheme_id, fast, wl, fault, persist);
+    Fixture seq(scheme_id, fast, wl, fault, persist, pcm);
+    Fixture bat(scheme_id, fast, wl, fault, persist, pcm);
 
     std::vector<WriteOutcome> seq_out;
     seq_out.reserve(trace.size());
@@ -178,6 +182,8 @@ schemesUnderTest()
     ids.push_back("addrpad");
     ids.push_back("invmm");
     ids.push_back("perword");
+    ids.push_back("vcc");
+    ids.push_back("vcc-mlc");
     return ids;
 }
 
@@ -196,8 +202,45 @@ TEST(WriteBatch, AesEngineBatchedMatchesSequential)
     // has them) through the batched pad stream: catches any pad
     // assembly or ordering bug the fast engine might mask.
     for (const std::string &id :
-         {"encr", "deuce", "deuce-fnw", "dyndeuce", "ble-deuce"}) {
+         {"encr", "deuce", "deuce-fnw", "dyndeuce", "ble-deuce",
+          "vcc"}) {
         expectBatchedMatchesSequential(id, 64, /*fast=*/false);
+    }
+}
+
+TEST(WriteBatch, MlcCellTechGrid)
+{
+    // MLC2 stretches writeLatencyNs per slot and charges transition
+    // energy; both are derived from the committed diff, so the batch
+    // path must reproduce them exactly for every scheme family that
+    // plans pads ahead — including both VCC cost models, whose pad
+    // selection feeds back into the diff being priced.
+    PcmConfig mlc;
+    mlc.cellTech = CellTech::MLC2;
+    for (const std::string &id :
+         {"encr", "deuce", "vcc", "vcc-mlc"}) {
+        for (unsigned batch : {1u, 7u, 64u}) {
+            for (const PcmConfig &pcm : {PcmConfig{}, mlc}) {
+                expectBatchedMatchesSequential(
+                    id, batch, true, WearLevelingConfig{},
+                    FaultConfig{}, PersistConfig{}, 400, 29, pcm);
+            }
+        }
+    }
+}
+
+TEST(WriteBatch, VccDuplicateHeavyMlcBursts)
+{
+    // Repeated addresses in one burst force the duplicate-split path;
+    // VCC's aux word changes on every rewrite, so a stale burst-entry
+    // snapshot would corrupt both selection bits and MLC pricing.
+    PcmConfig mlc;
+    mlc.cellTech = CellTech::MLC2;
+    for (const std::string &id : {"vcc", "vcc-mlc"}) {
+        expectBatchedMatchesSequential(id, 64, true,
+                                       WearLevelingConfig{},
+                                       FaultConfig{}, PersistConfig{},
+                                       /*writes=*/300, /*pool=*/3, mlc);
     }
 }
 
